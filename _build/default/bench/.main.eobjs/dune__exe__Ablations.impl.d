@@ -1,0 +1,1 @@
+bench/ablations.ml: Afs_core Afs_util Exp_util List Printf

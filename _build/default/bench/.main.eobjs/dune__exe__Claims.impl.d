@@ -1,0 +1,1 @@
+bench/claims.ml: Afs_baseline Afs_block Afs_core Afs_disk Afs_rpc Afs_sim Afs_stable Afs_util Afs_workload Array Bytes Driver Exp_util Fmt List Printf Sut Workload

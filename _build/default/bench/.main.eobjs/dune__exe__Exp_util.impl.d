@@ -1,0 +1,1 @@
+bench/exp_util.ml: Afs_core Afs_util Array Bytes List Printf String

@@ -1,0 +1,1 @@
+bench/figures.ml: Afs_block Afs_core Afs_disk Afs_naming Afs_util Array Bytes Exp_util Fmt List Printf

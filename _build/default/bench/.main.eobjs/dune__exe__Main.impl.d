@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Arg Claims Figures List Micro Printf String

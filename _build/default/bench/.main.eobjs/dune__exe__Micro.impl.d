@@ -1,0 +1,1 @@
+bench/micro.ml: Afs_core Afs_util Analyze Array Bechamel Benchmark Bytes Exp_util Hashtbl Instance List Measure Printf Staged String Test Time Toolkit

@@ -1,0 +1,86 @@
+(* Shared plumbing for the experiment harness: table rendering and
+   commonly-used setup helpers. Every experiment prints a self-contained
+   table; EXPERIMENTS.md interprets them against the paper's claims. *)
+
+module Server = Afs_core.Server
+module Store = Afs_core.Store
+module Errors = Afs_core.Errors
+module P = Afs_util.Pagepath
+
+let ok = function Ok v -> v | Error e -> failwith (Errors.to_string e)
+let bytes = Bytes.of_string
+
+(* {2 Tables} *)
+
+let banner id title paper_ref =
+  Printf.printf "\n%s\n" (String.make 78 '=');
+  Printf.printf "[%s] %s\n" id title;
+  Printf.printf "    paper: %s\n" paper_ref;
+  Printf.printf "%s\n" (String.make 78 '-')
+
+let table headers rows =
+  let ncols = List.length headers in
+  let widths = Array.of_list (List.map String.length headers) in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> if i < ncols then widths.(i) <- max widths.(i) (String.length cell)) row)
+    rows;
+  let print_row cells =
+    List.iteri
+      (fun i cell ->
+        if i < ncols then Printf.printf "%-*s  " widths.(i) cell)
+      cells;
+    print_newline ()
+  in
+  print_row headers;
+  print_row (List.map (fun w -> String.make w '-') (Array.to_list widths));
+  List.iter print_row rows
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "note: %s\n" s) fmt
+
+let f1 v = Printf.sprintf "%.1f" v
+let f2 v = Printf.sprintf "%.2f" v
+let pct num den = if den = 0 then "0.0%" else Printf.sprintf "%.1f%%" (100.0 *. float_of_int num /. float_of_int den)
+
+(* {2 Setup helpers} *)
+
+(* A server over a counting in-memory store: experiments that report I/O
+   cost count store reads/writes, a machine-independent cost metric. *)
+let counting_server ?(seed = 7) () =
+  let store, io = Store.counting (Store.memory ()) in
+  (store, Server.create ~seed store, io)
+
+let file_with_pages srv n =
+  let cap = ok (Server.create_file srv ~data:(bytes "root") ()) in
+  let v = ok (Server.create_version srv cap) in
+  for i = 0 to n - 1 do
+    ignore
+      (ok
+         (Server.insert_page srv v ~parent:P.root ~index:i
+            ~data:(bytes (Printf.sprintf "p%d" i)) ()))
+  done;
+  ok (Server.commit srv v);
+  cap
+
+(* A complete [fanout]^[depth]-leaf page tree. Returns the file and the
+   list of all leaf paths. *)
+let deep_file srv ~fanout ~depth =
+  let cap = ok (Server.create_file srv ~data:(bytes "root") ()) in
+  let v = ok (Server.create_version srv cap) in
+  let leaves = ref [] in
+  let rec build parent level =
+    for i = 0 to fanout - 1 do
+      let child = ok (Server.insert_page srv v ~parent ~index:i ~data:(bytes "n") ()) in
+      if level + 1 = depth then leaves := child :: !leaves else build child (level + 1)
+    done
+  in
+  if depth > 0 then build P.root 0 else ();
+  ok (Server.commit srv v);
+  (cap, List.rev !leaves)
+
+let commit_write srv f path data =
+  let v = ok (Server.create_version srv f) in
+  ok (Server.write_page srv v path (bytes data));
+  ok (Server.commit srv v)
+
+let counter srv name = Afs_util.Stats.Counter.get (Server.counters srv) name

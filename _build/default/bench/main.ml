@@ -1,0 +1,68 @@
+(* The experiment harness: regenerates every figure- and claim-level
+   result catalogued in DESIGN.md / EXPERIMENTS.md.
+
+   Run everything:        dune exec bench/main.exe
+   One experiment:        dune exec bench/main.exe -- --only c1-occ-vs-locking
+   Add Bechamel micros:   dune exec bench/main.exe -- --bechamel
+   List experiments:      dune exec bench/main.exe -- --list *)
+
+let experiments =
+  [
+    ("f1-hierarchy", Figures.f1);
+    ("f2-tree-of-trees", Figures.f2);
+    ("f3-page-codec", Figures.f3);
+    ("f4-version-chain", Figures.f4);
+    ("f5-commit-fastpath", Figures.f5);
+    ("f6-concurrent-commit", Figures.f6);
+    ("c1-occ-vs-locking", Claims.c1);
+    ("c2-crash-recovery", Claims.c2);
+    ("c3-cache-validation", Claims.c3);
+    ("c4-serialise-cost", Claims.c4);
+    ("c5-stable-storage", Claims.c5);
+    ("c6-superfile-locking", Claims.c6);
+    ("c7-write-once", Claims.c7);
+    ("c8-starvation", Claims.c8);
+    ("c9-one-page-files", Claims.c9);
+    ("a1-flag-cache", Ablations.a1);
+    ("a2-gc", Ablations.a2);
+    ("a3-write-back", Ablations.a3);
+  ]
+
+let () =
+  let only = ref [] in
+  let list_only = ref false in
+  let bechamel = ref false in
+  let speclist =
+    [
+      ( "--only",
+        Arg.String (fun s -> only := s :: !only),
+        "ID  run only the experiment with this id (repeatable)" );
+      ("--list", Arg.Set list_only, "  list experiment ids and exit");
+      ("--bechamel", Arg.Set bechamel, "  also run the Bechamel micro-benchmarks");
+    ]
+  in
+  Arg.parse speclist
+    (fun anon -> raise (Arg.Bad ("unexpected argument " ^ anon)))
+    "main.exe [--list] [--only ID]... [--bechamel]";
+  if !list_only then List.iter (fun (id, _) -> print_endline id) experiments
+  else begin
+    let selected =
+      if !only = [] then experiments
+      else
+        List.filter_map
+          (fun id ->
+            match List.assoc_opt id experiments with
+            | Some f -> Some (id, f)
+            | None ->
+                Printf.eprintf "unknown experiment %S (use --list)\n" id;
+                exit 1)
+          (List.rev !only)
+    in
+    Printf.printf
+      "Amoeba File Service reproduction — experiment harness (%d experiments)\n"
+      (List.length selected);
+    Printf.printf "All times are SIMULATED unless marked as Bechamel wall-clock.\n";
+    List.iter (fun (_, f) -> f ()) selected;
+    if !bechamel then Micro.run ();
+    Printf.printf "\n%s\ndone.\n" (String.make 78 '=')
+  end

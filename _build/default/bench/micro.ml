@@ -1,0 +1,105 @@
+(* Bechamel micro-benchmarks: wall-clock throughput of the hot paths.
+   One Test.make per mechanism; run with --bechamel (they take ~20s). *)
+
+open Bechamel
+open Toolkit
+module Server = Afs_core.Server
+module Store = Afs_core.Store
+module Page = Afs_core.Page
+module Flags = Afs_core.Flags
+module P = Afs_util.Pagepath
+
+let ok = function Ok v -> v | Error e -> failwith (Afs_core.Errors.to_string e)
+let bytes = Bytes.of_string
+
+let sample_page ~nrefs ~data_bytes =
+  let secret = Afs_util.Capability.secret_of_seed 1 in
+  let cap obj =
+    Afs_util.Capability.mint secret ~port:(Afs_util.Capability.port_of_int 1) ~obj
+      ~rights:Afs_util.Capability.rights_all
+  in
+  let refs = Array.init nrefs (fun i -> { Page.block = i + 1; flags = Flags.clear }) in
+  Page.make_version_page ~file_cap:(cap 2) ~version_cap:(cap 3) ~base_ref:(Some 7)
+    ~parent_ref:None ~refs ~data:(Bytes.make data_bytes 'd')
+
+(* F3 support: codec throughput. *)
+let test_encode =
+  let page = sample_page ~nrefs:64 ~data_bytes:4096 in
+  Test.make ~name:"page-encode-4K+64refs" (Staged.stage (fun () -> ignore (Page.encode page)))
+
+let test_decode =
+  let image = Page.encode (sample_page ~nrefs:64 ~data_bytes:4096) in
+  Test.make ~name:"page-decode-4K+64refs"
+    (Staged.stage (fun () -> match Page.decode image with Ok _ -> () | Error _ -> assert false))
+
+let test_flags_nibble =
+  let all = Array.of_list Flags.all in
+  Test.make ~name:"flags-nibble-roundtrip"
+    (Staged.stage (fun () ->
+         Array.iter (fun f -> ignore (Flags.of_nibble (Flags.to_nibble f))) all))
+
+(* F5 support: the uncontended one-page update cycle. *)
+let test_commit_fastpath =
+  let store = Store.memory () in
+  let srv = Server.create store in
+  let f = ok (Server.create_file srv ~data:(bytes "seed") ()) in
+  Test.make ~name:"update-cycle-one-page"
+    (Staged.stage (fun () ->
+         let v = ok (Server.create_version srv f) in
+         ok (Server.write_page srv v P.root (bytes "payload"));
+         ok (Server.commit srv v)))
+
+(* F6/C4 support: serialisability test + merge of two 4-page updates on a
+   64-page file. *)
+let test_serialise_merge =
+  let store = Store.memory () in
+  let srv = Server.create store in
+  let f = Exp_util.file_with_pages srv 64 in
+  Test.make ~name:"intercepted-commit-merge"
+    (Staged.stage (fun () ->
+         let va = ok (Server.create_version srv f) in
+         let vb = ok (Server.create_version srv f) in
+         for i = 0 to 3 do
+           ok (Server.write_page srv va (P.of_list [ i ]) (bytes "a"));
+           ok (Server.write_page srv vb (P.of_list [ 32 + i ]) (bytes "b"))
+         done;
+         ok (Server.commit srv va);
+         ok (Server.commit srv vb)))
+
+(* C3 support: validation of a warm, unshared file. *)
+let test_validation_null_op =
+  let store = Store.memory () in
+  let srv = Server.create store in
+  let f = Exp_util.file_with_pages srv 16 in
+  let basis = ok (Server.current_block_of_file srv f) in
+  Test.make ~name:"cache-validate-null-op"
+    (Staged.stage (fun () ->
+         ignore (ok (Afs_core.Cache.server_validate srv ~file:f ~basis_block:basis))))
+
+let all_tests =
+  [ test_encode; test_decode; test_flags_nibble; test_commit_fastpath; test_serialise_merge;
+    test_validation_null_op ]
+
+let run () =
+  Printf.printf "\n%s\n" (String.make 78 '=');
+  Printf.printf "[micro] Bechamel wall-clock benchmarks of the hot paths\n";
+  Printf.printf "%s\n" (String.make 78 '-');
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let analyze raw =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+    in
+    Analyze.all ols Instance.monotonic_clock raw
+  in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let results = analyze raw in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "  %-32s %12.1f ns/op\n" name est
+          | _ -> Printf.printf "  %-32s (no estimate)\n" name)
+        results)
+    all_tests

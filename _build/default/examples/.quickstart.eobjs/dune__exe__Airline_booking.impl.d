@@ -1,0 +1,1 @@
+examples/airline_booking.ml: Afs_core Afs_rpc Afs_sim Afs_workload Airline Driver Printf Sut Workload

@@ -1,0 +1,1 @@
+examples/bank_audit.ml: Afs_core Afs_util Array Bytes Errors Printf Server Store Superfile

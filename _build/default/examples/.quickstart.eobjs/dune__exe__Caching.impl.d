@@ -1,0 +1,1 @@
+examples/caching.ml: Afs_core Afs_util Bytes Cache Client Errors List Printf Server Store String

@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Afs_core Afs_disk Afs_rpc Afs_sim Afs_stable Afs_util Bytes Errors Fmt Pagestore Ports Printf Server Store

@@ -1,0 +1,1 @@
+examples/kv_store.ml: Afs_core Afs_files Afs_util Btree Bytes Client Errors Fmt Gc Linear List Printf Server Store String

@@ -1,0 +1,1 @@
+examples/optical_archive.ml: Afs_core Afs_util Bytes Client Errors List Pagestore Printf Serialise Server Store String

@@ -1,0 +1,1 @@
+examples/optical_archive.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Afs_core Afs_util Bytes Client Errors Fmt Gc List Printf Server Store

@@ -1,0 +1,1 @@
+examples/source_control.ml: Afs_core Afs_naming Afs_util Bytes Client Directory Errors Fmt Gc List Printf Serialise Server Store String

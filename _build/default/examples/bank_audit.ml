@@ -1,0 +1,136 @@
+(* Super-files and the §5.3 locking mechanism: a bank with an auditor.
+
+   Run with:  dune exec examples/bank_audit.exe
+
+   Each branch is a small file (accounts = pages) living under one bank
+   super-file. Transfers are one-branch optimistic updates. The auditor
+   periodically takes a super-file update across every branch — the top
+   and inner locks give it an exclusive, consistent snapshot while
+   branches it has not reached yet keep committing transfers.
+
+   The run also crashes one auditor mid-audit to show §5.3 recovery: the
+   waiter finds the dead port and clears the abandoned locks; no rollback
+   happens anywhere. *)
+
+open Afs_core
+module P = Afs_util.Pagepath
+module Xrng = Afs_util.Xrng
+
+let ok = function Ok v -> v | Error e -> failwith (Errors.to_string e)
+let bytes = Bytes.of_string
+
+let branches = 4
+let accounts = 8
+let initial_balance = 1000
+
+let encode n = bytes (string_of_int n)
+let decode b = int_of_string (Bytes.to_string b)
+
+let read_balance srv branch acct =
+  let cur = ok (Server.current_version srv branch) in
+  decode (ok (Server.read_page srv cur (P.of_list [ acct ])))
+
+let transfer srv branch ~from_acct ~to_acct ~amount =
+  let rec attempt n =
+    if n > 16 then failwith "transfer starved"
+    else
+      match Server.create_version srv branch with
+      | Error (Errors.Locked_out _) -> `Blocked_by_audit
+      | Error e -> failwith (Errors.to_string e)
+      | Ok v -> (
+          let get p = decode (ok (Server.read_page srv v (P.of_list [ p ]))) in
+          let put p x = ok (Server.write_page srv v (P.of_list [ p ]) (encode x)) in
+          put from_acct (get from_acct - amount);
+          put to_acct (get to_acct + amount);
+          match Server.commit srv v with
+          | Ok () -> `Done
+          | Error Errors.Conflict -> attempt (n + 1)
+          | Error e -> failwith (Errors.to_string e))
+  in
+  attempt 1
+
+let () =
+  let store = Store.memory () in
+  let srv = Server.create store in
+  let rng = Xrng.create 2026 in
+
+  (* Build the branches and the bank super-file over them. *)
+  let branch_files =
+    Array.init branches (fun _ ->
+        let f = ok (Server.create_file srv ()) in
+        let v = ok (Server.create_version srv f) in
+        for a = 0 to accounts - 1 do
+          ignore
+            (ok
+               (Server.insert_page srv v ~parent:P.root ~index:a
+                  ~data:(encode initial_balance) ()))
+        done;
+        ok (Server.commit srv v);
+        f)
+  in
+  let bank = ok (Superfile.make srv ~subfiles:(Array.to_list branch_files) ~data:(bytes "bank") ()) in
+  let expected_total = branches * accounts * initial_balance in
+  Printf.printf "bank: %d branches x %d accounts, %d total\n" branches accounts expected_total;
+
+  (* Interleave transfers with an audit. *)
+  Printf.printf "\n-- audit holding branch 0 and 1, transfers elsewhere --\n";
+  let audit = ok (Superfile.begin_update srv bank) in
+  let audited = ref 0 in
+  let audit_branch idx =
+    let v = ok (Superfile.touch_subfile audit ~index:idx) in
+    for a = 0 to accounts - 1 do
+      audited := !audited + decode (ok (Server.read_page srv v (P.of_list [ a ])))
+    done
+  in
+  audit_branch 0;
+  audit_branch 1;
+  (* Transfers on audited branches are blocked; on the rest they flow. *)
+  (match transfer srv branch_files.(0) ~from_acct:0 ~to_acct:1 ~amount:10 with
+  | `Blocked_by_audit -> Printf.printf "transfer on audited branch 0: blocked (inner lock)\n"
+  | `Done -> Printf.printf "UNEXPECTED: transfer slipped past the audit\n");
+  let moved = ref 0 in
+  for _ = 1 to 50 do
+    let b = 2 + Xrng.int rng (branches - 2) in
+    let from_acct = Xrng.int rng accounts in
+    let to_acct = (from_acct + 1 + Xrng.int rng (accounts - 1)) mod accounts in
+    match transfer srv branch_files.(b) ~from_acct ~to_acct ~amount:(1 + Xrng.int rng 20) with
+    | `Done -> incr moved
+    | `Blocked_by_audit -> ()
+  done;
+  Printf.printf "transfers on unaudited branches during the audit: %d committed\n" !moved;
+  audit_branch 2;
+  audit_branch 3;
+  ok (Superfile.commit audit);
+  Printf.printf "audit read total: %d (consistent snapshot of its lock epoch)\n" !audited;
+
+  (* Verify conservation after everything. *)
+  let total = ref 0 in
+  Array.iter
+    (fun f ->
+      for a = 0 to accounts - 1 do
+        total := !total + read_balance srv f a
+      done)
+    branch_files;
+  Printf.printf "grand total now: %d (expected %d) -> %s\n" !total expected_total
+    (if !total = expected_total then "conserved" else "BROKEN");
+
+  (* Crash an auditor mid-flight and recover per §5.3. *)
+  Printf.printf "\n-- auditor crashes mid-audit --\n";
+  let doomed = ok (Superfile.begin_update srv bank) in
+  let _ = ok (Superfile.touch_subfile doomed ~index:0) in
+  Superfile.crash_holder doomed;
+  (match transfer srv branch_files.(0) ~from_acct:0 ~to_acct:1 ~amount:5 with
+  | `Done -> Printf.printf "dead inner lock ignored: transfer proceeds immediately\n"
+  | `Blocked_by_audit -> begin
+      match ok (Superfile.recover_abandoned srv bank) with
+      | Superfile.Cleared -> Printf.printf "waiter cleared the abandoned locks\n"
+      | _ -> Printf.printf "unexpected recovery outcome\n"
+    end);
+  (match ok (Superfile.recover_abandoned srv bank) with
+  | Superfile.Cleared -> Printf.printf "recovery: abandoned top lock cleared, no rollback\n"
+  | Superfile.No_lock -> Printf.printf "recovery: nothing left to clean\n"
+  | Superfile.Finished n -> Printf.printf "recovery: finished %d sub-commits\n" n
+  | Superfile.Holder_alive _ -> Printf.printf "recovery: holder alive?\n");
+  let next_audit = ok (Superfile.begin_update srv bank) in
+  ok (Superfile.abort next_audit);
+  Printf.printf "new audit can start: the bank is healthy\n"

@@ -1,0 +1,1 @@
+lib/baseline/tsorder.ml: Afs_util Bytes Hashtbl List

@@ -1,0 +1,1 @@
+lib/baseline/twopl.ml: Afs_util Bytes Hashtbl List

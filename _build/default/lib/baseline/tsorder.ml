@@ -1,0 +1,125 @@
+module Stats = Afs_util.Stats
+
+type version = { wts : int; mutable rts : int; data : bytes }
+
+(* Newest first. An implicit initial version (wts = 0, empty) exists for
+   every object. *)
+type history = { mutable versions : version list }
+
+type txn = {
+  ts : int;
+  mutable active : bool;
+  mutable buffered : (int * bytes) list;  (** Reverse write order. *)
+}
+
+type t = {
+  objects : (int, history) Hashtbl.t;
+  counters : Stats.Counter.t;
+  mutable next_ts : int;
+}
+
+let create () = { objects = Hashtbl.create 1024; counters = Stats.Counter.create (); next_ts = 1 }
+
+let bump t name = Stats.Counter.incr t.counters name
+
+let begin_ t =
+  let txn = { ts = t.next_ts; active = true; buffered = [] } in
+  t.next_ts <- t.next_ts + 1;
+  bump t "txn.begun";
+  txn
+
+let timestamp_of txn = txn.ts
+let is_active txn = txn.active
+
+let history_of t obj =
+  match Hashtbl.find_opt t.objects obj with
+  | Some h -> h
+  | None ->
+      let h = { versions = [ { wts = 0; rts = 0; data = Bytes.empty } ] } in
+      Hashtbl.replace t.objects obj h;
+      h
+
+(* The committed version current at [ts]: the one with the largest write
+   timestamp not exceeding it. *)
+let version_at h ts = List.find_opt (fun v -> v.wts <= ts) h.versions
+
+let read t txn ~obj =
+  assert txn.active;
+  (* Read-your-own-writes from the buffer first. *)
+  match List.assoc_opt obj txn.buffered with
+  | Some data ->
+      bump t "op.read";
+      Ok (Bytes.copy data)
+  | None -> (
+      let h = history_of t obj in
+      match version_at h txn.ts with
+      | None -> Error `Late_read
+      | Some v ->
+          if txn.ts > v.rts then v.rts <- txn.ts;
+          bump t "op.read";
+          Ok (Bytes.copy v.data))
+
+(* A write at [ts] is too late when some transaction with a timestamp
+   greater than [ts] has already read the version this write would have
+   superseded. *)
+let write_allowed h ts =
+  match version_at h ts with
+  | None -> Error (`Late_write 0)
+  | Some v -> if v.rts > ts then Error (`Late_write v.rts) else Ok ()
+
+let write t txn ~obj data =
+  assert txn.active;
+  let h = history_of t obj in
+  match write_allowed h txn.ts with
+  | Error e ->
+      bump t "op.write_late";
+      Error e
+  | Ok () ->
+      txn.buffered <- (obj, Bytes.copy data) :: txn.buffered;
+      bump t "op.write";
+      Ok ()
+
+let abort t txn =
+  if txn.active then begin
+    txn.active <- false;
+    bump t "txn.aborted"
+  end
+
+let install h ts data =
+  let newer, older = List.partition (fun v -> v.wts > ts) h.versions in
+  h.versions <- newer @ ({ wts = ts; rts = ts; data = Bytes.copy data } :: older)
+
+let commit t txn =
+  assert txn.active;
+  (* Revalidate every buffered write: read stamps may have advanced. *)
+  let writes = List.rev txn.buffered in
+  let rec check = function
+    | [] -> Ok ()
+    | (obj, _) :: rest -> (
+        match write_allowed (history_of t obj) txn.ts with
+        | Error e -> Error e
+        | Ok () -> check rest)
+  in
+  match check writes with
+  | Error e ->
+      abort t txn;
+      bump t "txn.late_at_commit";
+      Error e
+  | Ok () ->
+      List.iter (fun (obj, data) -> install (history_of t obj) txn.ts data) writes;
+      txn.active <- false;
+      bump t "txn.committed";
+      Ok ()
+
+let value t ~obj =
+  let h = history_of t obj in
+  match h.versions with v :: _ -> Bytes.copy v.data | [] -> Bytes.empty
+
+let versions_retained t ~obj = List.length (history_of t obj).versions
+
+let truncate_history t ~keep =
+  Hashtbl.iter
+    (fun _ h -> h.versions <- List.filteri (fun i _ -> i < keep) h.versions)
+    t.objects
+
+let stats t = Stats.Counter.to_list t.counters

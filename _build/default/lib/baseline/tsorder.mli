@@ -1,0 +1,45 @@
+(** A SWALLOW-style multiversion timestamp-ordering store (paper §3:
+    Reed 1978/1981) — the second comparison baseline.
+
+    Every transaction is stamped with a pseudo-time at [begin_]; every
+    object keeps a history of committed versions, each with its write
+    timestamp and the largest read timestamp that observed it. Reads at
+    time [ts] return the version current at [ts] and advance its read
+    stamp; a write at [ts] aborts if a transaction with a later timestamp
+    already read the state the write would supersede (a "late write").
+    Writes are buffered and installed at commit, which revalidates.
+
+    Unlike locking there is no waiting — conflicts abort immediately — and
+    unlike the optimistic scheme the abort can strike on first touch even
+    when a redo would have been cheap. *)
+
+type t
+
+type txn
+
+val create : unit -> t
+
+val begin_ : t -> txn
+val timestamp_of : txn -> int
+val is_active : txn -> bool
+
+val read : t -> txn -> obj:int -> (bytes, [ `Late_read ]) result
+(** Never fails in basic MVTO (a read always finds a version — empty bytes
+    before the first write); the error case is reserved for bounded
+    history: reading earlier than the oldest retained version. *)
+
+val write : t -> txn -> obj:int -> bytes -> (unit, [ `Late_write of int ]) result
+(** [`Late_write rts] reports the read timestamp that killed it. *)
+
+val commit : t -> txn -> (unit, [ `Late_write of int ]) result
+val abort : t -> txn -> unit
+
+val value : t -> obj:int -> bytes
+(** Latest committed state. *)
+
+val versions_retained : t -> obj:int -> int
+
+val truncate_history : t -> keep:int -> unit
+(** Drop all but the newest [keep] versions of every object. *)
+
+val stats : t -> (string * int) list

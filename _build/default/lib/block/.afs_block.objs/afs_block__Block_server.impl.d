@@ -1,0 +1,1 @@
+lib/block/block_server.ml: Afs_disk Afs_util Fmt Hashtbl List

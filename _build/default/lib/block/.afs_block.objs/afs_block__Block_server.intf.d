@@ -1,0 +1,1 @@
+lib/block/block_server.mli: Afs_disk Afs_util Fmt

@@ -1,0 +1,1 @@
+lib/core/cache.ml: Afs_util Bytes Errors Hashtbl List Option Page Pagestore Serialise Server

@@ -1,0 +1,1 @@
+lib/core/client.ml: Afs_util Cache Errors Ports Server

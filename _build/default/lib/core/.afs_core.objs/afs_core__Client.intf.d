@@ -1,0 +1,1 @@
+lib/core/client.mli: Afs_util Cache Errors Server

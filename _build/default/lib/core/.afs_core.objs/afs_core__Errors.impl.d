@@ -1,0 +1,1 @@
+lib/core/errors.ml: Afs_util Fmt Result

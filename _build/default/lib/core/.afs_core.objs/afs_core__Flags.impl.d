@@ -1,0 +1,1 @@
+lib/core/flags.ml: Fmt List

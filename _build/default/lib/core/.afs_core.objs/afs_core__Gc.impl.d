@@ -1,0 +1,1 @@
+lib/core/gc.ml: Afs_sim Errors Flags Fmt Hashtbl List Page Pagestore Server Store

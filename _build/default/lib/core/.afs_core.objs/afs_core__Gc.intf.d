@@ -1,0 +1,1 @@
+lib/core/gc.mli: Afs_sim Errors Fmt Hashtbl Server

@@ -1,0 +1,1 @@
+lib/core/page.ml: Afs_util Array Bytes Flags Fmt Int64 Printf

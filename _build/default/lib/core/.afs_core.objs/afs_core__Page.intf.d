@@ -1,0 +1,1 @@
+lib/core/page.mli: Afs_util Flags Fmt

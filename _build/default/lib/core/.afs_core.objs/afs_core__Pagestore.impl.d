@@ -1,0 +1,1 @@
+lib/core/pagestore.ml: Errors Hashtbl List Page Store

@@ -1,0 +1,1 @@
+lib/core/pagestore.mli: Errors Page Store

@@ -1,0 +1,1 @@
+lib/core/ports.ml: Hashtbl

@@ -1,0 +1,1 @@
+lib/core/serialise.ml: Afs_util Array Bytes Errors Flags List Page Pagestore Printf Result

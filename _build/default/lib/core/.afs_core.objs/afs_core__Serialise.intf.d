@@ -1,0 +1,1 @@
+lib/core/serialise.mli: Afs_util Errors Pagestore

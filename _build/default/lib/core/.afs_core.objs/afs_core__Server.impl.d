@@ -1,0 +1,1 @@
+lib/core/server.ml: Afs_util Array Bytes Errors Flags Hashtbl List Option Page Pagestore Ports Result Serialise

@@ -1,0 +1,1 @@
+lib/core/server.mli: Afs_util Errors Flags Page Pagestore Ports Store

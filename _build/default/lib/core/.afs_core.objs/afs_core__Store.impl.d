@@ -1,0 +1,1 @@
+lib/core/store.ml: Afs_block Afs_disk Afs_stable Bytes Fmt Hashtbl List Printf Result

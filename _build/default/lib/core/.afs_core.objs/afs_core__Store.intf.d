@@ -1,0 +1,1 @@
+lib/core/store.mli: Afs_block Afs_disk Afs_stable

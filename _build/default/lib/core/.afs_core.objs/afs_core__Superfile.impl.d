@@ -1,0 +1,1 @@
+lib/core/superfile.ml: Afs_util Array Bytes Errors Flags List Page Pagestore Ports Server

@@ -1,0 +1,1 @@
+lib/core/superfile.mli: Afs_util Errors Server

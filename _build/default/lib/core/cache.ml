@@ -1,0 +1,128 @@
+module Pagepath = Afs_util.Pagepath
+module Capability = Afs_util.Capability
+
+open Errors
+
+module Flag_cache = struct
+  type t = (int, Pagepath.t list) Hashtbl.t
+
+  let create () : t = Hashtbl.create 64
+
+  let write_set t server ~version_block =
+    match Hashtbl.find_opt t version_block with
+    | Some paths -> Ok paths
+    | None ->
+        let* paths = Serialise.written_paths (Server.pagestore server) ~version:version_block in
+        Hashtbl.replace t version_block paths;
+        Ok paths
+
+  let entries t = Hashtbl.length t
+end
+
+type validation = {
+  current_block : int;
+  invalid : Pagepath.t list;
+  versions_walked : int;
+  pages_examined : int;
+}
+
+let server_validate ?flag_cache server ~file ~basis_block =
+  let ps = Server.pagestore server in
+  let* current_block = Server.current_block_of_file server file in
+  if current_block = basis_block then
+    (* The common unshared-file case: a null operation. *)
+    Ok { current_block; invalid = []; versions_walked = 0; pages_examined = 0 }
+  else begin
+    let write_set_of vb =
+      match flag_cache with
+      | Some fc -> Flag_cache.write_set fc server ~version_block:vb
+      | None -> Serialise.written_paths ps ~version:vb
+    in
+    (* Walk forward from the basis to the current version, accumulating the
+       write sets of every intervening commit. *)
+    let rec walk block acc walked examined =
+      if block = current_block then Ok (acc, walked, examined)
+      else
+        let* page = Pagestore.read ps block in
+        match page.Page.header.Page.commit_ref with
+        | None ->
+            (* Chain ended before reaching current: basis not on the chain. *)
+            Ok ([ Pagepath.root ], walked, examined)
+        | Some next ->
+            let* paths = write_set_of next in
+            walk next (List.rev_append paths acc) (walked + 1) (examined + List.length paths)
+    in
+    match Pagestore.read ps basis_block with
+    | Error _ ->
+        (* Basis pruned by the GC: discard everything. *)
+        Ok
+          {
+            current_block;
+            invalid = [ Pagepath.root ];
+            versions_walked = 0;
+            pages_examined = 0;
+          }
+    | Ok _ ->
+        let* invalid, versions_walked, pages_examined = walk basis_block [] 0 0 in
+        let invalid = List.sort_uniq Pagepath.compare invalid in
+        Ok { current_block; invalid; versions_walked; pages_examined }
+  end
+
+(* {2 Client side} *)
+
+type file_entry = { mutable basis_block : int; pages : (Pagepath.t, bytes) Hashtbl.t }
+
+type t = { server : Server.t; files : (int, file_entry) Hashtbl.t }
+
+let create server = { server; files = Hashtbl.create 16 }
+
+let entry_for t file_obj basis =
+  match Hashtbl.find_opt t.files file_obj with
+  | Some e when e.basis_block = basis -> e
+  | Some e ->
+      e.basis_block <- basis;
+      Hashtbl.reset e.pages;
+      e
+  | None ->
+      let e = { basis_block = basis; pages = Hashtbl.create 32 } in
+      Hashtbl.replace t.files file_obj e;
+      e
+
+let put t ~file ~basis_block ~path ~data =
+  let e = entry_for t file.Capability.obj basis_block in
+  Hashtbl.replace e.pages path (Bytes.copy data)
+
+let get t ~file ~path =
+  match Hashtbl.find_opt t.files file.Capability.obj with
+  | None -> None
+  | Some e -> Option.map Bytes.copy (Hashtbl.find_opt e.pages path)
+
+let basis t ~file =
+  Option.map (fun e -> e.basis_block) (Hashtbl.find_opt t.files file.Capability.obj)
+
+let pages_cached t ~file =
+  match Hashtbl.find_opt t.files file.Capability.obj with
+  | None -> 0
+  | Some e -> Hashtbl.length e.pages
+
+let revalidate ?flag_cache t ~file =
+  match Hashtbl.find_opt t.files file.Capability.obj with
+  | None ->
+      let* current_block = Server.current_block_of_file t.server file in
+      ignore (entry_for t file.Capability.obj current_block);
+      Ok { current_block; invalid = []; versions_walked = 0; pages_examined = 0 }
+  | Some e ->
+      let* v = server_validate ?flag_cache t.server ~file ~basis_block:e.basis_block in
+      (* Drop each invalid path together with the subtree beneath it: a
+         restructured page invalidates every cached descendant. *)
+      List.iter
+        (fun bad ->
+          let doomed =
+            Hashtbl.fold
+              (fun p _ acc -> if Pagepath.is_prefix bad p then p :: acc else acc)
+              e.pages []
+          in
+          List.iter (Hashtbl.remove e.pages) doomed)
+        v.invalid;
+      e.basis_block <- v.current_block;
+      Ok v

@@ -1,0 +1,234 @@
+module Capability = Afs_util.Capability
+module Wire = Afs_util.Wire
+
+type ref_entry = { block : int; flags : Flags.t }
+
+type header = {
+  file_cap : Capability.t option;
+  version_cap : Capability.t option;
+  commit_ref : int option;
+  top_lock : int;
+  inner_lock : int;
+  parent_ref : int option;
+  base_ref : int option;
+  root_flags : Flags.t;
+}
+
+type t = { header : header; refs : ref_entry array; data : bytes }
+
+let nil_block = 0xFFFFFFF
+let max_block_number = nil_block - 1
+
+let plain_header =
+  {
+    file_cap = None;
+    version_cap = None;
+    commit_ref = None;
+    top_lock = 0;
+    inner_lock = 0;
+    parent_ref = None;
+    base_ref = None;
+    root_flags = Flags.clear;
+  }
+
+let empty = { header = plain_header; refs = [||]; data = Bytes.empty }
+
+let make_version_page ~file_cap ~version_cap ~base_ref ~parent_ref ~refs ~data =
+  {
+    header =
+      {
+        plain_header with
+        file_cap = Some file_cap;
+        version_cap = Some version_cap;
+        base_ref;
+        parent_ref;
+      };
+    refs;
+    data;
+  }
+
+let is_version_page t = t.header.file_cap <> None
+let nrefs t = Array.length t.refs
+let dsize t = Bytes.length t.data
+
+let get_ref t i =
+  if i < 0 || i >= Array.length t.refs then
+    Error (Printf.sprintf "reference index %d out of range (nrefs=%d)" i (Array.length t.refs))
+  else Ok t.refs.(i)
+
+let with_data t data = { t with data }
+let with_header t header = { t with header }
+let with_contents t ~refs ~data = { t with refs; data }
+
+let with_ref t i entry =
+  if i < 0 || i >= Array.length t.refs then Error "with_ref: index out of range"
+  else begin
+    let refs = Array.copy t.refs in
+    refs.(i) <- entry;
+    Ok { t with refs }
+  end
+
+let insert_ref t i entry =
+  let n = Array.length t.refs in
+  if i < 0 || i > n then Error "insert_ref: index out of range"
+  else begin
+    let refs =
+      Array.init (n + 1) (fun j ->
+          if j < i then t.refs.(j) else if j = i then entry else t.refs.(j - 1))
+    in
+    Ok { t with refs }
+  end
+
+let remove_ref t i =
+  let n = Array.length t.refs in
+  if i < 0 || i >= n then Error "remove_ref: index out of range"
+  else begin
+    let refs = Array.init (n - 1) (fun j -> if j < i then t.refs.(j) else t.refs.(j + 1)) in
+    Ok { t with refs }
+  end
+
+let record_access t i access =
+  match get_ref t i with
+  | Error _ as e -> e
+  | Ok entry -> with_ref t i { entry with flags = Flags.record entry.flags access }
+
+let clear_child_flags t =
+  { t with refs = Array.map (fun e -> { e with flags = Flags.clear }) t.refs }
+
+(* {2 Wire format} *)
+
+let magic = 0xAF5
+let format_version = 1
+
+let check_block_number b =
+  if b < 0 || b > max_block_number then
+    invalid_arg (Printf.sprintf "Page: block number %d out of 28-bit range" b)
+
+let encode_opt_block = function
+  | None -> nil_block
+  | Some b ->
+      check_block_number b;
+      b
+
+let decode_opt_block v = if v = nil_block then None else Some v
+
+let encode_cap w cap =
+  Wire.Writer.u64 w (Int64.of_int (Capability.port_to_int cap.Capability.port));
+  Wire.Writer.varint w cap.Capability.obj;
+  Wire.Writer.u8 w (Capability.rights_to_int cap.Capability.rights);
+  Wire.Writer.u32 w cap.Capability.check
+
+let decode_cap r =
+  let port = Capability.port_of_int (Int64.to_int (Wire.Reader.u64 r)) in
+  let obj = Wire.Reader.varint r in
+  let rights = Capability.rights_of_int (Wire.Reader.u8 r) in
+  let check = Wire.Reader.u32 r in
+  { Capability.port; obj; rights; check }
+
+let encode t =
+  let w = Wire.Writer.create ~capacity:(256 + Bytes.length t.data) () in
+  Wire.Writer.u16 w magic;
+  Wire.Writer.u8 w format_version;
+  let h = t.header in
+  (match (h.file_cap, h.version_cap) with
+  | Some fc, Some vc ->
+      Wire.Writer.u8 w 1;
+      encode_cap w fc;
+      encode_cap w vc;
+      Wire.Writer.u32 w (encode_opt_block h.commit_ref);
+      Wire.Writer.u64 w (Int64.of_int h.top_lock);
+      Wire.Writer.u64 w (Int64.of_int h.inner_lock);
+      Wire.Writer.u32 w (encode_opt_block h.parent_ref);
+      Wire.Writer.u8 w (Flags.to_nibble h.root_flags)
+  | None, None -> Wire.Writer.u8 w 0
+  | _ -> invalid_arg "Page.encode: version page must carry both capabilities");
+  Wire.Writer.u32 w (encode_opt_block h.base_ref);
+  Wire.Writer.varint w (Array.length t.refs);
+  Wire.Writer.varint w (Bytes.length t.data);
+  Array.iter
+    (fun e ->
+      check_block_number e.block;
+      Wire.Writer.u32 w ((e.block lsl 4) lor Flags.to_nibble e.flags))
+    t.refs;
+  Wire.Writer.bytes w t.data;
+  Wire.Writer.contents w
+
+let encoded_size t = Bytes.length (encode t)
+
+let decode image =
+  match
+    let r = Wire.Reader.of_bytes image in
+    if Wire.Reader.u16 r <> magic then Error "bad page magic"
+    else if Wire.Reader.u8 r <> format_version then Error "bad page format version"
+    else begin
+      let kind = Wire.Reader.u8 r in
+      let header =
+        if kind = 1 then begin
+          let file_cap = decode_cap r in
+          let version_cap = decode_cap r in
+          let commit_ref = decode_opt_block (Wire.Reader.u32 r) in
+          let top_lock = Int64.to_int (Wire.Reader.u64 r) in
+          let inner_lock = Int64.to_int (Wire.Reader.u64 r) in
+          let parent_ref = decode_opt_block (Wire.Reader.u32 r) in
+          match Flags.of_nibble (Wire.Reader.u8 r) with
+          | None -> Error "illegal root flag nibble"
+          | Some root_flags ->
+              Ok
+                {
+                  plain_header with
+                  file_cap = Some file_cap;
+                  version_cap = Some version_cap;
+                  commit_ref;
+                  top_lock;
+                  inner_lock;
+                  parent_ref;
+                  root_flags;
+                }
+        end
+        else if kind = 0 then Ok plain_header
+        else Error "bad page kind"
+      in
+      match header with
+      | Error _ as e -> e
+      | Ok header -> (
+          let base_ref = decode_opt_block (Wire.Reader.u32 r) in
+          let header = { header with base_ref } in
+          let nrefs = Wire.Reader.varint r in
+          let dsize = Wire.Reader.varint r in
+          let bad_nibble = ref false in
+          let refs =
+            Array.init nrefs (fun _ ->
+                let packed = Wire.Reader.u32 r in
+                match Flags.of_nibble (packed land 0xF) with
+                | Some flags -> { block = packed lsr 4; flags }
+                | None ->
+                    bad_nibble := true;
+                    { block = packed lsr 4; flags = Flags.clear })
+          in
+          if !bad_nibble then Error "illegal flag nibble in reference table"
+          else
+            let data = Wire.Reader.bytes r dsize in
+            let () = Wire.Reader.expect_end r in
+            Ok { header; refs; data })
+    end
+  with
+  | result -> result
+  | exception Wire.Decode_error msg -> Error ("page decode: " ^ msg)
+
+let version_header_bytes = (2 * (8 + 3 + 1 + 4)) + 4 + 8 + 8 + 4 + 1
+let fixed_bytes = 2 + 1 + 1 + 4 + 3 + 3
+
+let data_capacity ~block_size ~nrefs ~is_version =
+  block_size - fixed_bytes - (is_version * version_header_bytes) - (4 * nrefs)
+
+let pp ppf t =
+  let h = t.header in
+  Fmt.pf ppf "@[<v>page%s nrefs=%d dsize=%d base=%a commit=%a root=%a@,refs: %a@]"
+    (if is_version_page t then "(version)" else "")
+    (nrefs t) (dsize t)
+    Fmt.(option ~none:(any "nil") int)
+    h.base_ref
+    Fmt.(option ~none:(any "nil") int)
+    h.commit_ref Flags.pp h.root_flags
+    Fmt.(array ~sep:sp (fun ppf e -> Fmt.pf ppf "%d:%a" e.block Flags.pp e.flags))
+    t.refs

@@ -1,0 +1,97 @@
+(** Pages: the unit the file service stores and the shape of Figure 3.
+
+    A page has a header area (maintained by servers, invisible to clients)
+    and the page proper: a reference table of child pages — each entry a
+    28-bit block number plus the four-bit C/R/W/S/M encoding — and a
+    variable-size client data area. Version pages (the roots of version
+    trees) additionally carry the file and version capabilities, the
+    commit reference, the top and inner lock fields and the parent
+    reference. All pages carry a base reference, the block they were
+    copied from.
+
+    One engineering addition to Figure 3: the version page records the
+    root page's own access flags ([root_flags]). The paper keeps them "in
+    the managing server" but also notes (§5.4) that the flags must be
+    present in the files themselves for crash recovery; persisting them in
+    the version page satisfies both.
+
+    Pages are immutable values; updates return new pages. The server layer
+    decides which block a page image is written to. *)
+
+type ref_entry = { block : int; flags : Flags.t }
+
+type header = {
+  file_cap : Afs_util.Capability.t option;  (** Version pages only. *)
+  version_cap : Afs_util.Capability.t option;  (** Version pages only. *)
+  commit_ref : int option;
+      (** Version pages: block of the successor committed version; [None]
+          means this is the current version. *)
+  top_lock : int;  (** 0 when clear, else the holding update's port. *)
+  inner_lock : int;
+  parent_ref : int option;
+      (** Version pages: block of the enclosing super-file's version page. *)
+  base_ref : int option;  (** Block this page was copied from. *)
+  root_flags : Flags.t;  (** Access flags of the root page itself. *)
+}
+
+type t = private { header : header; refs : ref_entry array; data : bytes }
+
+val max_block_number : int
+(** 2^28 - 2; the all-ones 28-bit pattern encodes "nil". *)
+
+val empty : t
+(** A non-version page with no refs and no data. *)
+
+val make_version_page :
+  file_cap:Afs_util.Capability.t ->
+  version_cap:Afs_util.Capability.t ->
+  base_ref:int option ->
+  parent_ref:int option ->
+  refs:ref_entry array ->
+  data:bytes ->
+  t
+
+val is_version_page : t -> bool
+val nrefs : t -> int
+val dsize : t -> int
+
+val get_ref : t -> int -> (ref_entry, string) result
+
+(** {2 Functional updates} *)
+
+val with_data : t -> bytes -> t
+val with_header : t -> header -> t
+
+val with_contents : t -> refs:ref_entry array -> data:bytes -> t
+(** Replace both the reference table and the data (the merge pass uses
+    this to build combined pages). *)
+
+val with_ref : t -> int -> ref_entry -> (t, string) result
+(** Replace the entry at an existing index. *)
+
+val insert_ref : t -> int -> ref_entry -> (t, string) result
+(** Insert at index [0..nrefs]; later entries shift right. *)
+
+val remove_ref : t -> int -> (t, string) result
+
+val record_access : t -> int -> Flags.access -> (t, string) result
+(** Fold an access into the flags of the entry at the index. *)
+
+val clear_child_flags : t -> t
+(** Reset every entry's flags to {!Flags.clear}: done when a page is first
+    copied into a new version. *)
+
+(** {2 Wire format} *)
+
+val encoded_size : t -> int
+
+val encode : t -> bytes
+
+val decode : bytes -> (t, string) result
+(** Rejects bad magic, illegal flag nibbles and truncation. *)
+
+val data_capacity : block_size:int -> nrefs:int -> is_version:int -> int
+(** Bytes of client data that fit in a page with that many references
+    ([is_version] is 1 for version pages, 0 otherwise). *)
+
+val pp : t Fmt.t

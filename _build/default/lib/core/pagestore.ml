@@ -1,0 +1,116 @@
+type entry = { page : Page.t; dirty : bool }
+
+type t = {
+  store : Store.t;
+  cache_enabled : bool;
+  cache : (int, entry) Hashtbl.t;
+  mutable dirty_total : int;
+}
+
+let create ?(cache = true) store =
+  { store; cache_enabled = cache; cache = Hashtbl.create 1024; dirty_total = 0 }
+
+let store t = t.store
+let page_size_limit t = t.store.Store.block_size
+
+let allocate t =
+  match t.store.Store.allocate () with
+  | Ok b -> Ok b
+  | Error msg -> Error (Errors.Store_failure msg)
+
+let free t b =
+  Hashtbl.remove t.cache b;
+  ignore (t.store.Store.free b)
+
+let read t b =
+  match Hashtbl.find_opt t.cache b with
+  | Some { page; _ } -> Ok page
+  | None -> (
+      match t.store.Store.read b with
+      | Error msg -> Error (Errors.Store_failure msg)
+      | Ok image -> (
+          match Page.decode image with
+          | Error msg -> Error (Errors.Store_failure msg)
+          | Ok page ->
+              if t.cache_enabled then Hashtbl.replace t.cache b { page; dirty = false };
+              Ok page))
+
+let check_size t page =
+  let bytes = Page.encoded_size page in
+  if bytes > page_size_limit t then
+    Error (Errors.Page_too_large { bytes; limit = page_size_limit t })
+  else Ok bytes
+
+let store_write t b page =
+  match t.store.Store.write b (Page.encode page) with
+  | Ok () -> Ok ()
+  | Error msg -> Error (Errors.Store_failure msg)
+
+let write t b page =
+  match check_size t page with
+  | Error _ as e -> e
+  | Ok _ ->
+      if not t.cache_enabled then store_write t b page
+      else begin
+        (match Hashtbl.find_opt t.cache b with
+        | Some { dirty = true; _ } -> ()
+        | Some { dirty = false; _ } | None -> t.dirty_total <- t.dirty_total + 1);
+        Hashtbl.replace t.cache b { page; dirty = true };
+        Ok ()
+      end
+
+let write_through t b page =
+  match check_size t page with
+  | Error _ as e -> e
+  | Ok _ -> (
+      match store_write t b page with
+      | Error _ as e -> e
+      | Ok () ->
+          (match Hashtbl.find_opt t.cache b with
+          | Some { dirty = true; _ } -> t.dirty_total <- t.dirty_total - 1
+          | _ -> ());
+          if t.cache_enabled then Hashtbl.replace t.cache b { page; dirty = false };
+          Ok ())
+
+let flush_block t b =
+  match Hashtbl.find_opt t.cache b with
+  | Some { page; dirty = true } -> (
+      match store_write t b page with
+      | Error _ as e -> e
+      | Ok () ->
+          Hashtbl.replace t.cache b { page; dirty = false };
+          t.dirty_total <- t.dirty_total - 1;
+          Ok ())
+  | Some { dirty = false; _ } | None -> Ok ()
+
+let flush t =
+  let dirty_blocks =
+    Hashtbl.fold (fun b { dirty; _ } acc -> if dirty then b :: acc else acc) t.cache []
+  in
+  (* Deterministic order keeps simulated costs reproducible. *)
+  let dirty_blocks = List.sort compare dirty_blocks in
+  let rec go = function
+    | [] -> Ok ()
+    | b :: rest -> ( match flush_block t b with Ok () -> go rest | Error _ as e -> e)
+  in
+  go dirty_blocks
+
+let dirty_count t = t.dirty_total
+
+let lock t b = t.store.Store.lock b
+let unlock t b = t.store.Store.unlock b
+
+let drop_volatile t =
+  Hashtbl.reset t.cache;
+  t.dirty_total <- 0
+
+let refresh t b =
+  match Hashtbl.find_opt t.cache b with
+  | Some { dirty = true; _ } -> () (* Our own pending write is authoritative. *)
+  | Some { dirty = false; _ } | None -> Hashtbl.remove t.cache b
+
+let invalidate t b =
+  (match Hashtbl.find_opt t.cache b with
+  | Some { dirty = true; _ } -> t.dirty_total <- t.dirty_total - 1
+  | _ -> ());
+  Hashtbl.remove t.cache b

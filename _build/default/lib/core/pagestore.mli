@@ -1,0 +1,53 @@
+(** Typed page access over a {!Store.t}, with a write-back page cache.
+
+    The paper notes (§5.4) that the page cache "does not have to be a
+    write-through cache": pages written in a version need not reach stable
+    storage until just before commit. This module implements exactly that:
+    {!write} updates the cache and marks the block dirty; {!flush} makes
+    everything durable; the commit path calls {!flush} first, and crash
+    simulation calls {!drop_volatile} to lose whatever was not flushed. *)
+
+type t
+
+val create : ?cache:bool -> Store.t -> t
+(** [cache:false] makes every write write-through and every read hit the
+    store — the ablation baseline. *)
+
+val store : t -> Store.t
+
+val page_size_limit : t -> int
+(** The store's block size, which by §5 is at most 32K: a page must fit in
+    one atomic transaction message. *)
+
+val allocate : t -> (int, Errors.t) result
+val free : t -> int -> unit
+
+val read : t -> int -> (Page.t, Errors.t) result
+
+val write : t -> int -> Page.t -> (unit, Errors.t) result
+(** Cached, deferred write. Fails with [Page_too_large] if the encoded
+    page exceeds the block size. *)
+
+val write_through : t -> int -> Page.t -> (unit, Errors.t) result
+(** Immediately durable (used for version pages in the commit path). *)
+
+val flush : t -> (unit, Errors.t) result
+val flush_block : t -> int -> (unit, Errors.t) result
+
+val dirty_count : t -> int
+
+val lock : t -> int -> bool
+val unlock : t -> int -> unit
+
+val drop_volatile : t -> unit
+(** Forget the cache, clean and dirty alike: simulates a server crash.
+    Unflushed writes are lost, exactly as the paper intends for
+    uncommitted versions. *)
+
+val invalidate : t -> int -> unit
+(** Drop one block from the cache (used after another server wrote it). *)
+
+val refresh : t -> int -> unit
+(** Like {!invalidate} but keeps a dirty (locally written, unflushed)
+    entry: used before re-examining a commit reference that another
+    server may have set. *)

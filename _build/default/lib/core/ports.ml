@@ -1,0 +1,13 @@
+type t = { live : (int, unit) Hashtbl.t; mutable next : int }
+
+let create () = { live = Hashtbl.create 64; next = 1 }
+
+let fresh t =
+  let port = t.next in
+  t.next <- t.next + 1;
+  Hashtbl.replace t.live port ();
+  port
+
+let kill t port = Hashtbl.remove t.live port
+
+let alive t port = port <> 0 && Hashtbl.mem t.live port

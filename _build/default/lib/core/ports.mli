@@ -1,0 +1,23 @@
+(** Update ports and their liveness (paper §5.3).
+
+    "Locks are made of ports": the top/inner lock fields of a version page
+    hold the port of the update that set them. A port is backed by the
+    updating process's transaction state, so when that process crashes,
+    the port dies with it — which is what lets a waiting server decide
+    whether a lock is live or abandoned without any timeout protocol.
+
+    A registry instance models one system's port space; crash injection
+    kills ports. *)
+
+type t
+
+val create : unit -> t
+
+val fresh : t -> int
+(** A new live port (never 0, which is the cleared-lock value). *)
+
+val kill : t -> int -> unit
+(** The owning process crashed; the port is dead from now on. *)
+
+val alive : t -> int -> bool
+(** True for live ports. 0 (no lock) and unknown ports are dead. *)

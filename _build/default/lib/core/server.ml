@@ -1,0 +1,694 @@
+module Capability = Afs_util.Capability
+module Pagepath = Afs_util.Pagepath
+module Stats = Afs_util.Stats
+
+open Errors
+
+type version_status = Uncommitted | Committed | Aborted
+
+type page_info = { nrefs : int; dsize : int; child_flags : Flags.t array }
+
+type version_record = { vblock : int; file_obj : int; mutable status : version_status }
+
+type file_record = {
+  file_obj : int;  (** Even-numbered object: 2 * first version block. *)
+  mutable current_hint : int;
+  mutable oldest_hint : int;  (** Oldest retained committed version. *)
+  mutable uncommitted : int list;  (** Version-page blocks. *)
+}
+
+type t = {
+  ps : Pagestore.t;
+  secret : Capability.secret;
+  server_port : Capability.port;
+  port_registry : Ports.t;
+  files : (int, file_record) Hashtbl.t;
+  versions : (int, version_record) Hashtbl.t;  (** Keyed by version block. *)
+  (* File objects explicitly destroyed: lazy learning must not resurrect
+     them from their still-on-disk pages before the GC sweeps. *)
+  destroyed : (int, unit) Hashtbl.t;
+  counters : Stats.Counter.t;
+}
+
+let create ?(page_cache = true) ?(seed = 0xA40EBA) ?ports store =
+  let port_registry = match ports with Some p -> p | None -> Ports.create () in
+  {
+    ps = Pagestore.create ~cache:page_cache store;
+    secret = Capability.secret_of_seed seed;
+    server_port = Capability.port_of_int (seed land 0xFFFFFFFFFFFF);
+    port_registry;
+    files = Hashtbl.create 64;
+    versions = Hashtbl.create 256;
+    destroyed = Hashtbl.create 8;
+    counters = Stats.Counter.create ();
+  }
+
+let pagestore t = t.ps
+let ports t = t.port_registry
+let port t = t.server_port
+let counters t = t.counters
+let bump ?by t name = Stats.Counter.incr ?by t.counters name
+
+(* {2 Capabilities}
+
+   Object numbers share one space: a file is 2*(first version block), a
+   version is 2*(version block)+1, so the two kinds cannot be confused. *)
+
+let file_obj_of_block b = 2 * b
+let version_obj_of_block b = (2 * b) + 1
+
+let mint_file_cap t first_block =
+  Capability.mint t.secret ~port:t.server_port ~obj:(file_obj_of_block first_block)
+    ~rights:Capability.rights_all
+
+let mint_version_cap ?(rights = Capability.rights_all) t vblock =
+  Capability.mint t.secret ~port:t.server_port ~obj:(version_obj_of_block vblock) ~rights
+
+let validate_cap t cap ~need =
+  if
+    Capability.validate t.secret cap
+    && Capability.port_to_int cap.Capability.port = Capability.port_to_int t.server_port
+    && Capability.rights_subset need cap.Capability.rights
+  then Ok ()
+  else Error Invalid_capability
+
+(* Like versions, files can be learned lazily from the store: the file
+   capability's object number is derived from its first version block. *)
+let learn_file t cap =
+  let first = cap.Capability.obj / 2 in
+  if Hashtbl.mem t.destroyed cap.Capability.obj then Error (No_such_file cap.Capability.obj)
+  else
+  match Pagestore.read t.ps first with
+  | Error _ -> Error (No_such_file cap.Capability.obj)
+  | Ok page ->
+      (match page.Page.header.Page.file_cap with
+      | Some fc when fc.Capability.obj = cap.Capability.obj ->
+          let f =
+            {
+              file_obj = cap.Capability.obj;
+              current_hint = first;
+              oldest_hint = first;
+              uncommitted = [];
+            }
+          in
+          Hashtbl.replace t.files cap.Capability.obj f;
+          Ok f
+      | _ -> Error (No_such_file cap.Capability.obj))
+
+let find_file t cap ~need =
+  let* () = validate_cap t cap ~need in
+  let obj = cap.Capability.obj in
+  if obj land 1 = 1 then Error Invalid_capability
+  else
+    match Hashtbl.find_opt t.files obj with
+    | Some f -> Ok f
+    | None -> learn_file t cap
+
+(* A server can be handed a capability for a version another server
+   created: any server may serve any object on a store it reaches. Learn
+   such versions lazily from their on-disk version page. The version is
+   committed iff something points at it — its base's commit reference —
+   or it is a chain root; anything else is some client's in-flight
+   update. *)
+let learn_version t cap =
+  let vblock = cap.Capability.obj / 2 in
+  match Pagestore.read t.ps vblock with
+  | Error _ -> Error (No_such_version cap.Capability.obj)
+  | Ok page ->
+      (match (page.Page.header.Page.version_cap, page.Page.header.Page.file_cap) with
+      | Some vc, Some fc
+        when vc.Capability.obj = cap.Capability.obj
+             && not (Hashtbl.mem t.destroyed fc.Capability.obj) ->
+          let committed =
+            page.Page.header.Page.commit_ref <> None
+            ||
+            match page.Page.header.Page.base_ref with
+            | None -> true
+            | Some base -> (
+                match Pagestore.read t.ps base with
+                | Ok bpage -> bpage.Page.header.Page.commit_ref = Some vblock
+                | Error _ -> false)
+          in
+          let v =
+            {
+              vblock;
+              file_obj = fc.Capability.obj;
+              status = (if committed then Committed else Uncommitted);
+            }
+          in
+          Hashtbl.replace t.versions vblock v;
+          if not (Hashtbl.mem t.files fc.Capability.obj) then
+            Hashtbl.replace t.files fc.Capability.obj
+              {
+                file_obj = fc.Capability.obj;
+                current_hint = vblock;
+                oldest_hint = vblock;
+                uncommitted = [];
+              };
+          Ok v
+      | _ -> Error (No_such_version cap.Capability.obj))
+
+let find_version t cap ~need =
+  let* () = validate_cap t cap ~need in
+  let obj = cap.Capability.obj in
+  if obj land 1 = 0 then Error Invalid_capability
+  else
+    match Hashtbl.find_opt t.versions (obj / 2) with
+    | Some v -> Ok v
+    | None -> learn_version t cap
+
+(* {2 Page plumbing} *)
+
+let read_pg t b = Pagestore.read t.ps b
+let write_pg t b p = Pagestore.write t.ps b p
+
+let lift_page_err path r = Result.map_error (fun _ -> Bad_path path) r
+
+(* Follow commit references to the newest committed version. Commit
+   references are written in place, possibly by another server sharing
+   the store, so a cached version page claiming to be current must be
+   re-read from the store before we believe it ("the integrity of the
+   cache is checked at the start of a transaction", §3.1). *)
+let rec chase_current t block =
+  let* page = read_pg t block in
+  match page.Page.header.Page.commit_ref with
+  | Some successor -> chase_current t successor
+  | None -> (
+      Pagestore.refresh t.ps block;
+      let* page = read_pg t block in
+      match page.Page.header.Page.commit_ref with
+      | None -> Ok block
+      | Some successor -> chase_current t successor)
+
+(* Record an access at a page's flag location: the version page's own
+   root-flags field for the root, the parent's reference entry otherwise. *)
+let record_access_at t ~vblock location access =
+  match location with
+  | None ->
+      let* page = read_pg t vblock in
+      let header = page.Page.header in
+      let root_flags = Flags.record header.Page.root_flags access in
+      if Flags.equal root_flags header.Page.root_flags then Ok ()
+      else write_pg t vblock (Page.with_header page { header with Page.root_flags })
+  | Some (pblock, index) ->
+      let* page = read_pg t pblock in
+      let* entry = lift_page_err Pagepath.root (Page.get_ref page index) in
+      let flags = Flags.record entry.Page.flags access in
+      if Flags.equal flags entry.Page.flags then Ok ()
+      else
+        let* page =
+          lift_page_err Pagepath.root (Page.with_ref page index { entry with Page.flags })
+        in
+        write_pg t pblock page
+
+(* Copy-on-write of the child at [index] of the page at [pblock]: allocate
+   a private block, store the child there with cleared grand-child flags
+   and a base reference to the shared original, and repoint the parent. *)
+let copy_child t pblock index (entry : Page.ref_entry) =
+  let* child = read_pg t entry.Page.block in
+  let* fresh = Pagestore.allocate t.ps in
+  let child = Page.clear_child_flags child in
+  let header = { child.Page.header with Page.base_ref = Some entry.Page.block } in
+  let child = Page.with_header child header in
+  let* () = write_pg t fresh child in
+  let* parent = read_pg t pblock in
+  let copied_entry =
+    { Page.block = fresh; flags = Flags.make ~copied:true () }
+  in
+  let copied_entry =
+    { copied_entry with Page.flags = Flags.union copied_entry.Page.flags entry.Page.flags }
+  in
+  let* parent = lift_page_err Pagepath.root (Page.with_ref parent index copied_entry) in
+  let* () = write_pg t pblock parent in
+  bump t "pages.copied";
+  Ok fresh
+
+(* Descend [path] from the version page at [vblock], copying every page on
+   the way (access implies copy, §5.1), recording S on each page whose
+   references are consulted and [access] on the target. Returns the
+   target's private block. *)
+let locate_for_access t vblock path access =
+  let rec descend location block = function
+    | [] ->
+        let* () = record_access_at t ~vblock location access in
+        Ok block
+    | index :: rest ->
+        let* () = record_access_at t ~vblock location Flags.Search in
+        let* page = read_pg t block in
+        (match Page.get_ref page index with
+        | Error _ ->
+            Error (Bad_index { path; index; nrefs = Page.nrefs page })
+        | Ok entry ->
+            let* child_block =
+              if entry.Page.flags.Flags.c then Ok entry.Page.block
+              else copy_child t block index entry
+            in
+            descend (Some (block, index)) child_block rest)
+  in
+  descend None vblock (Pagepath.to_list path)
+
+(* Plain traversal with no copying and no flag recording, for committed
+   versions (and introspection). *)
+let locate_plain t vblock path =
+  let rec descend block = function
+    | [] -> read_pg t block |> Result.map (fun page -> (block, page))
+    | index :: rest ->
+        let* page = read_pg t block in
+        (match Page.get_ref page index with
+        | Error _ -> Error (Bad_index { path; index; nrefs = Page.nrefs page })
+        | Ok entry -> descend entry.Page.block rest)
+  in
+  descend vblock (Pagepath.to_list path)
+
+(* {2 Files} *)
+
+let create_file t ?(data = Bytes.empty) () =
+  let* vb = Pagestore.allocate t.ps in
+  let file_cap = mint_file_cap t vb in
+  let version_cap = mint_version_cap t vb in
+  let page =
+    Page.make_version_page ~file_cap ~version_cap ~base_ref:None ~parent_ref:None
+      ~refs:[||] ~data
+  in
+  let* () = Pagestore.write_through t.ps vb page in
+  Hashtbl.replace t.files (file_obj_of_block vb)
+    { file_obj = file_obj_of_block vb; current_hint = vb; oldest_hint = vb; uncommitted = [] };
+  Hashtbl.replace t.versions vb
+    { vblock = vb; file_obj = file_obj_of_block vb; status = Committed };
+  bump t "files.created";
+  Ok file_cap
+
+let current_block_of_file t cap =
+  let* file = find_file t cap ~need:Capability.rights_none in
+  let* current = chase_current t file.current_hint in
+  file.current_hint <- current;
+  Ok current
+
+let current_version t cap =
+  let* () = validate_cap t cap ~need:Capability.right_read in
+  let* current = current_block_of_file t cap in
+  Ok (mint_version_cap ~rights:Capability.right_read t current)
+
+let committed_chain t cap =
+  let* file = find_file t cap ~need:Capability.rights_none in
+  let first = file.oldest_hint in
+  let rec walk block acc =
+    let* page = read_pg t block in
+    match page.Page.header.Page.commit_ref with
+    | None -> Ok (List.rev (block :: acc))
+    | Some successor -> walk successor (block :: acc)
+  in
+  walk first []
+
+let uncommitted_versions t cap =
+  let* file = find_file t cap ~need:Capability.rights_none in
+  Ok file.uncommitted
+
+(* {2 Versions} *)
+
+let create_version ?(respect_hints = false) ?(updater_port = 0) ?(holding_port = 0) t cap =
+  let* file = find_file t cap ~need:Capability.right_write in
+  let* current = current_block_of_file t cap in
+  let* cpage = read_pg t current in
+  let header = cpage.Page.header in
+  (* A live inner lock means an enclosing super-file update owns this
+     subtree: wait (here: fail; callers retry) — unless the caller is that
+     very update ([holding_port]). A dead lock is cleared per §5.3. *)
+  let* header =
+    if header.Page.inner_lock <> 0 && header.Page.inner_lock <> holding_port then
+      if Ports.alive t.port_registry header.Page.inner_lock then
+        Error (Locked_out { port = header.Page.inner_lock })
+      else Ok { header with Page.inner_lock = 0 }
+    else Ok header
+  in
+  let* header =
+    if respect_hints && header.Page.top_lock <> 0 then
+      if Ports.alive t.port_registry header.Page.top_lock then
+        Error (Locked_out { port = header.Page.top_lock })
+      else Ok { header with Page.top_lock = 0 }
+    else Ok header
+  in
+  (* Set the advisory top-lock hint. *)
+  let header =
+    if updater_port <> 0 then { header with Page.top_lock = updater_port } else header
+  in
+  let* () =
+    if header = cpage.Page.header then Ok ()
+    else Pagestore.write_through t.ps current (Page.with_header cpage header)
+  in
+  let* vb = Pagestore.allocate t.ps in
+  let version_cap = mint_version_cap t vb in
+  let* file_cap_stored =
+    match cpage.Page.header.Page.file_cap with
+    | Some fc -> Ok fc
+    | None -> Error (Store_failure "current version page lacks file capability")
+  in
+  let vpage =
+    Page.make_version_page ~file_cap:file_cap_stored ~version_cap ~base_ref:(Some current)
+      ~parent_ref:cpage.Page.header.Page.parent_ref
+      ~refs:(Array.map (fun e -> { e with Page.flags = Flags.clear }) cpage.Page.refs)
+      ~data:cpage.Page.data
+  in
+  let* () = write_pg t vb vpage in
+  Hashtbl.replace t.versions vb { vblock = vb; file_obj = file.file_obj; status = Uncommitted };
+  file.uncommitted <- vb :: file.uncommitted;
+  bump t "versions.created";
+  Ok version_cap
+
+let version_status t cap =
+  let* v = find_version t cap ~need:Capability.rights_none in
+  Ok v.status
+
+let version_block t cap =
+  let* v = find_version t cap ~need:Capability.rights_none in
+  Ok v.vblock
+
+let version_of_block t block =
+  match Hashtbl.find_opt t.versions block with
+  | Some v -> Ok (mint_version_cap t v.vblock)
+  | None -> Error (No_such_version (version_obj_of_block block))
+
+let file_of_version t cap =
+  let* v = find_version t cap ~need:Capability.rights_none in
+  let* page = read_pg t v.vblock in
+  match page.Page.header.Page.file_cap with
+  | Some fc -> Ok fc
+  | None -> Error (Store_failure "version page lacks file capability")
+
+(* Free the pages private to a version: copies (C set) found by descent,
+   then the version page itself. Shared pages (C clear) belong to the base
+   and survive. *)
+let free_private_pages t vblock =
+  let rec free_copies page =
+    Array.iter
+      (fun (e : Page.ref_entry) ->
+        if e.Page.flags.Flags.c then begin
+          (match read_pg t e.Page.block with Ok child -> free_copies child | Error _ -> ());
+          Pagestore.free t.ps e.Page.block
+        end)
+      page.Page.refs
+  in
+  (match read_pg t vblock with Ok page -> free_copies page | Error _ -> ());
+  Pagestore.free t.ps vblock
+
+let forget_uncommitted file vblock =
+  file.uncommitted <- List.filter (fun b -> b <> vblock) file.uncommitted
+
+let destroy_file t cap =
+  let* file = find_file t cap ~need:Capability.right_destroy in
+  (* Abort in-flight updates and free their private pages eagerly;
+     committed history is reclaimed by the next GC sweep once the file is
+     no longer a root. *)
+  List.iter
+    (fun vb ->
+      match Hashtbl.find_opt t.versions vb with
+      | Some v when v.status = Uncommitted ->
+          free_private_pages t vb;
+          v.status <- Aborted
+      | _ -> ())
+    file.uncommitted;
+  Hashtbl.iter
+    (fun vb (v : version_record) ->
+      if v.file_obj = file.file_obj then Hashtbl.remove t.versions vb)
+    (Hashtbl.copy t.versions);
+  Hashtbl.remove t.files file.file_obj;
+  Hashtbl.replace t.destroyed file.file_obj ();
+  bump t "files.destroyed";
+  Ok ()
+
+let abort_version t cap =
+  let* v = find_version t cap ~need:Capability.right_destroy in
+  match v.status with
+  | Committed | Aborted -> Error Version_not_mutable
+  | Uncommitted ->
+      (match Hashtbl.find_opt t.files v.file_obj with
+      | Some file -> forget_uncommitted file v.vblock
+      | None -> ());
+      free_private_pages t v.vblock;
+      v.status <- Aborted;
+      bump t "versions.aborted";
+      Ok ()
+
+(* {2 Page operations} *)
+
+let mutable_version t cap ~need =
+  let* v = find_version t cap ~need in
+  match v.status with Uncommitted -> Ok v | Committed | Aborted -> Error Version_not_mutable
+
+let read_page t cap path =
+  let* v = find_version t cap ~need:Capability.right_read in
+  match v.status with
+  | Uncommitted ->
+      let* block = locate_for_access t v.vblock path Flags.Read in
+      let* page = read_pg t block in
+      Ok (Bytes.copy page.Page.data)
+  | Committed | Aborted ->
+      let* _, page = locate_plain t v.vblock path in
+      Ok (Bytes.copy page.Page.data)
+
+let write_page t cap path data =
+  let* v = mutable_version t cap ~need:Capability.right_write in
+  let* block = locate_for_access t v.vblock path Flags.Write in
+  let* page = read_pg t block in
+  write_pg t block (Page.with_data page data)
+
+let page_info t cap path =
+  let* v = find_version t cap ~need:Capability.right_read in
+  let* _, page = locate_plain t v.vblock path in
+  Ok
+    {
+      nrefs = Page.nrefs page;
+      dsize = Page.dsize page;
+      child_flags = Array.map (fun (e : Page.ref_entry) -> e.Page.flags) page.Page.refs;
+    }
+
+let insert_page t cap ~parent ~index ?(data = Bytes.empty) () =
+  let* v = mutable_version t cap ~need:Capability.right_write in
+  let* pblock = locate_for_access t v.vblock parent Flags.Modify in
+  let* ppage = read_pg t pblock in
+  if index < 0 || index > Page.nrefs ppage then
+    Error (Bad_index { path = parent; index; nrefs = Page.nrefs ppage })
+  else
+    let* fresh = Pagestore.allocate t.ps in
+    let child = Page.with_data Page.empty data in
+    let* () = write_pg t fresh child in
+    (* A page that never existed in the base is private and written. *)
+    let flags = Flags.record (Flags.record Flags.clear Flags.Write) Flags.Search in
+    let entry = { Page.block = fresh; flags } in
+    let* ppage = lift_page_err parent (Page.insert_ref ppage index entry) in
+    let* () = write_pg t pblock ppage in
+    Ok (Pagepath.child parent index)
+
+let remove_page t cap ~parent ~index =
+  let* v = mutable_version t cap ~need:Capability.right_write in
+  let* pblock = locate_for_access t v.vblock parent Flags.Modify in
+  let* ppage = read_pg t pblock in
+  if index < 0 || index >= Page.nrefs ppage then
+    Error (Bad_index { path = parent; index; nrefs = Page.nrefs ppage })
+  else
+    let* ppage = lift_page_err parent (Page.remove_ref ppage index) in
+    write_pg t pblock ppage
+
+let move_page t cap ~src_parent ~src_index ~dst_parent ~dst_index =
+  let src_path = Pagepath.child src_parent src_index in
+  if Pagepath.is_prefix src_path dst_parent then
+    Error (Bad_path dst_parent)
+  else
+    let* v = mutable_version t cap ~need:Capability.right_write in
+    let* src_block = locate_for_access t v.vblock src_parent Flags.Modify in
+    let* src_page = read_pg t src_block in
+    let* entry = lift_page_err src_path (Page.get_ref src_page src_index) in
+    let* src_page = lift_page_err src_path (Page.remove_ref src_page src_index) in
+    let* () = write_pg t src_block src_page in
+    let* dst_block = locate_for_access t v.vblock dst_parent Flags.Modify in
+    let* dst_page = read_pg t dst_block in
+    if dst_index < 0 || dst_index > Page.nrefs dst_page then
+      Error (Bad_index { path = dst_parent; index = dst_index; nrefs = Page.nrefs dst_page })
+    else
+      let* dst_page = lift_page_err dst_parent (Page.insert_ref dst_page dst_index entry) in
+      write_pg t dst_block dst_page
+
+let split_page t cap ~path ~at =
+  match (Pagepath.parent path, Pagepath.last path) with
+  | None, _ | _, None -> Error (Bad_path path)
+  | Some parent, Some position ->
+      let* v = mutable_version t cap ~need:Capability.right_write in
+      (* Both the page (its references move out) and the parent (a sibling
+         appears) are explicit structure modifications. *)
+      let* target_block = locate_for_access t v.vblock path Flags.Modify in
+      let* target = read_pg t target_block in
+      let n = Page.nrefs target in
+      if at < 0 || at > n then Error (Bad_index { path; index = at; nrefs = n })
+      else begin
+        let moved = Array.sub target.Page.refs at (n - at) in
+        let kept = Array.sub target.Page.refs 0 at in
+        let target = Page.with_contents target ~refs:kept ~data:target.Page.data in
+        let* () = write_pg t target_block target in
+        let* sibling_block = Pagestore.allocate t.ps in
+        let sibling = Page.with_contents Page.empty ~refs:moved ~data:Bytes.empty in
+        let* () = write_pg t sibling_block sibling in
+        let* pblock = locate_for_access t v.vblock parent Flags.Modify in
+        let* ppage = read_pg t pblock in
+        (* The sibling never existed in the base: private and written. *)
+        let flags = Flags.record (Flags.record Flags.clear Flags.Write) Flags.Modify in
+        let entry = { Page.block = sibling_block; flags } in
+        let* ppage = lift_page_err parent (Page.insert_ref ppage (position + 1) entry) in
+        let* () = write_pg t pblock ppage in
+        bump t "pages.split";
+        Ok (Pagepath.child parent (position + 1))
+      end
+
+(* {2 Commit (§5.2)} *)
+
+let acquire_commit_lock t block =
+  (* The critical section is a handful of in-memory operations; contention
+     can only come from another server physically sharing the store, so a
+     bounded spin suffices in this single-threaded harness. *)
+  let rec spin n =
+    if Pagestore.lock t.ps block then Ok ()
+    else if n = 0 then Error (Store_failure "commit lock contention")
+    else spin (n - 1)
+  in
+  spin 1024
+
+let finish_commit t v =
+  v.status <- Committed;
+  (match Hashtbl.find_opt t.files v.file_obj with
+  | Some file ->
+      file.current_hint <- v.vblock;
+      forget_uncommitted file v.vblock
+  | None -> ());
+  bump t "commits.ok"
+
+let commit t cap =
+  let* v = mutable_version t cap ~need:Capability.right_commit in
+  (* "First it ascertains that all of V.b's pages are safely on disk." *)
+  let* () = Pagestore.flush t.ps in
+  let vb = v.vblock in
+  let* vpage = read_pg t vb in
+  let* base0 =
+    match vpage.Page.header.Page.base_ref with
+    | Some b -> Ok b
+    | None -> Error (Store_failure "uncommitted version has no base reference")
+  in
+  let rec attempt base_block =
+    let* () = acquire_commit_lock t base_block in
+    Pagestore.invalidate t.ps base_block;
+    let outcome =
+      let* bpage = read_pg t base_block in
+      match bpage.Page.header.Page.commit_ref with
+      | None ->
+          let header = { bpage.Page.header with Page.commit_ref = Some vb } in
+          let* () = Pagestore.write_through t.ps base_block (Page.with_header bpage header) in
+          Ok None
+      | Some successor -> Ok (Some successor)
+    in
+    Pagestore.unlock t.ps base_block;
+    match outcome with
+    | Error e -> Error e
+    | Ok None ->
+        if base_block = base0 then bump t "commits.fastpath" else bump t "commits.merged";
+        finish_commit t v;
+        Ok ()
+    | Ok (Some successor) -> (
+        bump t "commits.intercepted";
+        match Serialise.test_and_merge t.ps ~candidate:vb ~committed:successor with
+        | Error e -> Error e
+        | Ok (Serialise.Conflict { stats; _ }) ->
+            bump t ~by:stats.Serialise.pages_visited "serialise.pages_visited";
+            bump t "commits.conflict";
+            (match Hashtbl.find_opt t.files v.file_obj with
+            | Some file -> forget_uncommitted file vb
+            | None -> ());
+            free_private_pages t vb;
+            v.status <- Aborted;
+            Error Conflict
+        | Ok (Serialise.Serialisable stats) ->
+            bump t ~by:stats.Serialise.pages_visited "serialise.pages_visited";
+            let* () = Pagestore.flush t.ps in
+            attempt successor)
+  in
+  attempt base0
+
+let flush_version t cap =
+  let* _ = find_version t cap ~need:Capability.rights_none in
+  Pagestore.flush t.ps
+
+(* {2 Crash and recovery} *)
+
+let crash t =
+  Pagestore.drop_volatile t.ps;
+  (* Uncommitted versions are volatile by design. *)
+  Hashtbl.iter
+    (fun _ v -> if v.status = Uncommitted then v.status <- Aborted)
+    t.versions;
+  Hashtbl.iter (fun _ f -> f.uncommitted <- []) t.files;
+  bump t "server.crashes"
+
+let recover_from_blocks t blocks =
+  let version_pages =
+    List.filter_map
+      (fun b ->
+        match read_pg t b with
+        | Ok page when Page.is_version_page page -> Some (b, page)
+        | Ok _ | Error _ -> None)
+      blocks
+  in
+  let by_file = Hashtbl.create 32 in
+  List.iter
+    (fun (b, page) ->
+      match page.Page.header.Page.file_cap with
+      | Some fc ->
+          let existing = Option.value ~default:[] (Hashtbl.find_opt by_file fc.Capability.obj) in
+          Hashtbl.replace by_file fc.Capability.obj ((b, page) :: existing)
+      | None -> ())
+    version_pages;
+  let recovered = ref 0 in
+  Hashtbl.iter
+    (fun file_obj pages ->
+      match List.find_opt (fun (_, p) -> p.Page.header.Page.base_ref = None) pages with
+      | None -> () (* No chain root among these blocks: cannot recover. *)
+      | Some (first, _) ->
+          let rec register block =
+            Hashtbl.replace t.versions block { vblock = block; file_obj; status = Committed };
+            match read_pg t block with
+            | Ok page -> (
+                match page.Page.header.Page.commit_ref with
+                | Some successor -> register successor
+                | None -> block)
+            | Error _ -> block
+          in
+          let current = register first in
+          Hashtbl.replace t.files file_obj
+            { file_obj; current_hint = current; oldest_hint = first; uncommitted = [] };
+          incr recovered)
+    by_file;
+  bump t ~by:!recovered "files.recovered";
+  Ok !recovered
+
+(* {2 Introspection} *)
+
+let root_flags_of t block =
+  let* page = read_pg t block in
+  Ok page.Page.header.Page.root_flags
+
+let read_version_page t block = read_pg t block
+
+let set_lock_fields t block ~top ~inner =
+  let* page = read_pg t block in
+  let header = page.Page.header in
+  let header =
+    { header with
+      Page.top_lock = Option.value ~default:header.Page.top_lock top;
+      Page.inner_lock = Option.value ~default:header.Page.inner_lock inner;
+    }
+  in
+  Pagestore.write_through t.ps block (Page.with_header page header)
+
+let note_pruned_chain t cap ~new_oldest =
+  let* file = find_file t cap ~need:Capability.right_admin in
+  file.oldest_hint <- new_oldest;
+  Ok ()
+
+let list_files t =
+  Hashtbl.fold (fun _ f acc -> mint_file_cap t (f.file_obj / 2) :: acc) t.files []

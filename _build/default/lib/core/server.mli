@@ -1,0 +1,152 @@
+(** The Amoeba file server (paper §5).
+
+    A server manages files — chains of committed versions plus their
+    uncommitted descendants — over a {!Store.t}. Several servers can share
+    one store (and one capability [seed]); the commit critical section
+    goes through the store's lock facility, so any of them may carry out
+    any commit, as §5.2 requires.
+
+    Version lifecycle: {!create_version} gives a private copy-on-write
+    view of the current version; page operations record the C/R/W/S/M
+    flags; {!commit} runs the optimistic validation and makes the version
+    current, or fails with [Conflict], after which the client redoes the
+    update on a fresh version. Uncommitted versions are volatile: a
+    {!crash} loses them by design, and {!recover_from_blocks} rebuilds the
+    file table from the pages alone — no rollback, no intentions lists. *)
+
+type t
+
+type version_status = Uncommitted | Committed | Aborted
+
+type page_info = {
+  nrefs : int;
+  dsize : int;
+  child_flags : Flags.t array;  (** Access flags of each child reference. *)
+}
+
+val create : ?page_cache:bool -> ?seed:int -> ?ports:Ports.t -> Store.t -> t
+(** Servers sharing a store must share [seed] (the capability secret) and
+    should share [ports]. *)
+
+val pagestore : t -> Pagestore.t
+val ports : t -> Ports.t
+val port : t -> Afs_util.Capability.port
+val counters : t -> Afs_util.Stats.Counter.t
+
+(** {2 Files} *)
+
+val create_file : t -> ?data:bytes -> unit -> Afs_util.Capability.t Errors.r
+(** A new file with one committed initial version holding [data]. *)
+
+val current_version : t -> Afs_util.Capability.t -> Afs_util.Capability.t Errors.r
+(** Capability of the current committed version (read rights only). *)
+
+val committed_chain : t -> Afs_util.Capability.t -> int list Errors.r
+(** Version-page blocks of the committed versions, oldest first — the
+    Figure 4 family tree's spine. *)
+
+val uncommitted_versions : t -> Afs_util.Capability.t -> int list Errors.r
+
+val destroy_file : t -> Afs_util.Capability.t -> unit Errors.r
+(** Unregister the file (requires the destroy right) and abort its
+    uncommitted versions. Its pages become garbage: the next GC sweep
+    reclaims everything no other file shares. *)
+
+(** {2 Versions} *)
+
+val create_version :
+  ?respect_hints:bool -> ?updater_port:int -> ?holding_port:int -> t ->
+  Afs_util.Capability.t -> Afs_util.Capability.t Errors.r
+(** Start an update: a new uncommitted version based on the current one,
+    initially sharing its whole page tree. [updater_port] is written to
+    the current version's top-lock field as the advisory hint of §5.3;
+    [respect_hints] makes this call itself honour a live hint by failing
+    with [Locked_out] (the "soft-locking scheme"). A live {e inner} lock
+    always blocks version creation; a dead one is recovered per §5.3. *)
+
+val abort_version : t -> Afs_util.Capability.t -> unit Errors.r
+(** Remove an uncommitted version and free its private pages. *)
+
+val version_status : t -> Afs_util.Capability.t -> version_status Errors.r
+val version_block : t -> Afs_util.Capability.t -> int Errors.r
+val version_of_block : t -> int -> Afs_util.Capability.t Errors.r
+
+(** {2 Pages}
+
+    Operations take a version capability. On uncommitted versions they
+    copy-on-write and record flags; reads of committed versions are plain
+    traversals with no side effects. *)
+
+val read_page : t -> Afs_util.Capability.t -> Afs_util.Pagepath.t -> bytes Errors.r
+val write_page : t -> Afs_util.Capability.t -> Afs_util.Pagepath.t -> bytes -> unit Errors.r
+
+val page_info : t -> Afs_util.Capability.t -> Afs_util.Pagepath.t -> page_info Errors.r
+(** Read-only on any version; records no flags. *)
+
+val insert_page :
+  t -> Afs_util.Capability.t -> parent:Afs_util.Pagepath.t -> index:int ->
+  ?data:bytes -> unit -> Afs_util.Pagepath.t Errors.r
+(** Add a fresh page under [parent] at [index] (an explicit reference-
+    table modification: sets the parent's [M]); returns its path. *)
+
+val remove_page :
+  t -> Afs_util.Capability.t -> parent:Afs_util.Pagepath.t -> index:int -> unit Errors.r
+
+val move_page :
+  t -> Afs_util.Capability.t -> src_parent:Afs_util.Pagepath.t -> src_index:int ->
+  dst_parent:Afs_util.Pagepath.t -> dst_index:int -> unit Errors.r
+(** Detach a subtree and re-attach it elsewhere in the same version.
+    Fails if the destination lies inside the moved subtree. *)
+
+val split_page :
+  t -> Afs_util.Capability.t -> path:Afs_util.Pagepath.t -> at:int ->
+  Afs_util.Pagepath.t Errors.r
+(** The §5 "split pages into two" command: children [at..] of the page at
+    [path] move (with their subtrees and flags) to a fresh sibling
+    inserted immediately after it; returns the sibling's path. The root
+    cannot be split (it has no sibling); [at] must be within [0..nrefs]. *)
+
+(** {2 Commit} *)
+
+val commit : t -> Afs_util.Capability.t -> unit Errors.r
+(** Flush, then run the §5.2 protocol: test-and-set the base's commit
+    reference; on interception, serialisability-test and merge against
+    each intervening committed version, retrying until the set succeeds
+    or the test fails with [Conflict] (the version is then removed). *)
+
+val flush_version : t -> Afs_util.Capability.t -> unit Errors.r
+
+(** {2 Crash simulation and recovery} *)
+
+val crash : t -> unit
+(** Lose all volatile state: the page cache (unflushed writes vanish) and
+    knowledge of uncommitted versions. Committed state is untouched — the
+    defining property being reproduced. *)
+
+val recover_from_blocks : t -> int list -> int Errors.r
+(** Rebuild the file table by decoding the given blocks (obtained from the
+    block server's per-account recovery listing, §4). Returns the number
+    of files recovered. Orphaned uncommitted version pages are ignored:
+    their owners must redo, as the paper prescribes. *)
+
+(** {2 Introspection for tests, GC and experiments} *)
+
+val root_flags_of : t -> int -> Flags.t Errors.r
+(** Root flags of the version page at the given block. *)
+
+val read_version_page : t -> int -> Page.t Errors.r
+
+val set_lock_fields :
+  t -> int -> top:int option -> inner:int option -> unit Errors.r
+(** Update the top/inner lock fields of a version page in place (used by
+    the super-file locking layer). [None] leaves a field unchanged. *)
+
+val current_block_of_file : t -> Afs_util.Capability.t -> int Errors.r
+
+val note_pruned_chain : t -> Afs_util.Capability.t -> new_oldest:int -> unit Errors.r
+(** Tell the server the GC unlinked committed versions older than
+    [new_oldest]; chain walks start there from now on. *)
+
+val file_of_version : t -> Afs_util.Capability.t -> Afs_util.Capability.t Errors.r
+
+val list_files : t -> Afs_util.Capability.t list

@@ -1,0 +1,215 @@
+module Block_server = Afs_block.Block_server
+module Stable_pair = Afs_stable.Stable_pair
+
+type t = {
+  block_size : int;
+  allocate : unit -> (int, string) result;
+  free : int -> (unit, string) result;
+  read : int -> (bytes, string) result;
+  write : int -> bytes -> (unit, string) result;
+  lock : int -> bool;
+  unlock : int -> unit;
+  list_blocks : unit -> (int list, string) result;
+}
+
+let memory ?(block_size = 32768) () =
+  let blocks : (int, bytes) Hashtbl.t = Hashtbl.create 1024 in
+  let allocated : (int, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let locks : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let next = ref 0 in
+  {
+    block_size;
+    allocate =
+      (fun () ->
+        let b = !next in
+        incr next;
+        Hashtbl.replace allocated b ();
+        Ok b);
+    free =
+      (fun b ->
+        Hashtbl.remove blocks b;
+        Hashtbl.remove allocated b;
+        Ok ());
+    read =
+      (fun b ->
+        match Hashtbl.find_opt blocks b with
+        | Some data -> Ok (Bytes.copy data)
+        | None -> Error (Printf.sprintf "block %d never written" b));
+    write =
+      (fun b data ->
+        if Bytes.length data > block_size then Error "block too large"
+        else begin
+          Hashtbl.replace allocated b ();
+          Hashtbl.replace blocks b (Bytes.copy data);
+          Ok ()
+        end);
+    lock =
+      (fun b ->
+        if Hashtbl.mem locks b then false
+        else begin
+          Hashtbl.replace locks b ();
+          true
+        end);
+    unlock = (fun b -> Hashtbl.remove locks b);
+    list_blocks =
+      (fun () -> Ok (List.sort compare (Hashtbl.fold (fun b () acc -> b :: acc) allocated [])));
+  }
+
+let string_of_block_error = Fmt.str "%a" Block_server.pp_error
+
+let of_block_server server ~account =
+  let lift : type a. a Block_server.outcome -> (a, string) result =
+   fun outcome -> Result.map_error string_of_block_error outcome.Block_server.result
+  in
+  {
+    block_size = Block_server.block_size server;
+    allocate = (fun () -> lift (Block_server.allocate server account));
+    free = (fun b -> lift (Block_server.deallocate server account b));
+    read = (fun b -> lift (Block_server.read server account b));
+    write = (fun b data -> lift (Block_server.write server account b data));
+    lock =
+      (fun b ->
+        match (Block_server.lock server account b).Block_server.result with
+        | Ok () -> true
+        | Error _ -> false);
+    unlock = (fun b -> ignore (Block_server.unlock server account b));
+    list_blocks = (fun () -> Ok (Block_server.owned_blocks server account));
+  }
+
+let string_of_stable_error = Fmt.str "%a" Stable_pair.pp_error
+
+let of_stable_pair pair =
+  (* Block-server-style locks are not part of the stable pair; the file
+     service's commit section still needs mutual exclusion, so we keep it
+     here, colocated with the routing. A real deployment would put it in
+     the block servers (§5.2: "if the disk server implements a test-and-set
+     operation, any server can be allowed to carry out a commit"). *)
+  let locks : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let allocated : (int, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let via f =
+    match Stable_pair.some_online pair with
+    | None -> Error "no stable server online"
+    | Some i -> f i
+  in
+  let lift : type a. a Stable_pair.outcome -> (a, string) result =
+   fun outcome -> Result.map_error string_of_stable_error outcome.Stable_pair.result
+  in
+  {
+    block_size = Stable_pair.block_size pair;
+    allocate =
+      (fun () ->
+        (* The stable pair allocates on first write; pin the number by
+           allocating with an empty payload. *)
+        via (fun i ->
+            match lift (Stable_pair.allocate_write pair i Bytes.empty) with
+            | Ok b ->
+                Hashtbl.replace allocated b ();
+                Ok b
+            | Error _ as e -> e));
+    free =
+      (fun b ->
+        via (fun i ->
+            Hashtbl.remove allocated b;
+            lift (Stable_pair.free pair i b)));
+    read = (fun b -> via (fun i -> lift (Stable_pair.read pair i b)));
+    write = (fun b data -> via (fun i -> lift (Stable_pair.write pair i b data)));
+    lock =
+      (fun b ->
+        if Hashtbl.mem locks b then false
+        else begin
+          Hashtbl.replace locks b ();
+          true
+        end);
+    unlock = (fun b -> Hashtbl.remove locks b);
+    list_blocks =
+      (fun () -> Ok (List.sort compare (Hashtbl.fold (fun b () acc -> b :: acc) allocated [])));
+  }
+
+type worm_stats = {
+  bulk_writes : int;
+  bulk_blocks : int;
+  index_writes : int;
+  index_blocks : int;
+}
+
+let worm_hybrid ?(bulk_media = Afs_disk.Media.optical)
+    ?(index_media = Afs_disk.Media.magnetic) ~blocks ~block_size () =
+  let module Disk = Afs_disk.Disk in
+  let bulk = Disk.create ~media:bulk_media ~blocks ~block_size in
+  let index = Disk.create ~media:index_media ~blocks ~block_size in
+  let redirected : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let allocated : (int, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let locks : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let next = ref 0 in
+  let lift_disk : type a. a Disk.outcome -> (a, string) result =
+   fun o -> Result.map_error (Fmt.str "%a" Disk.pp_error) o.Disk.result
+  in
+  let store =
+    {
+      block_size;
+      allocate =
+        (fun () ->
+          let b = !next in
+          incr next;
+          Hashtbl.replace allocated b ();
+          Ok b);
+      free =
+        (fun b ->
+          Hashtbl.remove allocated b;
+          (* Bulk space is write-once and stays occupied; index space is
+             reclaimable. *)
+          if Hashtbl.mem redirected b then begin
+            Hashtbl.remove redirected b;
+            ignore (Disk.erase index b)
+          end;
+          Ok ());
+      read =
+        (fun b ->
+          if Hashtbl.mem redirected b then lift_disk (Disk.read index b)
+          else lift_disk (Disk.read bulk b));
+      write =
+        (fun b data ->
+          if Hashtbl.mem redirected b then lift_disk (Disk.write index b data)
+          else if Disk.is_written bulk b then begin
+            Hashtbl.replace redirected b ();
+            lift_disk (Disk.write index b data)
+          end
+          else lift_disk (Disk.write bulk b data));
+      lock =
+        (fun b ->
+          if Hashtbl.mem locks b then false
+          else begin
+            Hashtbl.replace locks b ();
+            true
+          end);
+      unlock = (fun b -> Hashtbl.remove locks b);
+      list_blocks =
+        (fun () ->
+          Ok (List.sort compare (Hashtbl.fold (fun b () acc -> b :: acc) allocated [])));
+    }
+  in
+  let stats () =
+    let b = Disk.stats bulk and ix = Disk.stats index in
+    {
+      bulk_writes = b.Disk.writes;
+      bulk_blocks = b.Disk.blocks_in_use;
+      index_writes = ix.Disk.writes;
+      index_blocks = Hashtbl.length redirected;
+    }
+  in
+  (store, stats)
+
+let counting inner =
+  let reads = ref 0 and writes = ref 0 in
+  ( {
+      inner with
+      read =
+        (fun b ->
+          incr reads;
+          inner.read b);
+      write =
+        (fun b data ->
+          incr writes;
+          inner.write b data);
+    },
+    fun () -> (!reads, !writes) )

@@ -1,0 +1,1 @@
+lib/disk/disk.ml: Array Bytes Char Fmt Media

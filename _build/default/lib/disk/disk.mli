@@ -1,0 +1,74 @@
+(** A simulated raw disk: a numbered array of fixed-size blocks.
+
+    Provides exactly what §4 requires of the medium under a block server:
+    atomic whole-block writes acknowledged after they are durable, plus the
+    failure modes the paper's recovery machinery must survive — the device
+    going offline (a crash) and occasional silent corruption, which the
+    stable-storage layer detects by checksum and repairs from the companion
+    disk.
+
+    Operations are synchronous; simulated latency is returned with each
+    result (and accumulated in {!stats}) so callers running under the
+    event engine can charge it with [Proc.delay]. *)
+
+type t
+
+type error =
+  | Offline  (** Device crashed / unreachable. *)
+  | Out_of_range of int
+  | Never_written of int  (** Read of a block with no data. *)
+  | Write_once_violation of int  (** Overwrite attempt on optical media. *)
+  | Too_large of { requested : int; block_size : int }
+
+val pp_error : error Fmt.t
+
+type 'a outcome = { result : ('a, error) result; cost_ms : float }
+
+val create : media:Media.t -> blocks:int -> block_size:int -> t
+(** Raises [Invalid_argument] on non-positive sizes. *)
+
+val media : t -> Media.t
+val block_count : t -> int
+val block_size : t -> int
+
+val read : t -> int -> bytes outcome
+(** Returns a copy of the stored image (its exact written length). *)
+
+val write : t -> int -> bytes -> unit outcome
+(** Whole-block atomic write. Fails with [Write_once_violation] when
+    overwriting on write-once media. *)
+
+val erase : t -> int -> unit outcome
+(** Return a block to the never-written state. Fails on write-once media
+    with [Write_once_violation]. *)
+
+val is_written : t -> int -> bool
+(** False for out-of-range blocks. Ignores the offline flag: used by
+    recovery scans. *)
+
+(** {2 Fault injection} *)
+
+val set_offline : t -> bool -> unit
+val is_offline : t -> bool
+
+val corrupt : t -> int -> xor_byte:char -> bool
+(** XOR one byte into a written block's image, silently; returns false if
+    the block holds no data. Models media decay; checksums upstream must
+    catch it. *)
+
+val wipe : t -> unit
+(** Lose all contents (head crash). The device stays online. *)
+
+(** {2 Accounting} *)
+
+type stats = {
+  reads : int;
+  writes : int;
+  bytes_read : int;
+  bytes_written : int;
+  busy_ms : float;
+  blocks_in_use : int;
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit

@@ -1,0 +1,1 @@
+lib/files/btree.ml: Afs_core Afs_util List Option Printf String

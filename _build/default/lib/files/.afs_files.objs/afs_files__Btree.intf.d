@@ -1,0 +1,1 @@
+lib/files/btree.mli: Afs_core Afs_util

@@ -1,0 +1,1 @@
+lib/files/linear.ml: Afs_core Afs_util Bytes

@@ -1,0 +1,1 @@
+lib/files/linear.mli: Afs_core Afs_util

@@ -1,0 +1,49 @@
+(** An ordered key-value map as a B-tree of pages — the paper's §5 claim
+    made concrete: "Using the file structure provided by the Amoeba File
+    Service, objects ranging from linear files to B-trees can easily be
+    represented. Clients have explicit control over the shape of the page
+    tree."
+
+    Every tree node is one page: an interior node's children are the
+    page's references (explicit shape control), its separator keys live in
+    the page data; leaves hold sorted key-value bindings. Splits use the
+    ordinary page operations (insert a sibling page, move child subtrees),
+    pre-emptively on the way down, so an insert is a single-pass, single-
+    version atomic update. Lookups read one committed version — a
+    consistent snapshot for free.
+
+    Concurrency falls out of the file service: inserts into different
+    subtrees merge; inserts that split the same node conflict and redo.
+    Deletion removes the binding without rebalancing (standard lazy
+    deletion); the structure stays a valid search tree. *)
+
+type t
+
+val create : Afs_core.Client.t -> ?order:int -> unit -> t Afs_core.Errors.r
+(** [order] is the maximum entries per leaf and maximum children per
+    interior node (default 8, minimum 3). *)
+
+val of_capability : Afs_core.Client.t -> Afs_util.Capability.t -> t Afs_core.Errors.r
+
+val capability : t -> Afs_util.Capability.t
+val order : t -> int
+
+val insert : t -> key:string -> value:string -> unit Afs_core.Errors.r
+(** Insert or replace, atomically. *)
+
+val find : t -> string -> string option Afs_core.Errors.r
+
+val remove : t -> string -> bool Afs_core.Errors.r
+(** True when the key was bound. *)
+
+val bindings : t -> (string * string) list Afs_core.Errors.r
+(** All bindings in key order (an in-order walk of one snapshot). *)
+
+val cardinal : t -> int Afs_core.Errors.r
+
+val height : t -> int Afs_core.Errors.r
+(** Levels from root to leaves (a 1-node tree has height 1). *)
+
+val check_invariants : t -> (unit, string) result
+(** Test hook: keys sorted within nodes, separator bounds respected,
+    every leaf at the same depth, node populations within [order]. *)

@@ -1,0 +1,204 @@
+module Capability = Afs_util.Capability
+module Pagepath = Afs_util.Pagepath
+module Wire = Afs_util.Wire
+module Client = Afs_core.Client
+module Server = Afs_core.Server
+module Errors = Afs_core.Errors
+
+open Errors
+
+type t = { client : Client.t; cap : Capability.t; chunk : int }
+
+(* {2 Metadata (root page data)} *)
+
+let magic = 0x11EA
+
+let encode_meta ~chunk ~length =
+  let w = Wire.Writer.create ~capacity:16 () in
+  Wire.Writer.u16 w magic;
+  Wire.Writer.varint w chunk;
+  Wire.Writer.varint w length;
+  Wire.Writer.contents w
+
+let decode_meta data =
+  match
+    let r = Wire.Reader.of_bytes data in
+    if Wire.Reader.u16 r <> magic then Error (Store_failure "not a linear file")
+    else begin
+      let chunk = Wire.Reader.varint r in
+      let length = Wire.Reader.varint r in
+      Wire.Reader.expect_end r;
+      Ok (chunk, length)
+    end
+  with
+  | result -> result
+  | exception Wire.Decode_error msg -> Error (Store_failure ("linear meta: " ^ msg))
+
+(* {2 Open / create} *)
+
+let create client ?(chunk = 4096) () =
+  if chunk <= 0 then invalid_arg "Linear.create: chunk must be positive";
+  let* cap = Client.create_file client ~data:(encode_meta ~chunk ~length:0) () in
+  Ok { client; cap; chunk }
+
+let of_capability client cap =
+  let* meta = Client.read_current client cap Pagepath.root in
+  let* chunk, _length = decode_meta meta in
+  Ok { client; cap; chunk }
+
+let capability t = t.cap
+let chunk t = t.chunk
+
+(* {2 Reading: one consistent snapshot = one committed version} *)
+
+let snapshot t =
+  let server = Client.server t.client in
+  let* version = Server.current_version server t.cap in
+  let* meta = Server.read_page server version Pagepath.root in
+  let* _chunk, length = decode_meta meta in
+  Ok (server, version, length)
+
+let length t =
+  let* _, _, length = snapshot t in
+  Ok length
+
+(* The stored page may be shorter than the slice wants (sparse tail):
+   missing bytes read as zero. *)
+let blit_from_page page_data ~page_off ~dst ~dst_off ~len =
+  let available = max 0 (Bytes.length page_data - page_off) in
+  let n = min len available in
+  if n > 0 then Bytes.blit page_data page_off dst dst_off n
+
+let read t ~off ~len =
+  if off < 0 || len < 0 then invalid_arg "Linear.read: negative offset or length";
+  let* server, version, file_len = snapshot t in
+  let len = min len (max 0 (file_len - off)) in
+  if len = 0 then Ok Bytes.empty
+  else begin
+    let out = Bytes.make len '\000' in
+    let first_page = off / t.chunk in
+    let last_page = (off + len - 1) / t.chunk in
+    let rec pages p acc =
+      if p > last_page then acc
+      else
+        let acc =
+          let* () = acc in
+          let* data = Server.read_page server version (Pagepath.of_list [ p ]) in
+          let page_start = p * t.chunk in
+          let slice_start = max off page_start in
+          let slice_end = min (off + len) (page_start + t.chunk) in
+          blit_from_page data ~page_off:(slice_start - page_start) ~dst:out
+            ~dst_off:(slice_start - off) ~len:(slice_end - slice_start);
+          Ok ()
+        in
+        pages (p + 1) acc
+    in
+    let* () = pages first_page (Ok ()) in
+    Ok out
+  end
+
+let read_all t =
+  let* len = length t in
+  read t ~off:0 ~len
+
+(* {2 Writing} *)
+
+let pages_for len chunk = (len + chunk - 1) / chunk
+
+(* Grow or trim the chunk-page population to [target] inside the txn. *)
+let resize_pages txn ~current ~target =
+  if target > current then begin
+    let rec add i =
+      if i >= target then Ok ()
+      else
+        let* _ = Client.Txn.insert txn ~parent:Pagepath.root ~index:i () in
+        add (i + 1)
+    in
+    add current
+  end
+  else begin
+    let rec drop i =
+      if i <= target then Ok ()
+      else
+        let* () = Client.Txn.remove txn ~parent:Pagepath.root ~index:(i - 1) in
+        drop (i - 1)
+    in
+    drop current
+  end
+
+let write_in_txn txn ~off data =
+  let len = Bytes.length data in
+  let* meta = Client.Txn.read txn Pagepath.root in
+  let* chunk, old_len = decode_meta meta in
+  let off = match off with `At o -> o | `End -> old_len in
+  let new_len = max old_len (off + len) in
+  let* () =
+    if new_len <> old_len || pages_for new_len chunk <> pages_for old_len chunk then
+      let* () =
+        resize_pages txn ~current:(pages_for old_len chunk) ~target:(pages_for new_len chunk)
+      in
+      Client.Txn.write txn Pagepath.root (encode_meta ~chunk ~length:new_len)
+    else Ok ()
+  in
+  if len = 0 then Ok off
+  else begin
+    let first_page = off / chunk in
+    let last_page = (off + len - 1) / chunk in
+    let rec pages p acc =
+      if p > last_page then acc
+      else
+        let acc =
+          let* () = acc in
+          let path = Pagepath.of_list [ p ] in
+          let page_start = p * chunk in
+          let slice_start = max off page_start in
+          let slice_end = min (off + len) (page_start + chunk) in
+          (* Bytes of this page that must survive: up to the written slice
+             and (for the last page) after it. *)
+          let wanted = min chunk (new_len - page_start) in
+          let* old_data = Client.Txn.read txn path in
+          let page = Bytes.make wanted '\000' in
+          blit_from_page old_data ~page_off:0 ~dst:page ~dst_off:0 ~len:wanted;
+          Bytes.blit data (slice_start - off) page (slice_start - page_start)
+            (slice_end - slice_start);
+          let* () = Client.Txn.write txn path page in
+          Ok ()
+        in
+        pages (p + 1) acc
+    in
+    let* () = pages first_page (Ok ()) in
+    Ok off
+  end
+
+let write t ~off data =
+  if off < 0 then invalid_arg "Linear.write: negative offset";
+  let* _ = Client.update t.client t.cap (fun txn -> write_in_txn txn ~off:(`At off) data) in
+  Ok ()
+
+let append t data = Client.update t.client t.cap (fun txn -> write_in_txn txn ~off:`End data)
+
+let truncate t ~len =
+  if len < 0 then invalid_arg "Linear.truncate: negative length";
+  Client.update t.client t.cap (fun txn ->
+      let* meta = Client.Txn.read txn Pagepath.root in
+      let* chunk, old_len = decode_meta meta in
+      if len = old_len then Ok ()
+      else begin
+        let* () =
+          resize_pages txn ~current:(pages_for old_len chunk) ~target:(pages_for len chunk)
+        in
+        (* Trim the (new) last page so stale bytes cannot resurface on a
+           later extension. *)
+        let* () =
+          let keep = len mod chunk in
+          if len > 0 && keep > 0 && len < old_len then begin
+            let path = Pagepath.of_list [ (len - 1) / chunk ] in
+            let* old_data = Client.Txn.read txn path in
+            let page = Bytes.make keep '\000' in
+            blit_from_page old_data ~page_off:0 ~dst:page ~dst_off:0 ~len:keep;
+            Client.Txn.write txn path page
+          end
+          else Ok ()
+        in
+        Client.Txn.write txn Pagepath.root (encode_meta ~chunk ~length:len)
+      end)

@@ -1,0 +1,43 @@
+(** Ordinary linear (byte-stream) files on the page-tree API — the "flat
+    file server" of Figure 1, §2.1.
+
+    A linear file stores its bytes in fixed-size chunk pages under the
+    root; the root's data area holds the metadata (chunk size and
+    length). Every mutation is one atomic optimistic update, so
+    concurrent writers to disjoint chunks merge and concurrent appends
+    conflict-and-redo — without this module containing any concurrency
+    control of its own.
+
+    Offsets and lengths are bytes. Reads past end-of-file are clipped;
+    writes past end-of-file extend the file with zero bytes. *)
+
+type t
+
+val create :
+  Afs_core.Client.t -> ?chunk:int -> unit -> t Afs_core.Errors.r
+(** A fresh empty linear file. [chunk] is the bytes-per-page granularity
+    (default 4096); it must be positive and fit the store's block size. *)
+
+val of_capability : Afs_core.Client.t -> Afs_util.Capability.t -> t Afs_core.Errors.r
+(** Re-open an existing linear file (chunk size read from the metadata). *)
+
+val capability : t -> Afs_util.Capability.t
+val chunk : t -> int
+
+val length : t -> int Afs_core.Errors.r
+
+val read : t -> off:int -> len:int -> bytes Afs_core.Errors.r
+(** Up to [len] bytes from [off]; shorter at end-of-file; empty beyond
+    it. Negative arguments are [Invalid_argument]. *)
+
+val read_all : t -> bytes Afs_core.Errors.r
+
+val write : t -> off:int -> bytes -> unit Afs_core.Errors.r
+(** Overwrite (and extend if needed) starting at [off], atomically. A
+    sparse gap between old end-of-file and [off] reads as zero bytes. *)
+
+val append : t -> bytes -> int Afs_core.Errors.r
+(** Atomically write at end-of-file; returns the offset written at. *)
+
+val truncate : t -> len:int -> unit Afs_core.Errors.r
+(** Shorten (or zero-extend) to exactly [len] bytes. *)

@@ -1,0 +1,1 @@
+lib/naming/directory.ml: Afs_core Afs_util Bytes Char Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/naming/directory.mli: Afs_core Afs_util

@@ -1,0 +1,1 @@
+lib/rpc/remote.ml: Afs_core Afs_util Array Result Rpc

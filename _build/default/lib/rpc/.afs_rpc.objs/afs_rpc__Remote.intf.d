@@ -1,0 +1,1 @@
+lib/rpc/remote.mli: Afs_core Afs_disk Afs_sim Afs_util

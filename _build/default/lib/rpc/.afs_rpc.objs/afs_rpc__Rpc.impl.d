@@ -1,0 +1,1 @@
+lib/rpc/rpc.ml: Afs_disk Afs_sim Fmt List Queue

@@ -1,0 +1,1 @@
+lib/rpc/rpc.mli: Afs_disk Afs_sim Fmt

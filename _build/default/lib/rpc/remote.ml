@@ -1,0 +1,132 @@
+module Capability = Afs_util.Capability
+module Pagepath = Afs_util.Pagepath
+module Server = Afs_core.Server
+module Cache = Afs_core.Cache
+module Errors = Afs_core.Errors
+
+type request =
+  | Create_file of bytes
+  | Current_version of Capability.t
+  | Create_version of { file : Capability.t; respect_hints : bool; updater_port : int }
+  | Read_page of Capability.t * Pagepath.t
+  | Write_page of Capability.t * Pagepath.t * bytes
+  | Insert_page of { version : Capability.t; parent : Pagepath.t; index : int; data : bytes }
+  | Remove_page of { version : Capability.t; parent : Pagepath.t; index : int }
+  | Commit of Capability.t
+  | Abort_version of Capability.t
+  | Validate_cache of { file : Capability.t; basis_block : int }
+
+type value =
+  | Cap of Capability.t
+  | Data of bytes
+  | Unit
+  | Path of Pagepath.t
+  | Validation of Cache.validation
+
+type response = (value, Errors.t) result
+
+let handle server : request -> response = function
+  | Create_file data -> Result.map (fun c -> Cap c) (Server.create_file server ~data ())
+  | Current_version file -> Result.map (fun c -> Cap c) (Server.current_version server file)
+  | Create_version { file; respect_hints; updater_port } ->
+      Result.map (fun c -> Cap c) (Server.create_version ~respect_hints ~updater_port server file)
+  | Read_page (version, path) ->
+      Result.map (fun d -> Data d) (Server.read_page server version path)
+  | Write_page (version, path, data) ->
+      Result.map (fun () -> Unit) (Server.write_page server version path data)
+  | Insert_page { version; parent; index; data } ->
+      Result.map (fun p -> Path p) (Server.insert_page server version ~parent ~index ~data ())
+  | Remove_page { version; parent; index } ->
+      Result.map (fun () -> Unit) (Server.remove_page server version ~parent ~index)
+  | Commit version -> Result.map (fun () -> Unit) (Server.commit server version)
+  | Abort_version version -> Result.map (fun () -> Unit) (Server.abort_version server version)
+  | Validate_cache { file; basis_block } ->
+      Result.map (fun v -> Validation v) (Cache.server_validate server ~file ~basis_block)
+
+type host = { rpc : (request, response) Rpc.t; server : Server.t }
+
+let host ?latency_ms ?proc_ms ?disks engine ~name server =
+  { rpc = Rpc.serve ?latency_ms ?proc_ms ?disks engine ~name ~handler:(handle server); server }
+
+let crash_host h =
+  Rpc.crash h.rpc;
+  Server.crash h.server
+
+let restart_host h = Rpc.restart h.rpc
+let host_server h = h.server
+let host_up h = Rpc.is_up h.rpc
+
+type conn = { hosts : host array; balance : bool; mutable preferred : int }
+
+let connect ?(balance = false) hosts =
+  if hosts = [] then invalid_arg "Remote.connect: no hosts";
+  { hosts = Array.of_list hosts; balance; preferred = 0 }
+
+(* Without [balance], requests start from the last host that answered
+   (sticky failover: a client that timed out on its primary does not pay
+   that timeout again on every subsequent request). With it, transactions
+   rotate across live hosts — "several servers can serve the same store",
+   any of which may carry out any commit (§5.2) — but only at version
+   boundaries: a version's operations stay with its managing server, whose
+   write-back cache holds the uncommitted pages until the commit-time
+   flush. *)
+let rotates_boundary = function
+  | Create_file _ | Create_version _ | Current_version _ -> true
+  | Read_page _ | Write_page _ | Insert_page _ | Remove_page _ | Commit _ | Abort_version _
+  | Validate_cache _ ->
+      false
+
+let call conn req =
+  let n = Array.length conn.hosts in
+  let start =
+    if conn.balance && rotates_boundary req then begin
+      conn.preferred <- (conn.preferred + 1) mod n;
+      conn.preferred
+    end
+    else conn.preferred
+  in
+  let rec try_hosts attempt =
+    if attempt >= n then Error (Errors.Store_failure "rpc: no server responded")
+    else begin
+      let idx = (start + attempt) mod n in
+      match Rpc.call conn.hosts.(idx).rpc req with
+      | Ok response ->
+          conn.preferred <- idx;
+          response
+      | Error (Rpc.Timeout | Rpc.Server_crashed) -> try_hosts (attempt + 1)
+    end
+  in
+  try_hosts 0
+
+let type_error = Error (Errors.Store_failure "rpc: response type mismatch")
+
+let as_cap = function Ok (Cap c) -> Ok c | Ok _ -> type_error | Error e -> Error e
+let as_data = function Ok (Data d) -> Ok d | Ok _ -> type_error | Error e -> Error e
+let as_unit = function Ok Unit -> Ok () | Ok _ -> type_error | Error e -> Error e
+let as_path = function Ok (Path p) -> Ok p | Ok _ -> type_error | Error e -> Error e
+
+let as_validation = function
+  | Ok (Validation v) -> Ok v
+  | Ok _ -> type_error
+  | Error e -> Error e
+
+let create_file conn data = as_cap (call conn (Create_file data))
+let current_version conn file = as_cap (call conn (Current_version file))
+
+let create_version ?(respect_hints = false) ?(updater_port = 0) conn file =
+  as_cap (call conn (Create_version { file; respect_hints; updater_port }))
+
+let read_page conn version path = as_data (call conn (Read_page (version, path)))
+let write_page conn version path data = as_unit (call conn (Write_page (version, path, data)))
+
+let insert_page conn version ~parent ~index ~data =
+  as_path (call conn (Insert_page { version; parent; index; data }))
+
+let remove_page conn version ~parent ~index =
+  as_unit (call conn (Remove_page { version; parent; index }))
+
+let commit conn version = as_unit (call conn (Commit version))
+let abort_version conn version = as_unit (call conn (Abort_version version))
+
+let validate_cache conn ~file ~basis_block =
+  as_validation (call conn (Validate_cache { file; basis_block }))

@@ -1,0 +1,95 @@
+(** The file service as a remote service: a request ADT over {!Rpc}, a
+    host wrapper around a {!Afs_core.Server}, and a client stub with
+    failover.
+
+    A client connection holds an ordered list of hosts; when one fails to
+    respond it retries the request at the next ("Clients do not have to
+    wait until the server is restored, because they can use another
+    server", §3.1 — several servers can serve the same store). *)
+
+type request =
+  | Create_file of bytes
+  | Current_version of Afs_util.Capability.t
+  | Create_version of {
+      file : Afs_util.Capability.t;
+      respect_hints : bool;
+      updater_port : int;
+    }
+  | Read_page of Afs_util.Capability.t * Afs_util.Pagepath.t
+  | Write_page of Afs_util.Capability.t * Afs_util.Pagepath.t * bytes
+  | Insert_page of {
+      version : Afs_util.Capability.t;
+      parent : Afs_util.Pagepath.t;
+      index : int;
+      data : bytes;
+    }
+  | Remove_page of { version : Afs_util.Capability.t; parent : Afs_util.Pagepath.t; index : int }
+  | Commit of Afs_util.Capability.t
+  | Abort_version of Afs_util.Capability.t
+  | Validate_cache of { file : Afs_util.Capability.t; basis_block : int }
+
+type value =
+  | Cap of Afs_util.Capability.t
+  | Data of bytes
+  | Unit
+  | Path of Afs_util.Pagepath.t
+  | Validation of Afs_core.Cache.validation
+
+type response = (value, Afs_core.Errors.t) result
+
+type host
+
+val host :
+  ?latency_ms:float ->
+  ?proc_ms:float ->
+  ?disks:Afs_disk.Disk.t list ->
+  Afs_sim.Engine.t ->
+  name:string ->
+  Afs_core.Server.t ->
+  host
+
+val crash_host : host -> unit
+(** RPC endpoint dies and the server loses its volatile state (page cache,
+    uncommitted-version table). *)
+
+val restart_host : host -> unit
+val host_server : host -> Afs_core.Server.t
+val host_up : host -> bool
+
+type conn
+
+val connect : ?balance:bool -> host list -> conn
+(** At least one host. Requests go to the first responsive host, sticky
+    after a failover; with [balance] they rotate round-robin across hosts
+    instead — several servers serving the same store, any of which may
+    carry out any commit (§5.2). *)
+
+(** {2 Stub operations — must run inside a simulation process} *)
+
+val create_file : conn -> bytes -> Afs_util.Capability.t Afs_core.Errors.r
+val current_version : conn -> Afs_util.Capability.t -> Afs_util.Capability.t Afs_core.Errors.r
+
+val create_version :
+  ?respect_hints:bool -> ?updater_port:int -> conn -> Afs_util.Capability.t ->
+  Afs_util.Capability.t Afs_core.Errors.r
+
+val read_page :
+  conn -> Afs_util.Capability.t -> Afs_util.Pagepath.t -> bytes Afs_core.Errors.r
+
+val write_page :
+  conn -> Afs_util.Capability.t -> Afs_util.Pagepath.t -> bytes -> unit Afs_core.Errors.r
+
+val insert_page :
+  conn -> Afs_util.Capability.t -> parent:Afs_util.Pagepath.t -> index:int -> data:bytes ->
+  Afs_util.Pagepath.t Afs_core.Errors.r
+
+val remove_page :
+  conn -> Afs_util.Capability.t -> parent:Afs_util.Pagepath.t -> index:int ->
+  unit Afs_core.Errors.r
+
+val commit : conn -> Afs_util.Capability.t -> unit Afs_core.Errors.r
+val abort_version : conn -> Afs_util.Capability.t -> unit Afs_core.Errors.r
+
+val validate_cache :
+  conn -> file:Afs_util.Capability.t -> basis_block:int ->
+  Afs_core.Cache.validation Afs_core.Errors.r

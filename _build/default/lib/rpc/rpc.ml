@@ -1,0 +1,97 @@
+module Engine = Afs_sim.Engine
+module Proc = Afs_sim.Proc
+module Ivar = Afs_sim.Ivar
+module Disk = Afs_disk.Disk
+
+type call_error = Timeout | Server_crashed
+
+let pp_call_error ppf = function
+  | Timeout -> Fmt.string ppf "timeout"
+  | Server_crashed -> Fmt.string ppf "server crashed"
+
+let timeout_ms = 500.0
+
+type ('req, 'resp) pending = { req : 'req; reply : ('resp, call_error) result Ivar.t }
+
+type ('req, 'resp) t = {
+  engine : Engine.t;
+  name : string;
+  handler : 'req -> 'resp;
+  latency_ms : float;
+  proc_ms : float;
+  disks : Disk.t list;
+  queue : ('req, 'resp) pending Queue.t;
+  mutable up : bool;
+  mutable busy : bool;
+  mutable served : int;
+}
+
+let disks_busy t = List.fold_left (fun acc d -> acc +. (Disk.stats d).Disk.busy_ms) 0.0 t.disks
+
+(* Serve queued requests one at a time, charging processing and storage
+   time between accepting a request and delivering its reply. *)
+let rec pump t =
+  if t.up && not t.busy then
+    match Queue.take_opt t.queue with
+    | None -> ()
+    | Some { req; reply } ->
+        t.busy <- true;
+        let before = disks_busy t in
+        let resp = t.handler req in
+        let storage = disks_busy t -. before in
+        t.served <- t.served + 1;
+        Engine.at t.engine
+          (t.proc_ms +. storage +. t.latency_ms)
+          (fun () ->
+            ignore (Ivar.try_fill reply (Ok resp));
+            t.busy <- false;
+            pump t)
+
+let serve ?(latency_ms = 2.0) ?(proc_ms = 0.2) ?(disks = []) engine ~name ~handler =
+  {
+    engine;
+    name;
+    handler;
+    latency_ms;
+    proc_ms;
+    disks;
+    queue = Queue.create ();
+    up = true;
+    busy = false;
+    served = 0;
+  }
+
+let call t req =
+  let reply = Ivar.create () in
+  if not t.up then begin
+    (* Nothing is listening: the transaction times out. *)
+    Engine.at t.engine timeout_ms (fun () -> ignore (Ivar.try_fill reply (Error Timeout)));
+    Ivar.read reply
+  end
+  else begin
+    Engine.at t.engine t.latency_ms (fun () ->
+        if t.up then begin
+          Queue.add { req; reply } t.queue;
+          pump t
+        end
+        else
+          Engine.at t.engine timeout_ms (fun () ->
+              ignore (Ivar.try_fill reply (Error Server_crashed))));
+    Ivar.read reply
+  end
+
+let crash t =
+  t.up <- false;
+  t.busy <- false;
+  let doomed = Queue.to_seq t.queue |> List.of_seq in
+  Queue.clear t.queue;
+  List.iter
+    (fun { reply; _ } ->
+      Engine.at t.engine timeout_ms (fun () ->
+          ignore (Ivar.try_fill reply (Error Server_crashed))))
+    doomed
+
+let restart t = t.up <- true
+
+let is_up t = t.up
+let requests_served t = t.served

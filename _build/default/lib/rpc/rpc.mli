@@ -1,0 +1,50 @@
+(** Transaction-style request/reply RPC over the simulation engine.
+
+    Amoeba's primitive is the transaction: a client sends a request of at
+    most 32K bytes to a service port and blocks for the reply. This module
+    gives that shape to any [('req, 'resp)] handler and adds the two
+    failure modes the paper's protocols must tolerate: a server crash
+    (pending and future requests fail after a timeout) and plain latency.
+
+    Handlers run atomically within one simulated event — a server process
+    serves one request at a time, so concurrent clients interleave at
+    request granularity, which is exactly the serialisation the real
+    Amoeba server loop provides. *)
+
+type ('req, 'resp) t
+
+type call_error = Timeout | Server_crashed
+
+val pp_call_error : call_error Fmt.t
+
+val serve :
+  ?latency_ms:float ->
+  ?proc_ms:float ->
+  ?disks:Afs_disk.Disk.t list ->
+  Afs_sim.Engine.t ->
+  name:string ->
+  handler:('req -> 'resp) ->
+  ('req, 'resp) t
+(** [latency_ms] is charged each way per message; [proc_ms] per request of
+    server CPU; if [disks] are given, the growth of their busy time during
+    the handler is charged as well, so storage latency shows up in client
+    round trips. *)
+
+val call : ('req, 'resp) t -> 'req -> ('resp, call_error) result
+(** Must run inside a {!Afs_sim.Proc} process. Blocks for the reply. *)
+
+val crash : ('req, 'resp) t -> unit
+(** The server process dies: queued and in-flight requests fail with
+    [Server_crashed] (after the client-side timeout), later calls fail
+    with [Timeout]. *)
+
+val restart : ('req, 'resp) t -> unit
+(** Bring the server back (its handler state is whatever the underlying
+    service says it is — volatile loss is the service's business). *)
+
+val is_up : ('req, 'resp) t -> bool
+
+val requests_served : ('req, 'resp) t -> int
+
+val timeout_ms : float
+(** Client-side request timeout against a dead server. *)

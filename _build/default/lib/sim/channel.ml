@@ -1,0 +1,22 @@
+type 'a t = { values : 'a Queue.t; receivers : ('a -> unit) Queue.t }
+
+let create () = { values = Queue.create (); receivers = Queue.create () }
+
+let send t v =
+  match Queue.take_opt t.receivers with
+  | Some wake -> wake v
+  | None -> Queue.add v t.values
+
+let recv t =
+  match Queue.take_opt t.values with
+  | Some v -> v
+  | None -> Proc.suspend (fun resume -> Queue.add resume t.receivers)
+
+let try_recv t = Queue.take_opt t.values
+
+let length t = Queue.length t.values
+
+let clear t =
+  let drained = List.of_seq (Queue.to_seq t.values) in
+  Queue.clear t.values;
+  drained

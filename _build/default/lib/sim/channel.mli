@@ -1,0 +1,26 @@
+(** Unbounded FIFO channels between simulated processes.
+
+    A server is typically a process looping on {!recv}; clients {!send}
+    request records carrying a reply {!Ivar}. Delivery order is FIFO and
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val send : 'a t -> 'a -> unit
+(** Never blocks (unbounded queue). May be called from inside or outside a
+    process. *)
+
+val recv : 'a t -> 'a
+(** Block the calling process until a value is available. *)
+
+val try_recv : 'a t -> 'a option
+(** Non-blocking receive. *)
+
+val length : 'a t -> int
+(** Values queued and not yet received. *)
+
+val clear : 'a t -> 'a list
+(** Drop and return all queued values (used by crash injection to discard
+    a dead server's inbox). Parked receivers stay parked. *)

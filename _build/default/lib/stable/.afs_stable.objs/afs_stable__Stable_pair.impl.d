@@ -1,0 +1,1 @@
+lib/stable/stable_pair.ml: Afs_disk Afs_util Array Bytes Fmt Hashtbl Int64 Printf

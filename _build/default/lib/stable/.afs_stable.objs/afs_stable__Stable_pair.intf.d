@@ -1,0 +1,1 @@
+lib/stable/stable_pair.mli: Afs_disk Fmt

@@ -1,0 +1,1 @@
+lib/util/capability.ml: Fmt Int64 List Stdlib String Xrng

@@ -1,0 +1,1 @@
+lib/util/pagepath.ml: Fmt List Map Printf Result Set Stdlib String

@@ -1,0 +1,1 @@
+lib/util/pagepath.mli: Fmt Map Set

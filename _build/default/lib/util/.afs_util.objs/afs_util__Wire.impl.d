@@ -1,0 +1,1 @@
+lib/util/wire.ml: Array Buffer Bytes Char Int64 Lazy Printf String

@@ -1,0 +1,1 @@
+lib/util/xrng.ml: Array Int64

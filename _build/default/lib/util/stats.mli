@@ -1,0 +1,50 @@
+(** Online statistics and fixed-resolution histograms for the experiment
+    harness: throughput, latency percentiles, abort counters. *)
+
+module Summary : sig
+  (** Streaming mean/variance (Welford) plus min/max. *)
+
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val variance : t -> float
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+  val total : t -> float
+  val pp : t Fmt.t
+end
+
+module Histogram : sig
+  (** Log-bucketed histogram over positive values; resolution ~9% per
+      bucket, good enough for latency percentiles across nine decades. *)
+
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val percentile : t -> float -> float
+  (** [percentile t 0.99] is an upper bound on the p99 value; 0 when
+      empty. [p] must be in [0, 1]. *)
+
+  val merge : t -> t -> t
+end
+
+module Counter : sig
+  (** Named event counters, e.g. commits/aborts/retries per experiment. *)
+
+  type t
+
+  val create : unit -> t
+  val incr : ?by:int -> t -> string -> unit
+  val get : t -> string -> int
+  val to_list : t -> (string * int) list
+  (** Sorted by name. *)
+end
+
+val ratio : int -> int -> float
+(** [ratio num den] is [num/den] as a float, 0 when [den] is 0. *)

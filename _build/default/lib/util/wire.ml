@@ -1,0 +1,114 @@
+exception Decode_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Decode_error s)) fmt
+
+module Writer = struct
+  type t = { mutable buf : Buffer.t }
+
+  let create ?(capacity = 256) () = { buf = Buffer.create capacity }
+  let length t = Buffer.length t.buf
+  let u8 t v = Buffer.add_char t.buf (Char.chr (v land 0xFF))
+
+  let u16 t v =
+    u8 t v;
+    u8 t (v lsr 8)
+
+  let u32 t v =
+    u16 t v;
+    u16 t (v lsr 16)
+
+  let u64 t v =
+    for shift = 0 to 7 do
+      u8 t (Int64.to_int (Int64.shift_right_logical v (8 * shift)))
+    done
+
+  let rec varint t v =
+    if v < 0 then invalid_arg "Wire.Writer.varint: negative"
+    else if v < 0x80 then u8 t v
+    else begin
+      u8 t (0x80 lor (v land 0x7F));
+      varint t (v lsr 7)
+    end
+
+  let bytes t b = Buffer.add_bytes t.buf b
+
+  let sized_bytes t b =
+    varint t (Bytes.length b);
+    bytes t b
+
+  let string t s =
+    varint t (String.length s);
+    Buffer.add_string t.buf s
+
+  let contents t = Buffer.to_bytes t.buf
+end
+
+module Reader = struct
+  type t = { data : bytes; mutable pos : int }
+
+  let of_bytes data = { data; pos = 0 }
+  let remaining t = Bytes.length t.data - t.pos
+
+  let u8 t =
+    if remaining t < 1 then fail "u8: truncated at %d" t.pos;
+    let v = Char.code (Bytes.get t.data t.pos) in
+    t.pos <- t.pos + 1;
+    v
+
+  let u16 t =
+    let lo = u8 t in
+    let hi = u8 t in
+    lo lor (hi lsl 8)
+
+  let u32 t =
+    let lo = u16 t in
+    let hi = u16 t in
+    lo lor (hi lsl 16)
+
+  let u64 t =
+    let v = ref 0L in
+    for shift = 0 to 7 do
+      v := Int64.logor !v (Int64.shift_left (Int64.of_int (u8 t)) (8 * shift))
+    done;
+    !v
+
+  let varint t =
+    let rec go shift acc =
+      if shift > 56 then fail "varint: too long at %d" t.pos;
+      let b = u8 t in
+      let acc = acc lor ((b land 0x7F) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+
+  let bytes t n =
+    if n < 0 || remaining t < n then fail "bytes: truncated (%d wanted at %d)" n t.pos;
+    let b = Bytes.sub t.data t.pos n in
+    t.pos <- t.pos + n;
+    b
+
+  let sized_bytes t =
+    let n = varint t in
+    bytes t n
+
+  let string t = Bytes.to_string (sized_bytes t)
+
+  let expect_end t = if remaining t <> 0 then fail "trailing garbage: %d bytes" (remaining t)
+end
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 b =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  for i = 0 to Bytes.length b - 1 do
+    c := table.((!c lxor Char.code (Bytes.get b i)) land 0xFF) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF

@@ -1,0 +1,1 @@
+lib/workload/airline.ml: Afs_util Bytes List String Sut

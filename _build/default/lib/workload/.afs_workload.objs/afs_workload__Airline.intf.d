@@ -1,0 +1,1 @@
+lib/workload/airline.mli: Sut Workload

@@ -1,0 +1,1 @@
+lib/workload/bank.ml: Afs_util Bytes List String Sut

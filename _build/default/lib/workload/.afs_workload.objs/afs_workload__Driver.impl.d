@@ -1,0 +1,1 @@
+lib/workload/driver.ml: Afs_sim Afs_util Float Fmt Printf Sut

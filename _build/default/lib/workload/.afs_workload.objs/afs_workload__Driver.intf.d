@@ -1,0 +1,1 @@
+lib/workload/driver.mli: Afs_sim Fmt Sut Workload

@@ -1,0 +1,1 @@
+lib/workload/sut.mli: Afs_baseline Afs_core Afs_rpc Afs_sim Afs_util

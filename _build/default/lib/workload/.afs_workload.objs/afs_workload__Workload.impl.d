@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Afs_core Afs_util Array Bytes Char Hashtbl List Sut

@@ -1,0 +1,1 @@
+lib/workload/workload.mli: Afs_core Afs_util Sut

@@ -1,0 +1,48 @@
+module Xrng = Afs_util.Xrng
+module Zipf = Afs_util.Zipf
+
+type params = {
+  flights : int;
+  classes : int;
+  seats_per_class : int;
+  booking_fraction : float;
+  flight_theta : float;
+}
+
+let default =
+  { flights = 32; classes = 4; seats_per_class = 1_000_000; booking_fraction = 0.9;
+    flight_theta = 0.6 }
+
+let encode_seats n = Bytes.of_string (string_of_int n)
+
+let decode_seats b =
+  match int_of_string_opt (String.trim (Bytes.to_string b)) with
+  | Some n -> n
+  | None -> 0
+
+let initial_page p = encode_seats p.seats_per_class
+
+let book old =
+  let seats = decode_seats old in
+  encode_seats (max 0 (seats - 1))
+
+let generator p =
+  let flight_zipf = Zipf.create ~n:p.flights ~theta:p.flight_theta in
+  fun rng ->
+    let flight = Zipf.sample flight_zipf rng in
+    if Xrng.float rng 1.0 < p.booking_fraction then
+      (* Book one seat in one fare class. *)
+      let cls = Xrng.int rng p.classes in
+      { Sut.file = flight; ops = [ Sut.Rmw (cls, book) ] }
+    else
+      (* Availability query across every class of the flight. *)
+      { Sut.file = flight; ops = List.init p.classes (fun cls -> Sut.Read cls) }
+
+let total_seats sut p =
+  let total = ref 0 in
+  for flight = 0 to p.flights - 1 do
+    for cls = 0 to p.classes - 1 do
+      total := !total + decode_seats (sut.Sut.read_page flight cls)
+    done
+  done;
+  !total

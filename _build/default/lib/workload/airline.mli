@@ -1,0 +1,33 @@
+(** The paper's own motivating workload (§6): an airline reservation
+    system. "Changes in an airline reservation system for flights from San
+    Francisco to Los Angeles do not conflict with changes to reservations
+    on flights from Amsterdam to London."
+
+    Each flight is a small file; each fare class is a page holding a seat
+    counter. Bookings read-modify-write one counter; availability queries
+    read several. Because most bookings touch different flights (or
+    different classes), the optimistic mechanism almost never aborts —
+    which is precisely the claim the C1 experiment measures. *)
+
+type params = {
+  flights : int;
+  classes : int;  (** Pages per flight file. *)
+  seats_per_class : int;
+  booking_fraction : float;  (** Remainder are read-only queries. *)
+  flight_theta : float;  (** Popularity skew across flights. *)
+}
+
+val default : params
+
+val initial_page : params -> bytes
+(** The seat counter every page starts with. *)
+
+val generator : params -> Workload.generator
+(** Bookings decrement a seat counter (never below zero); queries read
+    every class of one flight. *)
+
+val decode_seats : bytes -> int
+
+val total_seats : Sut.t -> params -> int
+(** Sum of all counters in committed state — conserved minus committed
+    bookings, which the serialisability tests assert. *)

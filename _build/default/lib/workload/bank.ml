@@ -1,0 +1,60 @@
+module Xrng = Afs_util.Xrng
+module Zipf = Afs_util.Zipf
+
+type params = {
+  branches : int;
+  accounts : int;
+  initial_balance : int;
+  audit_fraction : float;
+  account_theta : float;
+}
+
+let default =
+  { branches = 8; accounts = 32; initial_balance = 1000; audit_fraction = 0.05;
+    account_theta = 0.4 }
+
+let encode n = Bytes.of_string (string_of_int n)
+
+let decode_balance b =
+  match int_of_string_opt (String.trim (Bytes.to_string b)) with
+  | Some n -> n
+  | None -> 0
+
+let initial_page p = encode p.initial_balance
+
+let generator p =
+  let account_zipf = Zipf.create ~n:p.accounts ~theta:p.account_theta in
+  fun rng ->
+    let branch = Xrng.int rng p.branches in
+    if Xrng.float rng 1.0 < p.audit_fraction then
+      { Sut.file = branch; ops = List.init p.accounts (fun a -> Sut.Read a) }
+    else begin
+      let from_acct = Zipf.sample account_zipf rng in
+      let to_acct =
+        let rec pick () =
+          let a = Zipf.sample account_zipf rng in
+          if a = from_acct then pick () else a
+        in
+        pick ()
+      in
+      let amount = 1 + Xrng.int rng 10 in
+      {
+        Sut.file = branch;
+        ops =
+          [
+            Sut.Rmw (from_acct, fun old -> encode (decode_balance old - amount));
+            Sut.Rmw (to_acct, fun old -> encode (decode_balance old + amount));
+          ];
+      }
+    end
+
+let total_money sut p =
+  let total = ref 0 in
+  for branch = 0 to p.branches - 1 do
+    for account = 0 to p.accounts - 1 do
+      total := !total + decode_balance (sut.Sut.read_page branch account)
+    done
+  done;
+  !total
+
+let expected_total p = p.branches * p.accounts * p.initial_balance

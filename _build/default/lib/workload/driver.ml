@@ -1,0 +1,90 @@
+module Engine = Afs_sim.Engine
+module Proc = Afs_sim.Proc
+module Xrng = Afs_util.Xrng
+module Stats = Afs_util.Stats
+
+type config = {
+  clients : int;
+  duration_ms : float;
+  think_ms : float;
+  max_retries : int;
+  seed : int;
+}
+
+let default_config =
+  { clients = 8; duration_ms = 10_000.0; think_ms = 20.0; max_retries = 16; seed = 42 }
+
+type report = {
+  sut_name : string;
+  committed : int;
+  given_up : int;
+  attempts : int;
+  elapsed_ms : float;
+  throughput_per_s : float;
+  mean_latency_ms : float;
+  p50_ms : float;
+  p99_ms : float;
+}
+
+let pp_report ppf r =
+  Fmt.pf ppf "%s: %d committed (%.1f/s), %d given up, %d attempts, lat mean %.2fms p99 %.2fms"
+    r.sut_name r.committed r.throughput_per_s r.given_up r.attempts r.mean_latency_ms r.p99_ms
+
+let header_row =
+  Printf.sprintf "%-14s %10s %9s %9s %10s %10s %10s %10s" "system" "committed" "given-up"
+    "attempts" "thru/s" "mean-ms" "p50-ms" "p99-ms"
+
+let report_row r =
+  Printf.sprintf "%-14s %10d %9d %9d %10.1f %10.2f %10.2f %10.2f" r.sut_name r.committed
+    r.given_up r.attempts r.throughput_per_s r.mean_latency_ms r.p50_ms r.p99_ms
+
+let run engine config sut ~gen =
+  let committed = ref 0 in
+  let given_up = ref 0 in
+  let attempts = ref 0 in
+  let latency = Stats.Histogram.create () in
+  let latency_sum = Stats.Summary.create () in
+  let master_rng = Xrng.create config.seed in
+  let client id =
+    let rng = Xrng.split master_rng in
+    ignore id;
+    fun () ->
+      (* Desynchronise client start-up. *)
+      Proc.delay (Xrng.float rng config.think_ms);
+      let rec loop () =
+        if Engine.now engine < config.duration_ms then begin
+          Proc.delay (Xrng.exponential rng config.think_ms);
+          if Engine.now engine < config.duration_ms then begin
+            let spec = gen rng in
+            let t0 = Engine.now engine in
+            let result = sut.Sut.exec spec ~max_retries:config.max_retries in
+            let dt = Engine.now engine -. t0 in
+            attempts := !attempts + result.Sut.attempts;
+            if result.Sut.committed then begin
+              incr committed;
+              Stats.Histogram.add latency dt;
+              Stats.Summary.add latency_sum dt
+            end
+            else incr given_up;
+            loop ()
+          end
+        end
+      in
+      loop ()
+  in
+  for id = 1 to config.clients do
+    ignore (Proc.spawn ~name:(Printf.sprintf "client-%d" id) engine (client id))
+  done;
+  Engine.run engine;
+  let elapsed_ms = Float.max (Engine.now engine) config.duration_ms in
+  {
+    sut_name = sut.Sut.name;
+    committed = !committed;
+    given_up = !given_up;
+    attempts = !attempts;
+    elapsed_ms;
+    throughput_per_s = float_of_int !committed /. (elapsed_ms /. 1000.0);
+    mean_latency_ms = Stats.Summary.mean latency_sum;
+    p50_ms = Stats.Histogram.percentile latency 0.50;
+    p99_ms = Stats.Histogram.percentile latency 0.99;
+  }

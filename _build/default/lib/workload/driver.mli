@@ -1,0 +1,41 @@
+(** The closed-loop multi-client experiment driver.
+
+    Spawns [clients] simulated processes, each alternating exponential
+    think time with one generated transaction run through the SUT, until
+    the virtual clock passes [duration_ms]. Reports throughput, abort
+    rate and latency percentiles in simulated time — the same numbers for
+    every backend, which is what makes the C1-style comparisons fair. *)
+
+type config = {
+  clients : int;
+  duration_ms : float;
+  think_ms : float;  (** Mean of the exponential think time. *)
+  max_retries : int;
+  seed : int;
+}
+
+val default_config : config
+
+type report = {
+  sut_name : string;
+  committed : int;
+  given_up : int;  (** Transactions that exhausted their retry budget. *)
+  attempts : int;  (** Total executions including redos. *)
+  elapsed_ms : float;
+  throughput_per_s : float;  (** Committed transactions per simulated second. *)
+  mean_latency_ms : float;
+  p50_ms : float;
+  p99_ms : float;
+}
+
+val pp_report : report Fmt.t
+
+val report_row : report -> string
+(** Fixed-width table row (see {!header_row}). *)
+
+val header_row : string
+
+val run :
+  Afs_sim.Engine.t -> config -> Sut.t -> gen:Workload.generator -> report
+(** Must be called with a quiescent engine; returns once the engine has
+    drained. *)

@@ -1,0 +1,304 @@
+module Capability = Afs_util.Capability
+module Pagepath = Afs_util.Pagepath
+module Server = Afs_core.Server
+module Errors = Afs_core.Errors
+module Remote = Afs_rpc.Remote
+module Twopl = Afs_baseline.Twopl
+module Tsorder = Afs_baseline.Tsorder
+module Proc = Afs_sim.Proc
+
+type op = Read of int | Write of int * bytes | Rmw of int * (bytes -> bytes)
+
+type txn_spec = { file : int; ops : op list }
+
+type exec_result = { committed : bool; attempts : int }
+
+type t = {
+  name : string;
+  exec : txn_spec -> max_retries:int -> exec_result;
+  stats : unit -> (string * int) list;
+  read_page : int -> int -> bytes;
+}
+
+let fatal where = function
+  | Ok v -> v
+  | Error e -> failwith (Printf.sprintf "%s: %s" where (Errors.to_string e))
+
+let page_path i = Pagepath.of_list [ i ]
+
+(* {2 Amoeba file service, direct} *)
+
+let afs_local server ~files =
+  let run_ops version ops =
+    let rec go = function
+      | [] -> Ok ()
+      | Read i :: rest -> (
+          match Server.read_page server version (page_path i) with
+          | Ok _ -> go rest
+          | Error _ as e -> Result.map (fun _ -> ()) e)
+      | Write (i, data) :: rest -> (
+          match Server.write_page server version (page_path i) data with
+          | Ok () -> go rest
+          | Error _ as e -> e)
+      | Rmw (i, f) :: rest -> (
+          match Server.read_page server version (page_path i) with
+          | Error _ as e -> Result.map (fun _ -> ()) e
+          | Ok v -> (
+              match Server.write_page server version (page_path i) (f v) with
+              | Ok () -> go rest
+              | Error _ as e -> e))
+    in
+    go ops
+  in
+  let exec spec ~max_retries =
+    let file = files.(spec.file) in
+    let rec attempt n =
+      match Server.create_version server file with
+      | Error (Errors.Locked_out _) ->
+          if n < max_retries then attempt (n + 1) else { committed = false; attempts = n }
+      | Error e -> failwith ("afs_local create_version: " ^ Errors.to_string e)
+      | Ok version -> (
+          match run_ops version spec.ops with
+          | Error e ->
+              ignore (Server.abort_version server version);
+              failwith ("afs_local ops: " ^ Errors.to_string e)
+          | Ok () -> (
+              match Server.commit server version with
+              | Ok () -> { committed = true; attempts = n }
+              | Error Errors.Conflict ->
+                  if n < max_retries then attempt (n + 1)
+                  else { committed = false; attempts = n }
+              | Error e -> failwith ("afs_local commit: " ^ Errors.to_string e)))
+    in
+    attempt 1
+  in
+  let read_page file page =
+    let cap = fatal "current_version" (Server.current_version server files.(file)) in
+    fatal "read_page" (Server.read_page server cap (page_path page))
+  in
+  {
+    name = "afs-occ";
+    exec;
+    stats = (fun () -> Afs_util.Stats.Counter.to_list (Server.counters server));
+    read_page;
+  }
+
+(* {2 Amoeba file service over simulated RPC} *)
+
+let afs_remote ?(name = "afs-occ-rpc") ?(respect_hints = false) conn ~fallback ~files =
+  let run_ops version ops =
+    let rec go = function
+      | [] -> Ok ()
+      | Read i :: rest -> (
+          match Remote.read_page conn version (page_path i) with
+          | Ok _ -> go rest
+          | Error _ as e -> Result.map (fun _ -> ()) e)
+      | Write (i, data) :: rest -> (
+          match Remote.write_page conn version (page_path i) data with
+          | Ok () -> go rest
+          | Error _ as e -> e)
+      | Rmw (i, f) :: rest -> (
+          match Remote.read_page conn version (page_path i) with
+          | Error _ as e -> Result.map (fun _ -> ()) e
+          | Ok v -> (
+              match Remote.write_page conn version (page_path i) (f v) with
+              | Ok () -> go rest
+              | Error _ as e -> e))
+    in
+    go ops
+  in
+  let exec spec ~max_retries =
+    let file = files.(spec.file) in
+    let rec attempt n =
+      match Remote.create_version ~respect_hints conn file with
+      | Error (Errors.Locked_out _) ->
+          if n < max_retries then begin
+            (* Soft lock or super-file lock: wait for the hint to clear. *)
+            Proc.delay 5.0;
+            attempt (n + 1)
+          end
+          else { committed = false; attempts = n }
+      | Error e -> failwith ("afs_remote create_version: " ^ Errors.to_string e)
+      | Ok version -> (
+          match run_ops version spec.ops with
+          | Error e ->
+              ignore (Remote.abort_version conn version);
+              failwith ("afs_remote ops: " ^ Errors.to_string e)
+          | Ok () -> (
+              match Remote.commit conn version with
+              | Ok () -> { committed = true; attempts = n }
+              | Error Errors.Conflict ->
+                  if n < max_retries then attempt (n + 1)
+                  else { committed = false; attempts = n }
+              | Error e -> failwith ("afs_remote commit: " ^ Errors.to_string e)))
+    in
+    attempt 1
+  in
+  let read_page file page =
+    let cap = fatal "current_version" (Server.current_version fallback files.(file)) in
+    fatal "read_page" (Server.read_page fallback cap (page_path page))
+  in
+  {
+    name;
+    exec;
+    stats = (fun () -> Afs_util.Stats.Counter.to_list (Server.counters fallback));
+    read_page;
+  }
+
+(* {2 Remote execution of baseline operations}
+
+   When an engine is supplied, each backend operation becomes one request
+   to a serialised RPC endpoint (same latency and CPU cost as the AFS
+   host), so baseline transactions interleave between requests exactly
+   like AFS transactions do. The request carries a thunk; the reply
+   timing carries the cost. *)
+
+type op_call = unit -> unit
+
+let make_op_rpc engine name : (op_call, unit) Afs_rpc.Rpc.t =
+  Afs_rpc.Rpc.serve ~latency_ms:2.0 ~proc_ms:0.2 engine ~name ~handler:(fun f -> f ())
+
+let remote_runner = function
+  | None -> fun f -> f ()
+  | Some rpc ->
+      fun f ->
+        let result = ref None in
+        (match Afs_rpc.Rpc.call rpc (fun () -> result := Some (f ())) with
+        | Ok () -> ()
+        | Error _ -> failwith "baseline op server crashed");
+        (match !result with Some v -> v | None -> failwith "baseline op lost")
+
+(* {2 XDFS-style two-phase locking} *)
+
+let max_lock_waits = 40
+
+(* A competent locking client acquires locks in a canonical order so that
+   transactions over the same pages cannot deadlock; the generator's pages
+   are distinct, so sorting by page is behaviour-preserving. *)
+let sort_ops ops =
+  let page = function Read p -> p | Write (p, _) -> p | Rmw (p, _) -> p in
+  List.stable_sort (fun a b -> compare (page a) (page b)) ops
+
+let twopl ?remote backend ~pages_per_file ~retry_wait_ms =
+  let rpc = Option.map (fun engine -> make_op_rpc engine "xdfs-2pl") remote in
+  let run : type a. (unit -> a) -> a = fun f -> remote_runner rpc f in
+  let obj file page = (file * 65536) + page in
+  assert (pages_per_file <= 65536);
+  let exec spec ~max_retries =
+    let rec attempt n =
+      let txn = run (fun () -> Twopl.begin_ backend) in
+      (* Each operation spins on denials: prod vulnerable holders, wait
+         otherwise; too many waits aborts the transaction (deadlock
+         resolution by timeout, as XDFS's vulnerable locks intend). *)
+      let with_lock_wait op_once =
+        let rec try_op waits =
+          match run op_once with
+          | Ok v -> Some v
+          | Error (d : Twopl.denial) ->
+              if d.Twopl.holder = 0 then None (* We were prodded out: redo. *)
+              else if waits >= max_lock_waits then None
+              else begin
+                if d.Twopl.vulnerable then
+                  ignore (run (fun () -> Twopl.prod backend ~victim:d.Twopl.holder));
+                Proc.delay retry_wait_ms;
+                try_op (waits + 1)
+              end
+        in
+        try_op 0
+      in
+      let rec run_ops = function
+        | [] -> Some ()
+        | Read i :: rest -> (
+            match with_lock_wait (fun () -> Twopl.read backend txn ~obj:(obj spec.file i)) with
+            | Some _ -> run_ops rest
+            | None -> None)
+        | Write (i, data) :: rest -> (
+            match
+              with_lock_wait (fun () -> Twopl.write backend txn ~obj:(obj spec.file i) data)
+            with
+            | Some () -> run_ops rest
+            | None -> None)
+        | Rmw (i, f) :: rest -> (
+            (* Update-lock first: reserve, then read, then write. *)
+            match with_lock_wait (fun () -> Twopl.reserve backend txn ~obj:(obj spec.file i)) with
+            | None -> None
+            | Some () -> (
+                match
+                  with_lock_wait (fun () -> Twopl.read backend txn ~obj:(obj spec.file i))
+                with
+                | None -> None
+                | Some v -> (
+                    match
+                      with_lock_wait (fun () ->
+                          Twopl.write backend txn ~obj:(obj spec.file i) (f v))
+                    with
+                    | Some () -> run_ops rest
+                    | None -> None)))
+      in
+      let redo () =
+        run (fun () -> Twopl.abort backend txn);
+        if n < max_retries then attempt (n + 1) else { committed = false; attempts = n }
+      in
+      match run_ops (sort_ops spec.ops) with
+      | None -> redo ()
+      | Some () -> (
+          match with_lock_wait (fun () -> Twopl.commit backend txn) with
+          | Some () -> { committed = true; attempts = n }
+          | None -> redo ())
+    in
+    attempt 1
+  in
+  {
+    name = "xdfs-2pl";
+    exec;
+    stats = (fun () -> Twopl.stats backend);
+    read_page = (fun file page -> Twopl.value backend ~obj:(obj file page));
+  }
+
+(* {2 SWALLOW-style timestamp ordering} *)
+
+let tsorder ?remote backend ~pages_per_file =
+  let rpc = Option.map (fun engine -> make_op_rpc engine "swallow-ts") remote in
+  let run : type a. (unit -> a) -> a = fun f -> remote_runner rpc f in
+  let obj file page = (file * 65536) + page in
+  assert (pages_per_file <= 65536);
+  let exec spec ~max_retries =
+    let rec attempt n =
+      let txn = run (fun () -> Tsorder.begin_ backend) in
+      let rec run_ops = function
+        | [] -> Some ()
+        | Read i :: rest -> (
+            match run (fun () -> Tsorder.read backend txn ~obj:(obj spec.file i)) with
+            | Ok _ -> run_ops rest
+            | Error `Late_read -> None)
+        | Write (i, data) :: rest -> (
+            match run (fun () -> Tsorder.write backend txn ~obj:(obj spec.file i) data) with
+            | Ok () -> run_ops rest
+            | Error (`Late_write _) -> None)
+        | Rmw (i, f) :: rest -> (
+            match run (fun () -> Tsorder.read backend txn ~obj:(obj spec.file i)) with
+            | Error `Late_read -> None
+            | Ok v -> (
+                match run (fun () -> Tsorder.write backend txn ~obj:(obj spec.file i) (f v)) with
+                | Ok () -> run_ops rest
+                | Error (`Late_write _) -> None))
+      in
+      let redo () =
+        run (fun () -> Tsorder.abort backend txn);
+        if n < max_retries then attempt (n + 1) else { committed = false; attempts = n }
+      in
+      match run_ops spec.ops with
+      | None -> redo ()
+      | Some () -> (
+          match run (fun () -> Tsorder.commit backend txn) with
+          | Ok () -> { committed = true; attempts = n }
+          | Error (`Late_write _) -> redo ())
+    in
+    attempt 1
+  in
+  {
+    name = "swallow-ts";
+    exec;
+    stats = (fun () -> Tsorder.stats backend);
+    read_page = (fun file page -> Tsorder.value backend ~obj:(obj file page));
+  }

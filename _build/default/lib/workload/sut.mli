@@ -1,0 +1,63 @@
+(** The system-under-test abstraction the workload driver runs against.
+
+    A transaction is a file plus a list of page operations; [Rmw] makes
+    the written value depend on the read one, which is what lets the
+    test-suite check serialisability by invariant (conserved totals) on
+    every backend. Adapters exist for the Amoeba file service (local and
+    over simulated RPC), the XDFS-style locking baseline and the
+    SWALLOW-style timestamp baseline, each encoding its own redo/wait
+    policy. *)
+
+type op =
+  | Read of int
+  | Write of int * bytes
+  | Rmw of int * (bytes -> bytes)  (** Read page, write the transform. *)
+
+type txn_spec = { file : int; ops : op list }
+
+type exec_result = {
+  committed : bool;
+  attempts : int;  (** 1 = first try succeeded. *)
+}
+
+type t = {
+  name : string;
+  exec : txn_spec -> max_retries:int -> exec_result;
+      (** Runs one transaction to completion, including the backend's own
+          waiting/redo policy. Inside a simulation process this advances
+          virtual time. *)
+  stats : unit -> (string * int) list;
+  read_page : int -> int -> bytes;
+      (** [read_page file page] outside any transaction, for invariant
+          checks. *)
+}
+
+val afs_local : Afs_core.Server.t -> files:Afs_util.Capability.t array -> t
+(** Direct calls, no simulated time: for logic tests and CPU benchmarks.
+    Pages are the children [0..n-1] of each file's root. *)
+
+val afs_remote :
+  ?name:string ->
+  ?respect_hints:bool ->
+  Afs_rpc.Remote.conn ->
+  fallback:Afs_core.Server.t ->
+  files:Afs_util.Capability.t array ->
+  t
+(** Over simulated RPC; conflicts redo immediately (optimistic policy).
+    [fallback] is only used for out-of-band invariant reads.
+    [respect_hints] enables the §5.3 soft-lock scheme on version
+    creation. *)
+
+val twopl :
+  ?remote:Afs_sim.Engine.t ->
+  Afs_baseline.Twopl.t -> pages_per_file:int -> retry_wait_ms:float -> t
+(** Lock denials wait [retry_wait_ms] of simulated time and retry,
+    prodding vulnerable holders; a bounded number of waits, then abort
+    and redo. Must run inside a simulation process. With [remote], every
+    operation is one request to a serialised RPC endpoint with the same
+    cost model as {!afs_remote} — the fair-comparison configuration,
+    under which lock state genuinely interleaves between clients. *)
+
+val tsorder : ?remote:Afs_sim.Engine.t -> Afs_baseline.Tsorder.t -> pages_per_file:int -> t
+(** Late writes abort immediately and redo with a fresh timestamp.
+    [remote] as in {!twopl}. *)

@@ -1,0 +1,94 @@
+module Xrng = Afs_util.Xrng
+module Zipf = Afs_util.Zipf
+module Pagepath = Afs_util.Pagepath
+module Server = Afs_core.Server
+
+type shape = {
+  nfiles : int;
+  pages_per_file : int;
+  read_pages : int;
+  rmw_pages : int;
+  payload_bytes : int;
+  file_theta : float;
+  page_theta : float;
+}
+
+let small_updates =
+  {
+    nfiles = 64;
+    pages_per_file = 16;
+    read_pages = 1;
+    rmw_pages = 1;
+    payload_bytes = 64;
+    file_theta = 0.0;
+    page_theta = 0.0;
+  }
+
+let large_updates =
+  {
+    nfiles = 4;
+    pages_per_file = 64;
+    read_pages = 16;
+    rmw_pages = 16;
+    payload_bytes = 64;
+    file_theta = 0.8;
+    page_theta = 0.8;
+  }
+
+type generator = Xrng.t -> Sut.txn_spec
+
+let payload rng size =
+  Bytes.init size (fun _ -> Char.chr (32 + Xrng.int rng 95))
+
+(* Sample [count] distinct pages through the Zipf sampler (rejection on
+   duplicates; count is required to be at most the page population). *)
+let distinct_pages rng zipf count taken =
+  let rec draw acc remaining =
+    if remaining = 0 then acc
+    else
+      let p = Zipf.sample zipf rng in
+      if Hashtbl.mem taken p then draw acc remaining
+      else begin
+        Hashtbl.replace taken p ();
+        draw (p :: acc) (remaining - 1)
+      end
+  in
+  draw [] count
+
+let make shape =
+  if shape.read_pages + shape.rmw_pages > shape.pages_per_file then
+    invalid_arg "Workload.make: transaction larger than a file";
+  let file_zipf = Zipf.create ~n:shape.nfiles ~theta:shape.file_theta in
+  let page_zipf = Zipf.create ~n:shape.pages_per_file ~theta:shape.page_theta in
+  fun rng ->
+    let file = Zipf.sample file_zipf rng in
+    let taken = Hashtbl.create 16 in
+    let reads = distinct_pages rng page_zipf shape.read_pages taken in
+    let writes = distinct_pages rng page_zipf shape.rmw_pages taken in
+    let data = payload rng shape.payload_bytes in
+    let ops =
+      List.map (fun p -> Sut.Read p) reads
+      @ List.map (fun p -> Sut.Rmw (p, fun _old -> data)) writes
+    in
+    { Sut.file; ops }
+
+let setup_pages server shape ~initial =
+  let open Afs_core.Errors in
+  let rec make_files i acc =
+    if i >= shape.nfiles then Ok (Array.of_list (List.rev acc))
+    else
+      let* cap = Server.create_file server () in
+      let* version = Server.create_version server cap in
+      let rec add_pages p =
+        if p >= shape.pages_per_file then Ok ()
+        else
+          let* _ =
+            Server.insert_page server version ~parent:Pagepath.root ~index:p ~data:initial ()
+          in
+          add_pages (p + 1)
+      in
+      let* () = add_pages 0 in
+      let* () = Server.commit server version in
+      make_files (i + 1) (cap :: acc)
+  in
+  make_files 0 []

@@ -1,0 +1,37 @@
+(** Parameterised transaction generators.
+
+    The shape mirrors the knobs the paper's claims turn on: how much a
+    transaction touches (update size), how skewed access is (conflict
+    probability) and how much of the work is read-only. *)
+
+type shape = {
+  nfiles : int;
+  pages_per_file : int;
+  read_pages : int;  (** Read-only pages per transaction. *)
+  rmw_pages : int;  (** Read-modify-write pages per transaction. *)
+  payload_bytes : int;  (** Size of written values. *)
+  file_theta : float;  (** Zipf skew over files (0 = uniform). *)
+  page_theta : float;  (** Zipf skew over pages within a file. *)
+}
+
+val small_updates : shape
+(** The paper's favourable regime: one-page read-modify-writes over many
+    files. *)
+
+val large_updates : shape
+(** The unfavourable regime: transactions touching a large fraction of a
+    hot file. *)
+
+type generator = Afs_util.Xrng.t -> Sut.txn_spec
+
+val make : shape -> generator
+(** Distinct pages per transaction; read-only operations precede writes. *)
+
+val setup_pages :
+  Afs_core.Server.t -> shape -> initial:bytes ->
+  Afs_util.Capability.t array Afs_core.Errors.r
+(** Create [nfiles] files, each with [pages_per_file] children of the root
+    holding [initial] — the layout every {!Sut} adapter assumes. *)
+
+val payload : Afs_util.Xrng.t -> int -> bytes
+(** Random printable payload of the given size. *)

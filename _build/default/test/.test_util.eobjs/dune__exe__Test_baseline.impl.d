@@ -1,0 +1,1 @@
+test/test_baseline.ml: Afs_baseline Afs_util Alcotest Bytes Helpers Printf

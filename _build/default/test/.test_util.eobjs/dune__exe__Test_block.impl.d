@@ -1,0 +1,1 @@
+test/test_block.ml: Afs_block Afs_disk Afs_util Alcotest Block_server Fmt Hashtbl Helpers List

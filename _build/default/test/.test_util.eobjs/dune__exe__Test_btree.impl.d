@@ -1,0 +1,1 @@
+test/test_btree.ml: Afs_core Afs_files Afs_util Alcotest Btree Client Hashtbl Helpers List Printf QCheck2 QCheck_alcotest Server

@@ -1,0 +1,1 @@
+test/test_cache.ml: Afs_core Afs_util Alcotest Cache Helpers List Option Printf Server

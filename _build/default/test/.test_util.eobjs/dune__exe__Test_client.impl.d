@@ -1,0 +1,1 @@
+test/test_client.ml: Afs_core Afs_util Alcotest Bytes Client Errors Helpers List Server

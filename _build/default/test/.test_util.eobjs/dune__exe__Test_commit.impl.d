@@ -1,0 +1,1 @@
+test/test_commit.ml: Afs_core Afs_util Alcotest Helpers List Ports Printf Server Store

@@ -1,0 +1,1 @@
+test/test_crash_prop.ml: Afs_core Afs_stable Afs_util Alcotest Array Fmt Hashtbl Helpers List Pagestore Printf QCheck2 QCheck_alcotest Server Store

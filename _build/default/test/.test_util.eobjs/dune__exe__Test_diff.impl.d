@@ -1,0 +1,1 @@
+test/test_diff.ml: Afs_core Afs_util Alcotest Helpers List Pagestore Printf Serialise Server Store

@@ -1,0 +1,1 @@
+test/test_disk.ml: Afs_disk Alcotest Bytes Disk Fmt Helpers Media

@@ -1,0 +1,1 @@
+test/test_flags.ml: Afs_core Alcotest Flags Fun Helpers List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_gc.ml: Afs_core Afs_sim Afs_util Alcotest Array Gc Helpers List Pagestore Printf Server Store

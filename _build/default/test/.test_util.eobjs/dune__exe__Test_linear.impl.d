@@ -1,0 +1,1 @@
+test/test_linear.ml: Afs_core Afs_files Afs_util Alcotest Bytes Char Client Errors Helpers Linear Printf QCheck2 QCheck_alcotest Server String

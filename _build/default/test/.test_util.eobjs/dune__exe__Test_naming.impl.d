@@ -1,0 +1,1 @@
+test/test_naming.ml: Afs_core Afs_naming Afs_util Alcotest Char Client Directory Errors Helpers List Option Printf Server String

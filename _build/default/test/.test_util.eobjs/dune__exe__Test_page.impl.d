@@ -1,0 +1,1 @@
+test/test_page.ml: Afs_core Afs_util Alcotest Array Bytes Char Flags Helpers Page Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_pagestore.ml: Afs_core Alcotest Errors Helpers Page Pagestore Store String

@@ -1,0 +1,1 @@
+test/test_recovery.ml: Afs_baseline Afs_block Afs_core Afs_disk Afs_stable Afs_util Alcotest Array Fmt Helpers List Pagestore Printf Server Store

@@ -1,0 +1,1 @@
+test/test_rpc.ml: Afs_core Afs_rpc Afs_sim Afs_util Alcotest Engine Fmt Fun Helpers List Printf Proc Remote Rpc

@@ -1,0 +1,1 @@
+test/test_serialise_prop.ml: Afs_core Afs_util Alcotest Array Errors Helpers List Printf QCheck2 QCheck_alcotest Server String

@@ -1,0 +1,1 @@
+test/test_serialise_prop.mli:

@@ -1,0 +1,1 @@
+test/test_server.ml: Afs_core Afs_util Alcotest Array Bytes Errors Flags Gc Helpers List Printf Server Store

@@ -1,0 +1,1 @@
+test/test_sim.ml: Afs_sim Afs_util Alcotest Channel Engine Helpers Ivar List Proc

@@ -1,0 +1,1 @@
+test/test_stable.ml: Afs_disk Afs_stable Alcotest Fmt Helpers List Printf Stable_pair

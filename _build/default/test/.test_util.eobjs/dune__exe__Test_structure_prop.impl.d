@@ -1,0 +1,1 @@
+test/test_structure_prop.ml: Afs_core Afs_util Alcotest Errors Helpers List Printf QCheck2 QCheck_alcotest Result Server

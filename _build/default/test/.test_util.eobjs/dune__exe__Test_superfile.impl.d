@@ -1,0 +1,1 @@
+test/test_superfile.ml: Afs_core Afs_util Alcotest Errors Helpers List Ports Printf Server Superfile

@@ -1,0 +1,1 @@
+test/test_util.ml: Afs_util Alcotest Array Bytes Capability Fun Helpers List Option Pagepath Printf Stats Wire Xrng Zipf

@@ -1,0 +1,1 @@
+test/test_workload.ml: Afs_baseline Afs_core Afs_rpc Afs_sim Afs_util Afs_workload Airline Alcotest Array Bank Driver Helpers List Printf Sut Workload

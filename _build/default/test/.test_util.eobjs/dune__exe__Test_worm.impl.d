@@ -1,0 +1,1 @@
+test/test_worm.ml: Afs_core Afs_util Alcotest Helpers List Pagestore Printf Server Store

@@ -1,0 +1,48 @@
+(** Shared plumbing for the alcotest suites. *)
+
+module Errors = Afs_core.Errors
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" (Errors.to_string e)
+
+let ok_str = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unexpected error: %s" msg
+
+let expect_error what = function
+  | Ok _ -> Alcotest.failf "expected %s error, got Ok" what
+  | Error (_ : Errors.t) -> ()
+
+let expect_conflict = function
+  | Error Errors.Conflict -> ()
+  | Ok _ -> Alcotest.fail "expected Conflict, got Ok"
+  | Error e -> Alcotest.failf "expected Conflict, got %s" (Errors.to_string e)
+
+let bytes = Bytes.of_string
+let str = Bytes.to_string
+
+let check_bytes msg expected actual = Alcotest.(check string) msg expected (str actual)
+
+let quick name f = Alcotest.test_case name `Quick f
+
+(** Fresh in-memory server. *)
+let fresh_server ?(seed = 7) () =
+  let store = Afs_core.Store.memory () in
+  (store, Afs_core.Server.create ~seed store)
+
+(** A file with [n] pages "p0".."p(n-1)" under the root. *)
+let file_with_pages server n =
+  let open Afs_core in
+  let cap = ok (Server.create_file server ~data:(bytes "root") ()) in
+  let v = ok (Server.create_version server cap) in
+  for i = 0 to n - 1 do
+    ignore
+      (ok
+         (Server.insert_page server v ~parent:Afs_util.Pagepath.root ~index:i
+            ~data:(bytes (Printf.sprintf "p%d" i)) ()))
+  done;
+  ok (Server.commit server v);
+  cap
+
+let path l = Afs_util.Pagepath.of_list l

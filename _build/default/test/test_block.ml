@@ -1,0 +1,178 @@
+open Afs_block
+module Disk = Afs_disk.Disk
+module Media = Afs_disk.Media
+module B = Block_server
+
+let quick = Helpers.quick
+let bytes = Helpers.bytes
+
+let fresh ?policy ?(blocks = 64) () =
+  let disk = Disk.create ~media:Media.electronic ~blocks ~block_size:1024 in
+  B.create ?policy ~disk ()
+
+let ok (o : 'a B.outcome) =
+  match o.B.result with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "block server error: %s" (Fmt.str "%a" B.pp_error e)
+
+let expect name pred (o : 'a B.outcome) =
+  match o.B.result with
+  | Ok _ -> Alcotest.failf "%s: expected error" name
+  | Error e -> Alcotest.(check bool) name true (pred e)
+
+let alice = 1
+let bob = 2
+
+let test_allocate_write_read () =
+  let s = fresh () in
+  let b = ok (B.allocate s alice) in
+  ignore (ok (B.write s alice b (bytes "data")));
+  Helpers.check_bytes "read back" "data" (ok (B.read s alice b))
+
+let test_allocation_is_unique () =
+  let s = fresh () in
+  let seen = Hashtbl.create 64 in
+  for _ = 1 to 32 do
+    let b = ok (B.allocate s alice) in
+    Alcotest.(check bool) "unique" false (Hashtbl.mem seen b);
+    Hashtbl.replace seen b ()
+  done
+
+let test_exhaustion () =
+  let s = fresh ~blocks:4 () in
+  for _ = 1 to 4 do
+    ignore (ok (B.allocate s alice))
+  done;
+  expect "exhausted" (function B.No_free_blocks -> true | _ -> false) (B.allocate s alice)
+
+let test_deallocate_recycles () =
+  let s = fresh ~blocks:2 () in
+  let b0 = ok (B.allocate s alice) in
+  let _b1 = ok (B.allocate s alice) in
+  ignore (ok (B.deallocate s alice b0));
+  let b2 = ok (B.allocate s alice) in
+  Alcotest.(check int) "recycled" b0 b2
+
+let test_protection () =
+  let s = fresh () in
+  let b = ok (B.allocate s alice) in
+  ignore (ok (B.write s alice b (bytes "secret")));
+  expect "read denied" (function B.Not_owner _ -> true | _ -> false) (B.read s bob b);
+  expect "write denied" (function B.Not_owner _ -> true | _ -> false)
+    (B.write s bob b (bytes "overwrite"));
+  expect "free denied" (function B.Not_owner _ -> true | _ -> false) (B.deallocate s bob b)
+
+let test_unallocated_access () =
+  let s = fresh () in
+  expect "read unallocated" (function B.Not_allocated 7 -> true | _ -> false)
+    (B.read s alice 7)
+
+let test_allocate_at () =
+  let s = fresh () in
+  ignore (ok (B.allocate_at s alice 9));
+  Alcotest.(check (option int)) "owner" (Some alice) (B.owner_of s 9);
+  expect "collision" (function B.Not_allocated 9 -> true | _ -> false)
+    (B.allocate_at s bob 9)
+
+let test_locking () =
+  let s = fresh () in
+  let b = ok (B.allocate s alice) in
+  ignore (ok (B.lock s alice b));
+  Alcotest.(check (option int)) "holder" (Some alice) (B.locked_by s b);
+  (* Re-entrant for the same account. *)
+  ignore (ok (B.lock s alice b));
+  (* Lock excludes writes by others: the block is alice's anyway, but a
+     second file server under the same account must be excluded. *)
+  ignore (ok (B.unlock s alice b));
+  Alcotest.(check (option int)) "released" None (B.locked_by s b)
+
+let test_lock_blocks_other_account_unlock () =
+  let s = fresh () in
+  let b = ok (B.allocate s alice) in
+  ignore (ok (B.lock s alice b));
+  expect "foreign unlock" (function B.Locked _ -> true | _ -> false) (B.unlock s bob b);
+  expect "unlock not locked" (function B.Not_locked _ -> true | _ -> false)
+    (B.unlock s bob (ok (B.allocate s bob)))
+
+let test_deallocate_clears_lock_state () =
+  let s = fresh () in
+  let b = ok (B.allocate s alice) in
+  ignore (ok (B.lock s alice b));
+  ignore (ok (B.deallocate s alice b));
+  Alcotest.(check (option int)) "lock gone" None (B.locked_by s b)
+
+let test_recovery_listing () =
+  let s = fresh () in
+  let a1 = ok (B.allocate s alice) in
+  let _b1 = ok (B.allocate s bob) in
+  let a2 = ok (B.allocate s alice) in
+  Alcotest.(check (list int)) "alice's blocks" (List.sort compare [ a1; a2 ])
+    (B.owned_blocks s alice);
+  Alcotest.(check int) "total" 3 (B.allocated_blocks s)
+
+let test_clear_locks () =
+  let s = fresh () in
+  let b = ok (B.allocate s alice) in
+  ignore (ok (B.lock s alice b));
+  B.clear_locks s;
+  Alcotest.(check (option int)) "volatile locks gone" None (B.locked_by s b);
+  Alcotest.(check (option int)) "ownership survives" (Some alice) (B.owner_of s b)
+
+let test_randomised_policy_allocates_all () =
+  let rng = Afs_util.Xrng.create 77 in
+  let s = fresh ~policy:(B.Randomised rng) ~blocks:16 () in
+  let seen = Hashtbl.create 16 in
+  for _ = 1 to 16 do
+    let b = ok (B.allocate s alice) in
+    Alcotest.(check bool) "unique" false (Hashtbl.mem seen b);
+    Hashtbl.replace seen b ()
+  done;
+  expect "then exhausted" (function B.No_free_blocks -> true | _ -> false)
+    (B.allocate s alice)
+
+let test_disk_error_surfaces () =
+  let s = fresh () in
+  let b = ok (B.allocate s alice) in
+  ignore (ok (B.write s alice b (bytes "x")));
+  Disk.set_offline (B.disk s) true;
+  expect "disk offline" (function B.Disk_error Disk.Offline -> true | _ -> false)
+    (B.read s alice b)
+
+let test_cost_includes_disk_time () =
+  let disk = Disk.create ~media:Media.magnetic ~blocks:8 ~block_size:1024 in
+  let s = B.create ~disk () in
+  let b = ok (B.allocate s alice) in
+  let w = B.write s alice b (bytes "payload") in
+  Alcotest.(check bool) "write cost > seek" true (w.B.cost_ms > 28.0)
+
+let () =
+  Alcotest.run "block_server"
+    [
+      ( "allocation",
+        [
+          quick "allocate/write/read" test_allocate_write_read;
+          quick "unique allocation" test_allocation_is_unique;
+          quick "exhaustion" test_exhaustion;
+          quick "deallocate recycles" test_deallocate_recycles;
+          quick "allocate_at" test_allocate_at;
+          quick "randomised policy covers disk" test_randomised_policy_allocates_all;
+        ] );
+      ( "protection",
+        [
+          quick "cross-account denied" test_protection;
+          quick "unallocated access" test_unallocated_access;
+        ] );
+      ( "locking",
+        [
+          quick "lock/unlock" test_locking;
+          quick "foreign unlock denied" test_lock_blocks_other_account_unlock;
+          quick "deallocate clears lock" test_deallocate_clears_lock_state;
+          quick "clear_locks volatile" test_clear_locks;
+        ] );
+      ( "recovery",
+        [
+          quick "owned_blocks listing" test_recovery_listing;
+          quick "disk errors surface" test_disk_error_surfaces;
+          quick "cost includes disk" test_cost_includes_disk_time;
+        ] );
+    ]

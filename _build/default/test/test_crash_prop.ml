@@ -1,0 +1,156 @@
+(* Crash-injection properties: "the file system is always in a consistent
+   state" (§3.1), whatever the crash point.
+
+   A random workload runs with a crash injected at a random operation
+   boundary (losing all volatile state); a fresh server is then built from
+   the raw blocks and must see exactly the committed prefix — never a torn
+   update, never a lost commit. A second property subjects the stable-
+   storage pair to random crash/wipe/restart sequences interleaved with
+   writes and checks the surviving copy is always the newest. *)
+
+open Afs_core
+module P = Afs_util.Pagepath
+module Xrng = Afs_util.Xrng
+module Stable = Afs_stable.Stable_pair
+
+let ok = Helpers.ok
+let ok_str = Helpers.ok_str
+let bytes = Helpers.bytes
+
+(* {2 File-service crash points} *)
+
+let npages = 4
+
+let run_with_crash ~seed ~crash_after_updates ~flush_before_crash =
+  let store = Store.memory () in
+  let srv = Server.create ~seed:7 store in
+  let f = Helpers.file_with_pages srv npages in
+  let rng = Xrng.create seed in
+  (* The model tracks only committed state. *)
+  let model = Array.init npages (fun i -> Printf.sprintf "p%d" i) in
+  let updates = crash_after_updates + 3 in
+  (try
+     for u = 1 to updates do
+       if u > crash_after_updates then raise Exit;
+       let v = ok (Server.create_version srv f) in
+       let p = Xrng.int rng npages in
+       let value = Printf.sprintf "u%d" u in
+       ok (Server.write_page srv v (P.of_list [ p ]) (bytes value));
+       (* Half the updates commit; half are left in flight or aborted. *)
+       match Xrng.int rng 4 with
+       | 0 -> ok (Server.abort_version srv v)
+       | 1 -> () (* left uncommitted: must vanish in the crash *)
+       | _ ->
+           ok (Server.commit srv v);
+           model.(p) <- value
+     done
+   with Exit -> ());
+  if flush_before_crash then ok (Pagestore.flush (Server.pagestore srv));
+  Server.crash srv;
+  (* Rebuild from raw blocks. *)
+  let srv2 = Server.create ~seed:7 store in
+  let recovered = ok (Server.recover_from_blocks srv2 (ok_str (store.Store.list_blocks ()))) in
+  if recovered <> 1 then Alcotest.failf "expected to recover 1 file, got %d" recovered;
+  match Server.list_files srv2 with
+  | [ fc ] ->
+      let cur = ok (Server.current_version srv2 fc) in
+      let state =
+        Array.init npages (fun p ->
+            Helpers.str (ok (Server.read_page srv2 cur (P.of_list [ p ]))))
+      in
+      (model, state)
+  | l -> Alcotest.failf "expected 1 file, got %d" (List.length l)
+
+let prop_committed_prefix_survives =
+  QCheck2.Test.make ~name:"crash preserves exactly the committed prefix" ~count:150
+    ~print:(fun (seed, n) -> Printf.sprintf "seed=%d crash_after=%d" seed n)
+    QCheck2.Gen.(pair (int_range 1 100000) (int_range 0 20))
+    (fun (seed, crash_after_updates) ->
+      let model, state = run_with_crash ~seed ~crash_after_updates ~flush_before_crash:true in
+      Array.for_all2 ( = ) model state)
+
+(* Commits flush before the test-and-set, so even without an explicit
+   flush the committed state must survive a crash. *)
+let prop_commit_implies_durability =
+  QCheck2.Test.make ~name:"commit implies durability (no flush needed)" ~count:150
+    ~print:(fun (seed, n) -> Printf.sprintf "seed=%d crash_after=%d" seed n)
+    QCheck2.Gen.(pair (int_range 1 100000) (int_range 0 20))
+    (fun (seed, crash_after_updates) ->
+      let model, state = run_with_crash ~seed ~crash_after_updates ~flush_before_crash:false in
+      Array.for_all2 ( = ) model state)
+
+(* {2 Stable-pair crash storms} *)
+
+let prop_stable_survives_crash_storm =
+  QCheck2.Test.make ~name:"stable pair survives random crash storms" ~count:100
+    ~print:(fun seed -> Printf.sprintf "seed=%d" seed)
+    QCheck2.Gen.(int_range 1 100000)
+    (fun seed ->
+      let rng = Xrng.create seed in
+      let pair = Stable.create ~seed ~blocks:64 ~block_size:256 () in
+      (* Model: latest acknowledged value per block. *)
+      let model : (int, string) Hashtbl.t = Hashtbl.create 16 in
+      let blocks = ref [] in
+      let pick_online () = Stable.some_online pair in
+      for step = 1 to 60 do
+        match Xrng.int rng 10 with
+        | 0 ->
+            (* Crash one server (if both are up, to keep service alive). *)
+            let up0 = Stable.online pair 0 and up1 = Stable.online pair 1 in
+            if up0 && up1 then Stable.crash pair (Xrng.int rng 2)
+        | 1 -> (
+            (* Restart whichever is down. *)
+            let target = if Stable.online pair 0 then 1 else 0 in
+            if not (Stable.online pair target) then
+              match (Stable.restart pair target).Stable.result with
+              | Ok _ -> ()
+              | Error e -> Alcotest.failf "restart: %s" (Fmt.str "%a" Stable.pp_error e))
+        | 2 ->
+            (* Head crash: wipe a disk (only when the other is serving). *)
+            let up0 = Stable.online pair 0 and up1 = Stable.online pair 1 in
+            if up0 && up1 then Stable.wipe_and_crash pair (Xrng.int rng 2)
+        | _ -> (
+            (* A write (new block or update) via any online server. *)
+            match pick_online () with
+            | None -> ()
+            | Some i -> (
+                let value = Printf.sprintf "s%d" step in
+                if !blocks <> [] && Xrng.bool rng then begin
+                  let b = List.nth !blocks (Xrng.int rng (List.length !blocks)) in
+                  match (Stable.write pair i b (bytes value)).Stable.result with
+                  | Ok () -> Hashtbl.replace model b value
+                  | Error _ -> ()
+                end
+                else
+                  match (Stable.allocate_write pair i (bytes value)).Stable.result with
+                  | Ok b ->
+                      blocks := b :: !blocks;
+                      Hashtbl.replace model b value
+                  | Error _ -> ()))
+      done;
+      (* Bring everything back and verify every acknowledged write. *)
+      (if not (Stable.online pair 0) then ignore (Stable.restart pair 0));
+      (if not (Stable.online pair 1) then ignore (Stable.restart pair 1));
+      (match Stable.verify_companion_invariant pair with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail msg);
+      Hashtbl.fold
+        (fun b expected acc ->
+          acc
+          &&
+          match (Stable.read pair 0 b).Stable.result with
+          | Ok data -> Helpers.str data = expected
+          | Error _ -> false)
+        model true)
+
+let () =
+  Alcotest.run "crash-properties"
+    [
+      ( "file service",
+        [
+          QCheck_alcotest.to_alcotest prop_committed_prefix_survives;
+          QCheck_alcotest.to_alcotest prop_commit_implies_durability;
+        ] );
+      ( "stable storage",
+        [ QCheck_alcotest.to_alcotest prop_stable_survives_crash_storm ] );
+    ]

@@ -1,0 +1,145 @@
+(* Serialise.diff_trees: history diffs in time proportional to change,
+   riding the differential representation. *)
+
+open Afs_core
+module P = Afs_util.Pagepath
+
+let quick = Helpers.quick
+let bytes = Helpers.bytes
+let ok = Helpers.ok
+let path = Helpers.path
+
+let diff srv a b =
+  ok (Serialise.diff_trees (Server.pagestore srv) ~old_version:a ~new_version:b)
+
+let show (p, change) =
+  Printf.sprintf "%s:%s" (P.to_string p)
+    (match change with Serialise.Data_changed -> "data" | Serialise.Structure_changed -> "shape")
+
+let commit_write srv f p s =
+  let v = ok (Server.create_version srv f) in
+  ok (Server.write_page srv v (path p) (bytes s));
+  ok (Server.commit srv v);
+  ok (Server.version_block srv v)
+
+let chain_blocks srv f = ok (Server.committed_chain srv f)
+
+let test_identical_versions_empty_diff () =
+  let _, srv = Helpers.fresh_server () in
+  let f = Helpers.file_with_pages srv 4 in
+  let cur = ok (Server.current_block_of_file srv f) in
+  Alcotest.(check (list string)) "self diff empty" []
+    (List.map show (diff srv cur cur))
+
+let test_single_page_edit () =
+  let _, srv = Helpers.fresh_server () in
+  let f = Helpers.file_with_pages srv 4 in
+  let before = ok (Server.current_block_of_file srv f) in
+  let after = commit_write srv f [ 2 ] "changed" in
+  Alcotest.(check (list string)) "one page" [ "/2:data" ] (List.map show (diff srv before after))
+
+let test_root_data_edit () =
+  let _, srv = Helpers.fresh_server () in
+  let f = Helpers.file_with_pages srv 2 in
+  let before = ok (Server.current_block_of_file srv f) in
+  let after = commit_write srv f [] "new root" in
+  Alcotest.(check (list string)) "root" [ "/:data" ] (List.map show (diff srv before after))
+
+let test_structure_change_reported () =
+  let _, srv = Helpers.fresh_server () in
+  let f = Helpers.file_with_pages srv 2 in
+  let before = ok (Server.current_block_of_file srv f) in
+  let v = ok (Server.create_version srv f) in
+  ignore (ok (Server.insert_page srv v ~parent:P.root ~index:2 ~data:(bytes "extra") ()));
+  ok (Server.commit srv v);
+  let after = ok (Server.current_block_of_file srv f) in
+  Alcotest.(check (list string)) "shape change" [ "/:shape" ]
+    (List.map show (diff srv before after))
+
+let test_diff_across_multiple_commits () =
+  let _, srv = Helpers.fresh_server () in
+  let f = Helpers.file_with_pages srv 4 in
+  let before = ok (Server.current_block_of_file srv f) in
+  ignore (commit_write srv f [ 0 ] "a");
+  ignore (commit_write srv f [ 3 ] "b");
+  ignore (commit_write srv f [ 0 ] "c");
+  let after = ok (Server.current_block_of_file srv f) in
+  Alcotest.(check (list string)) "accumulated" [ "/0:data"; "/3:data" ]
+    (List.map show (diff srv before after))
+
+let test_diff_is_directionless_set () =
+  let _, srv = Helpers.fresh_server () in
+  let f = Helpers.file_with_pages srv 3 in
+  let before = ok (Server.current_block_of_file srv f) in
+  let after = commit_write srv f [ 1 ] "x" in
+  let fwd = List.map show (diff srv before after) in
+  let bwd = List.map show (diff srv after before) in
+  Alcotest.(check (list string)) "same pages either way" fwd bwd
+
+let test_diff_cost_skips_shared_subtrees () =
+  (* A deep tree with one leaf edited: the diff must read only the spine,
+     not the whole tree. *)
+  let store, io = Store.counting (Store.memory ()) in
+  let srv = Server.create store in
+  ignore store;
+  let f = ok (Server.create_file srv ()) in
+  let v = ok (Server.create_version srv f) in
+  let rec build parent depth =
+    for i = 0 to 3 do
+      let child =
+        ok (Server.insert_page srv v ~parent ~index:i ~data:(bytes "node") ())
+      in
+      if depth < 3 then build child (depth + 1)
+    done
+  in
+  build P.root 1;
+  ok (Server.commit srv v);
+  let before = ok (Server.current_block_of_file srv f) in
+  let v2 = ok (Server.create_version srv f) in
+  ok (Server.write_page srv v2 (path [ 0; 0; 0 ]) (bytes "edited leaf"));
+  ok (Server.commit srv v2);
+  let after = ok (Server.current_block_of_file srv f) in
+  ok (Pagestore.flush (Server.pagestore srv));
+  Pagestore.drop_volatile (Server.pagestore srv);
+  let r0, _ = io () in
+  let changes = diff srv before after in
+  let r1, _ = io () in
+  Alcotest.(check (list string)) "one leaf" [ "/0.0.0:data" ] (List.map show changes);
+  (* The tree has 1 + 4 + 16 + 64 = 85 pages; the diff reads only the two
+     spines (2 pages per level). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "%d reads for an 85-page tree" (r1 - r0))
+    true
+    (r1 - r0 <= 8)
+
+let test_diff_between_arbitrary_chain_points () =
+  let _, srv = Helpers.fresh_server () in
+  let f = Helpers.file_with_pages srv 4 in
+  ignore (commit_write srv f [ 0 ] "r1");
+  ignore (commit_write srv f [ 1 ] "r2");
+  ignore (commit_write srv f [ 2 ] "r3");
+  match chain_blocks srv f with
+  | [ _; _; r1; r2; r3 ] ->
+      Alcotest.(check (list string)) "r1 vs r2" [ "/1:data" ]
+        (List.map show (diff srv r1 r2));
+      Alcotest.(check (list string)) "r1 vs r3" [ "/1:data"; "/2:data" ]
+        (List.map show (diff srv r1 r3));
+      Alcotest.(check (list string)) "r2 vs r3" [ "/2:data" ]
+        (List.map show (diff srv r2 r3))
+  | l -> Alcotest.failf "unexpected chain length %d" (List.length l)
+
+let () =
+  Alcotest.run "diff"
+    [
+      ( "diff_trees",
+        [
+          quick "identical versions" test_identical_versions_empty_diff;
+          quick "single page edit" test_single_page_edit;
+          quick "root data edit" test_root_data_edit;
+          quick "structure change" test_structure_change_reported;
+          quick "across multiple commits" test_diff_across_multiple_commits;
+          quick "directionless" test_diff_is_directionless_set;
+          quick "skips shared subtrees" test_diff_cost_skips_shared_subtrees;
+          quick "arbitrary chain points" test_diff_between_arbitrary_chain_points;
+        ] );
+    ]

@@ -1,0 +1,188 @@
+open Afs_disk
+
+let quick = Helpers.quick
+let bytes = Helpers.bytes
+
+let fresh ?(media = Media.magnetic) ?(blocks = 64) ?(block_size = 1024) () =
+  Disk.create ~media ~blocks ~block_size
+
+let ok_outcome (o : 'a Disk.outcome) =
+  match o.Disk.result with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "disk error: %s" (Fmt.str "%a" Disk.pp_error e)
+
+let expect_err name pred (o : 'a Disk.outcome) =
+  match o.Disk.result with
+  | Ok _ -> Alcotest.failf "%s: expected error" name
+  | Error e -> Alcotest.(check bool) name true (pred e)
+
+(* {2 Media} *)
+
+let test_media_ordering () =
+  let b = 4096 in
+  let e = Media.read_cost Media.electronic ~bytes:b in
+  let m = Media.read_cost Media.magnetic ~bytes:b in
+  let o = Media.read_cost Media.optical ~bytes:b in
+  Alcotest.(check bool) "electronic < magnetic" true (e < m);
+  Alcotest.(check bool) "magnetic < optical" true (m < o)
+
+let test_media_write_once_flag () =
+  Alcotest.(check bool) "optical write-once" true Media.optical.Media.write_once;
+  Alcotest.(check bool) "magnetic rewritable" false Media.magnetic.Media.write_once
+
+let test_media_cost_grows_with_bytes () =
+  let small = Media.write_cost Media.magnetic ~bytes:512 in
+  let large = Media.write_cost Media.magnetic ~bytes:32768 in
+  Alcotest.(check bool) "linear growth" true (large > small)
+
+(* {2 Basic I/O} *)
+
+let test_write_read_roundtrip () =
+  let d = fresh () in
+  ignore (ok_outcome (Disk.write d 3 (bytes "hello")));
+  let data = ok_outcome (Disk.read d 3) in
+  Helpers.check_bytes "roundtrip" "hello" data
+
+let test_read_never_written () =
+  let d = fresh () in
+  expect_err "never written" (function Disk.Never_written 5 -> true | _ -> false)
+    (Disk.read d 5)
+
+let test_out_of_range () =
+  let d = fresh ~blocks:8 () in
+  expect_err "read oob" (function Disk.Out_of_range _ -> true | _ -> false) (Disk.read d 8);
+  expect_err "write oob" (function Disk.Out_of_range _ -> true | _ -> false)
+    (Disk.write d (-1) (bytes "x"))
+
+let test_write_too_large () =
+  let d = fresh ~block_size:16 () in
+  expect_err "too large" (function Disk.Too_large _ -> true | _ -> false)
+    (Disk.write d 0 (Bytes.make 17 'x'))
+
+let test_overwrite_magnetic () =
+  let d = fresh () in
+  ignore (ok_outcome (Disk.write d 0 (bytes "one")));
+  ignore (ok_outcome (Disk.write d 0 (bytes "two")));
+  Helpers.check_bytes "overwritten" "two" (ok_outcome (Disk.read d 0))
+
+let test_write_once_enforced () =
+  let d = fresh ~media:Media.optical () in
+  ignore (ok_outcome (Disk.write d 0 (bytes "etched")));
+  expect_err "overwrite refused" (function Disk.Write_once_violation 0 -> true | _ -> false)
+    (Disk.write d 0 (bytes "nope"));
+  expect_err "erase refused" (function Disk.Write_once_violation 0 -> true | _ -> false)
+    (Disk.erase d 0);
+  Helpers.check_bytes "original intact" "etched" (ok_outcome (Disk.read d 0))
+
+let test_erase () =
+  let d = fresh () in
+  ignore (ok_outcome (Disk.write d 2 (bytes "x")));
+  Alcotest.(check bool) "written" true (Disk.is_written d 2);
+  ignore (ok_outcome (Disk.erase d 2));
+  Alcotest.(check bool) "erased" false (Disk.is_written d 2)
+
+let test_stored_image_isolated () =
+  let d = fresh () in
+  let buf = bytes "mutate-me" in
+  ignore (ok_outcome (Disk.write d 0 buf));
+  Bytes.set buf 0 'X';
+  Helpers.check_bytes "store unaffected" "mutate-me" (ok_outcome (Disk.read d 0));
+  let out = ok_outcome (Disk.read d 0) in
+  Bytes.set out 0 'Y';
+  Helpers.check_bytes "reader copy isolated" "mutate-me" (ok_outcome (Disk.read d 0))
+
+(* {2 Fault injection} *)
+
+let test_offline () =
+  let d = fresh () in
+  ignore (ok_outcome (Disk.write d 1 (bytes "x")));
+  Disk.set_offline d true;
+  expect_err "read offline" (function Disk.Offline -> true | _ -> false) (Disk.read d 1);
+  expect_err "write offline" (function Disk.Offline -> true | _ -> false)
+    (Disk.write d 1 (bytes "y"));
+  Disk.set_offline d false;
+  Helpers.check_bytes "back online, data intact" "x" (ok_outcome (Disk.read d 1))
+
+let test_corrupt () =
+  let d = fresh () in
+  ignore (ok_outcome (Disk.write d 4 (bytes "abcdef")));
+  Alcotest.(check bool) "corrupted" true (Disk.corrupt d 4 ~xor_byte:'\x01');
+  let data = ok_outcome (Disk.read d 4) in
+  Alcotest.(check bool) "silently differs" false (Bytes.equal data (bytes "abcdef"))
+
+let test_corrupt_unwritten () =
+  let d = fresh () in
+  Alcotest.(check bool) "nothing to corrupt" false (Disk.corrupt d 0 ~xor_byte:'\x01')
+
+let test_wipe () =
+  let d = fresh () in
+  ignore (ok_outcome (Disk.write d 0 (bytes "a")));
+  ignore (ok_outcome (Disk.write d 1 (bytes "b")));
+  Disk.wipe d;
+  Alcotest.(check bool) "gone" false (Disk.is_written d 0);
+  Alcotest.(check int) "in_use reset" 0 (Disk.stats d).Disk.blocks_in_use
+
+(* {2 Accounting} *)
+
+let test_stats_accumulate () =
+  let d = fresh () in
+  ignore (ok_outcome (Disk.write d 0 (bytes "0123456789")));
+  ignore (ok_outcome (Disk.read d 0));
+  ignore (ok_outcome (Disk.read d 0));
+  let s = Disk.stats d in
+  Alcotest.(check int) "writes" 1 s.Disk.writes;
+  Alcotest.(check int) "reads" 2 s.Disk.reads;
+  Alcotest.(check int) "bytes written" 10 s.Disk.bytes_written;
+  Alcotest.(check int) "bytes read" 20 s.Disk.bytes_read;
+  Alcotest.(check bool) "busy time" true (s.Disk.busy_ms > 0.0);
+  Alcotest.(check int) "in use" 1 s.Disk.blocks_in_use;
+  Disk.reset_stats d;
+  Alcotest.(check int) "reset" 0 (Disk.stats d).Disk.reads
+
+let test_cost_reported_per_op () =
+  let d = fresh () in
+  let w = Disk.write d 0 (bytes "x") in
+  Alcotest.(check bool) "write cost positive" true (w.Disk.cost_ms > 0.0);
+  let r = Disk.read d 0 in
+  Alcotest.(check bool) "read cost positive" true (r.Disk.cost_ms > 0.0)
+
+let test_create_rejects_bad_sizes () =
+  Alcotest.check_raises "blocks" (Invalid_argument "Disk.create: blocks must be positive")
+    (fun () -> ignore (Disk.create ~media:Media.magnetic ~blocks:0 ~block_size:1));
+  Alcotest.check_raises "size" (Invalid_argument "Disk.create: block_size must be positive")
+    (fun () -> ignore (Disk.create ~media:Media.magnetic ~blocks:1 ~block_size:0))
+
+let () =
+  Alcotest.run "disk"
+    [
+      ( "media",
+        [
+          quick "latency ordering" test_media_ordering;
+          quick "write-once flag" test_media_write_once_flag;
+          quick "cost grows with bytes" test_media_cost_grows_with_bytes;
+        ] );
+      ( "io",
+        [
+          quick "write/read roundtrip" test_write_read_roundtrip;
+          quick "read never written" test_read_never_written;
+          quick "out of range" test_out_of_range;
+          quick "write too large" test_write_too_large;
+          quick "overwrite on magnetic" test_overwrite_magnetic;
+          quick "write-once enforced" test_write_once_enforced;
+          quick "erase" test_erase;
+          quick "stored images isolated" test_stored_image_isolated;
+        ] );
+      ( "faults",
+        [
+          quick "offline" test_offline;
+          quick "corrupt" test_corrupt;
+          quick "corrupt unwritten" test_corrupt_unwritten;
+          quick "wipe" test_wipe;
+        ] );
+      ( "accounting",
+        [
+          quick "stats accumulate" test_stats_accumulate;
+          quick "per-op cost" test_cost_reported_per_op;
+          quick "create rejects bad sizes" test_create_rejects_bad_sizes;
+        ] );
+    ]

@@ -1,0 +1,138 @@
+open Afs_core
+
+let quick = Helpers.quick
+
+let flag_testable = Alcotest.testable Flags.pp Flags.equal
+
+let test_clear_is_legal () =
+  Alcotest.(check bool) "legal" true (Flags.is_legal Flags.clear);
+  Alcotest.(check int) "nibble 0" 0 (Flags.to_nibble Flags.clear)
+
+let test_exactly_13_states () =
+  Alcotest.(check int) "13 legal combinations" 13 (List.length Flags.all);
+  let nibbles = List.map Flags.to_nibble Flags.all in
+  Alcotest.(check (list int)) "nibbles 0..12" (List.init 13 Fun.id) nibbles
+
+let test_all_states_legal () =
+  List.iter (fun f -> Alcotest.(check bool) "legal" true (Flags.is_legal f)) Flags.all
+
+let test_nibble_bijection () =
+  List.iter
+    (fun f ->
+      match Flags.of_nibble (Flags.to_nibble f) with
+      | Some f' -> Alcotest.check flag_testable "roundtrip" f f'
+      | None -> Alcotest.fail "decode failed")
+    Flags.all
+
+let test_nibble_range () =
+  Alcotest.(check (option flag_testable)) "13 invalid" None (Flags.of_nibble 13);
+  Alcotest.(check (option flag_testable)) "15 invalid" None (Flags.of_nibble 15);
+  Alcotest.(check (option flag_testable)) "negative invalid" None (Flags.of_nibble (-1))
+
+let test_make_enforces_invariants () =
+  Alcotest.check_raises "r without c" (Invalid_argument "Flags.make: illegal combination")
+    (fun () -> ignore (Flags.make ~r:true ~copied:false ()));
+  Alcotest.check_raises "m without s" (Invalid_argument "Flags.make: illegal combination")
+    (fun () -> ignore (Flags.make ~m:true ~copied:true ()))
+
+let test_record_read () =
+  let f = Flags.record Flags.clear Flags.Read in
+  Alcotest.(check bool) "c set" true f.Flags.c;
+  Alcotest.(check bool) "r set" true f.Flags.r;
+  Alcotest.(check bool) "w clear" false f.Flags.w
+
+let test_record_write () =
+  let f = Flags.record Flags.clear Flags.Write in
+  Alcotest.(check bool) "c" true f.Flags.c;
+  Alcotest.(check bool) "w" true f.Flags.w;
+  Alcotest.(check bool) "r independent" false f.Flags.r
+
+let test_record_search_modify () =
+  let s = Flags.record Flags.clear Flags.Search in
+  Alcotest.(check bool) "s" true s.Flags.s;
+  Alcotest.(check bool) "m clear" false s.Flags.m;
+  let m = Flags.record Flags.clear Flags.Modify in
+  Alcotest.(check bool) "m" true m.Flags.m;
+  Alcotest.(check bool) "m implies s" true m.Flags.s
+
+let test_record_accumulates () =
+  let f = Flags.record (Flags.record Flags.clear Flags.Read) Flags.Write in
+  Alcotest.(check bool) "r kept" true f.Flags.r;
+  Alcotest.(check bool) "w added" true f.Flags.w
+
+let test_record_preserves_legality () =
+  List.iter
+    (fun f ->
+      List.iter
+        (fun a -> Alcotest.(check bool) "legal after record" true
+            (Flags.is_legal (Flags.record f a)))
+        [ Flags.Read; Flags.Write; Flags.Search; Flags.Modify ])
+    Flags.all
+
+let test_union () =
+  let r = Flags.record Flags.clear Flags.Read in
+  let w = Flags.record Flags.clear Flags.Write in
+  let u = Flags.union r w in
+  Alcotest.(check bool) "r" true u.Flags.r;
+  Alcotest.(check bool) "w" true u.Flags.w;
+  Alcotest.check flag_testable "union with clear" r (Flags.union r Flags.clear)
+
+let test_union_closed () =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b -> Alcotest.(check bool) "legal union" true (Flags.is_legal (Flags.union a b)))
+        Flags.all)
+    Flags.all
+
+(* Property: encode/decode over the nibble space is exactly the legal set. *)
+let prop_nibble_coverage =
+  QCheck2.Test.make ~name:"of_nibble defined exactly on 0..12" ~count:100
+    (QCheck2.Gen.int_range (-10) 30)
+    (fun n ->
+      match Flags.of_nibble n with
+      | Some f -> n >= 0 && n <= 12 && Flags.to_nibble f = n
+      | None -> n < 0 || n > 12)
+
+let prop_union_idempotent =
+  let gen = QCheck2.Gen.map (fun n ->
+      match Flags.of_nibble (abs n mod 13) with Some f -> f | None -> Flags.clear)
+      QCheck2.Gen.int
+  in
+  QCheck2.Test.make ~name:"union idempotent and commutative" ~count:200
+    (QCheck2.Gen.pair gen gen)
+    (fun (a, b) ->
+      Flags.equal (Flags.union a b) (Flags.union b a)
+      && Flags.equal (Flags.union a a) a)
+
+let () =
+  Alcotest.run "flags"
+    [
+      ( "states",
+        [
+          quick "clear is legal" test_clear_is_legal;
+          quick "exactly 13 states" test_exactly_13_states;
+          quick "all states legal" test_all_states_legal;
+          quick "nibble bijection" test_nibble_bijection;
+          quick "nibble range" test_nibble_range;
+          quick "make enforces invariants" test_make_enforces_invariants;
+        ] );
+      ( "record",
+        [
+          quick "read" test_record_read;
+          quick "write" test_record_write;
+          quick "search/modify" test_record_search_modify;
+          quick "accumulates" test_record_accumulates;
+          quick "preserves legality" test_record_preserves_legality;
+        ] );
+      ( "union",
+        [
+          quick "basic" test_union;
+          quick "closed over legal states" test_union_closed;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_nibble_coverage;
+          QCheck_alcotest.to_alcotest prop_union_idempotent;
+        ] );
+    ]

@@ -1,0 +1,193 @@
+open Afs_core
+open Afs_files
+
+let quick = Helpers.quick
+let ok = Helpers.ok
+let bytes = Helpers.bytes
+let str = Helpers.str
+
+let setup ?(chunk = 8) () =
+  let _, srv = Helpers.fresh_server () in
+  let cl = Client.connect srv in
+  let f = ok (Linear.create cl ~chunk ()) in
+  (srv, cl, f)
+
+let check_contents msg f expected =
+  Alcotest.(check string) msg expected (str (ok (Linear.read_all f)))
+
+let test_empty_file () =
+  let _, _, f = setup () in
+  Alcotest.(check int) "length 0" 0 (ok (Linear.length f));
+  Alcotest.(check int) "read empty" 0 (Bytes.length (ok (Linear.read_all f)))
+
+let test_append_and_read () =
+  let _, _, f = setup () in
+  let off1 = ok (Linear.append f (bytes "hello ")) in
+  let off2 = ok (Linear.append f (bytes "world")) in
+  Alcotest.(check int) "first at 0" 0 off1;
+  Alcotest.(check int) "second after first" 6 off2;
+  Alcotest.(check int) "length" 11 (ok (Linear.length f));
+  check_contents "contents" f "hello world"
+
+let test_write_spanning_chunks () =
+  let _, _, f = setup ~chunk:4 () in
+  ok (Linear.write f ~off:0 (bytes "0123456789abcdef"));
+  check_contents "4 chunks" f "0123456789abcdef";
+  (* Overwrite across a chunk boundary. *)
+  ok (Linear.write f ~off:2 (bytes "XXXX"));
+  check_contents "boundary overwrite" f "01XXXX6789abcdef"
+
+let test_partial_reads () =
+  let _, _, f = setup ~chunk:4 () in
+  ok (Linear.write f ~off:0 (bytes "0123456789"));
+  Alcotest.(check string) "middle" "2345" (str (ok (Linear.read f ~off:2 ~len:4)));
+  Alcotest.(check string) "clipped at eof" "89" (str (ok (Linear.read f ~off:8 ~len:10)));
+  Alcotest.(check string) "past eof" "" (str (ok (Linear.read f ~off:50 ~len:4)))
+
+let test_sparse_write_zero_fills () =
+  let _, _, f = setup ~chunk:4 () in
+  ok (Linear.write f ~off:0 (bytes "ab"));
+  ok (Linear.write f ~off:10 (bytes "z"));
+  Alcotest.(check int) "length" 11 (ok (Linear.length f));
+  let all = str (ok (Linear.read_all f)) in
+  Alcotest.(check string) "gap is zeros" "ab\000\000\000\000\000\000\000\000z" all
+
+let test_truncate_shrink () =
+  let _, _, f = setup ~chunk:4 () in
+  ok (Linear.write f ~off:0 (bytes "0123456789"));
+  ok (Linear.truncate f ~len:7);
+  Alcotest.(check int) "length" 7 (ok (Linear.length f));
+  check_contents "shrunk" f "0123456";
+  (* Extending after a shrink must not resurrect old bytes. *)
+  ok (Linear.truncate f ~len:10);
+  check_contents "re-extended zeros" f "0123456\000\000\000"
+
+let test_truncate_to_zero () =
+  let _, _, f = setup ~chunk:4 () in
+  ok (Linear.write f ~off:0 (bytes "payload"));
+  ok (Linear.truncate f ~len:0);
+  Alcotest.(check int) "empty" 0 (ok (Linear.length f));
+  ok (Linear.append f (bytes "fresh")) |> ignore;
+  check_contents "usable after" f "fresh"
+
+let test_reopen () =
+  let _, cl, f = setup ~chunk:4 () in
+  ok (Linear.write f ~off:0 (bytes "persistent"));
+  let f2 = ok (Linear.of_capability cl (Linear.capability f)) in
+  Alcotest.(check int) "chunk recovered" 4 (Linear.chunk f2);
+  check_contents "contents via reopen" f2 "persistent"
+
+let test_reopen_rejects_non_linear () =
+  let _, srv = Helpers.fresh_server () in
+  let cl = Client.connect srv in
+  let plain = ok (Client.create_file cl ~data:(bytes "not linear") ()) in
+  match Linear.of_capability cl plain with
+  | Error (Errors.Store_failure _) -> ()
+  | Ok _ -> Alcotest.fail "accepted a non-linear file"
+  | Error e -> Alcotest.failf "wrong error: %s" (Errors.to_string e)
+
+let test_concurrent_disjoint_writes_merge () =
+  (* Two clients overwrite different chunks of the same file: the page-
+     level OCC merges them. *)
+  let srv, _, f = setup ~chunk:4 () in
+  let cl = Client.connect srv in
+  ignore cl;
+  ok (Linear.write f ~off:0 (bytes "aaaabbbbcccc"));
+  let cap = Linear.capability f in
+  let va = ok (Server.create_version srv cap) in
+  let vb = ok (Server.create_version srv cap) in
+  (* Simulate the two txns' page writes directly (chunk 1 vs chunk 2). *)
+  ok (Server.write_page srv va (Helpers.path [ 1 ]) (bytes "BBBB"));
+  ok (Server.write_page srv vb (Helpers.path [ 2 ]) (bytes "CCCC"));
+  ok (Server.commit srv va);
+  ok (Server.commit srv vb);
+  check_contents "both merged" f "aaaaBBBBCCCC"
+
+let test_versions_give_snapshots () =
+  let srv, _, f = setup ~chunk:4 () in
+  ok (Linear.write f ~off:0 (bytes "before"));
+  let snapshot_block = ok (Server.current_block_of_file srv (Linear.capability f)) in
+  ok (Linear.write f ~off:0 (bytes "after!"));
+  check_contents "current" f "after!";
+  (* The superseded committed version still reads the old bytes. *)
+  let old_cap = ok (Server.version_of_block srv snapshot_block) in
+  Helpers.check_bytes "snapshot first chunk" "befo"
+    (ok (Server.read_page srv old_cap (Helpers.path [ 0 ])))
+
+let test_large_file_many_chunks () =
+  let _, _, f = setup ~chunk:16 () in
+  let payload = Bytes.init 1000 (fun i -> Char.chr (32 + (i mod 90))) in
+  ok (Linear.write f ~off:0 payload);
+  Alcotest.(check int) "length" 1000 (ok (Linear.length f));
+  Alcotest.(check string) "roundtrip" (Bytes.to_string payload) (str (ok (Linear.read_all f)));
+  Alcotest.(check string) "random slice"
+    (String.sub (Bytes.to_string payload) 123 77)
+    (str (ok (Linear.read f ~off:123 ~len:77)))
+
+(* Property: a random sequence of writes/truncates matches a Bytes model. *)
+let prop_matches_model =
+  QCheck2.Test.make ~name:"linear file matches byte-array model" ~count:60
+    ~print:(fun seed -> Printf.sprintf "seed=%d" seed)
+    QCheck2.Gen.(int_range 1 100000)
+    (fun seed ->
+      let rng = Afs_util.Xrng.create seed in
+      let _, srv = Helpers.fresh_server () in
+      let cl = Client.connect srv in
+      let f = ok (Linear.create cl ~chunk:(1 + Afs_util.Xrng.int rng 7) ()) in
+      let model = ref Bytes.empty in
+      let model_write off data =
+        let new_len = max (Bytes.length !model) (off + Bytes.length data) in
+        let m = Bytes.make new_len '\000' in
+        Bytes.blit !model 0 m 0 (Bytes.length !model);
+        Bytes.blit data 0 m off (Bytes.length data);
+        model := m
+      in
+      let model_truncate len =
+        let m = Bytes.make len '\000' in
+        Bytes.blit !model 0 m 0 (min len (Bytes.length !model));
+        model := m
+      in
+      for _ = 1 to 15 do
+        match Afs_util.Xrng.int rng 3 with
+        | 0 ->
+            let off = Afs_util.Xrng.int rng 40 in
+            let data = Afs_util.Xrng.int rng 20 in
+            let payload = Bytes.init data (fun i -> Char.chr (65 + ((off + i) mod 26))) in
+            ok (Linear.write f ~off payload);
+            model_write off payload
+        | 1 ->
+            let payload = Bytes.make (Afs_util.Xrng.int rng 10) 'q' in
+            let off = ok (Linear.append f payload) in
+            if off <> Bytes.length !model then Alcotest.fail "append offset mismatch";
+            model_write off payload
+        | _ ->
+            let len = Afs_util.Xrng.int rng 50 in
+            ok (Linear.truncate f ~len);
+            model_truncate len
+      done;
+      str (ok (Linear.read_all f)) = Bytes.to_string !model
+      && ok (Linear.length f) = Bytes.length !model)
+
+let () =
+  Alcotest.run "linear"
+    [
+      ( "basics",
+        [
+          quick "empty file" test_empty_file;
+          quick "append and read" test_append_and_read;
+          quick "write spanning chunks" test_write_spanning_chunks;
+          quick "partial reads" test_partial_reads;
+          quick "sparse writes zero-fill" test_sparse_write_zero_fills;
+          quick "truncate shrink" test_truncate_shrink;
+          quick "truncate to zero" test_truncate_to_zero;
+          quick "reopen" test_reopen;
+          quick "reopen rejects non-linear" test_reopen_rejects_non_linear;
+          quick "large file" test_large_file_many_chunks;
+        ] );
+      ( "concurrency",
+        [
+          quick "disjoint writes merge" test_concurrent_disjoint_writes_merge;
+          quick "versions are snapshots" test_versions_give_snapshots;
+        ] );
+      ( "properties", [ QCheck_alcotest.to_alcotest prop_matches_model ] );
+    ]

@@ -1,0 +1,267 @@
+open Afs_core
+module Capability = Afs_util.Capability
+
+let quick = Helpers.quick
+let bytes = Helpers.bytes
+
+let secret = Capability.secret_of_seed 31
+let port = Capability.port_of_int 0xBEEF
+
+let cap obj = Capability.mint secret ~port ~obj ~rights:Capability.rights_all
+
+let entry ?(flags = Flags.clear) block = { Page.block; flags }
+
+let sample_version_page () =
+  Page.make_version_page ~file_cap:(cap 2) ~version_cap:(cap 5) ~base_ref:(Some 17)
+    ~parent_ref:None
+    ~refs:[| entry 3; entry ~flags:(Flags.record Flags.clear Flags.Write) 9 |]
+    ~data:(bytes "version page data")
+
+let decode_ok image =
+  match Page.decode image with
+  | Ok p -> p
+  | Error msg -> Alcotest.failf "decode failed: %s" msg
+
+let test_empty_page () =
+  Alcotest.(check int) "no refs" 0 (Page.nrefs Page.empty);
+  Alcotest.(check int) "no data" 0 (Page.dsize Page.empty);
+  Alcotest.(check bool) "not a version page" false (Page.is_version_page Page.empty)
+
+let test_version_page_fields () =
+  let p = sample_version_page () in
+  Alcotest.(check bool) "is version page" true (Page.is_version_page p);
+  Alcotest.(check int) "nrefs" 2 (Page.nrefs p);
+  Alcotest.(check int) "dsize" 17 (Page.dsize p)
+
+let test_codec_roundtrip_plain () =
+  let p = Page.with_data Page.empty (bytes "plain data") in
+  let p' = decode_ok (Page.encode p) in
+  Helpers.check_bytes "data" "plain data" p'.Page.data;
+  Alcotest.(check bool) "still plain" false (Page.is_version_page p')
+
+let test_codec_roundtrip_version () =
+  let p = sample_version_page () in
+  let p' = decode_ok (Page.encode p) in
+  let h = p'.Page.header in
+  Alcotest.(check bool) "file cap" true
+    (match h.Page.file_cap with Some fc -> Capability.equal fc (cap 2) | None -> false);
+  Alcotest.(check bool) "version cap" true
+    (match h.Page.version_cap with Some vc -> Capability.equal vc (cap 5) | None -> false);
+  Alcotest.(check (option int)) "base ref" (Some 17) h.Page.base_ref;
+  Alcotest.(check (option int)) "commit ref nil" None h.Page.commit_ref;
+  Alcotest.(check int) "ref 0 block" 3 p'.Page.refs.(0).Page.block;
+  Alcotest.(check bool) "ref 1 W flag" true p'.Page.refs.(1).Page.flags.Flags.w;
+  Helpers.check_bytes "data" "version page data" p'.Page.data
+
+let test_codec_roundtrip_locks () =
+  let p = sample_version_page () in
+  let h = { p.Page.header with Page.top_lock = 123; Page.inner_lock = 456;
+            Page.commit_ref = Some 99; Page.parent_ref = Some 7 } in
+  let p = Page.with_header p h in
+  let p' = decode_ok (Page.encode p) in
+  Alcotest.(check int) "top lock" 123 p'.Page.header.Page.top_lock;
+  Alcotest.(check int) "inner lock" 456 p'.Page.header.Page.inner_lock;
+  Alcotest.(check (option int)) "commit ref" (Some 99) p'.Page.header.Page.commit_ref;
+  Alcotest.(check (option int)) "parent ref" (Some 7) p'.Page.header.Page.parent_ref
+
+let test_decode_rejects_garbage () =
+  (match Page.decode (bytes "not a page") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted garbage");
+  match Page.decode Bytes.empty with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted empty"
+
+let test_decode_rejects_truncation () =
+  let image = Page.encode (sample_version_page ()) in
+  let truncated = Bytes.sub image 0 (Bytes.length image - 4) in
+  match Page.decode truncated with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted truncated image"
+
+let test_decode_rejects_trailing () =
+  let image = Page.encode (sample_version_page ()) in
+  let padded = Bytes.cat image (bytes "junk") in
+  match Page.decode padded with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted trailing bytes"
+
+let test_block_number_28_bits () =
+  let p = Page.with_data Page.empty Bytes.empty in
+  match Page.insert_ref p 0 (entry Page.max_block_number) with
+  | Error msg -> Alcotest.fail msg
+  | Ok p ->
+      let p' = decode_ok (Page.encode p) in
+      Alcotest.(check int) "max block survives" Page.max_block_number
+        p'.Page.refs.(0).Page.block;
+      Alcotest.check_raises "overflow rejected"
+        (Invalid_argument
+           (Printf.sprintf "Page: block number %d out of 28-bit range"
+              (Page.max_block_number + 2)))
+        (fun () ->
+          match Page.with_ref p 0 (entry (Page.max_block_number + 2)) with
+          | Ok bad -> ignore (Page.encode bad)
+          | Error msg -> Alcotest.fail msg)
+
+let test_ref_ops () =
+  let p = Page.empty in
+  let p = Helpers.ok_str (Page.insert_ref p 0 (entry 10)) in
+  let p = Helpers.ok_str (Page.insert_ref p 1 (entry 20)) in
+  let p = Helpers.ok_str (Page.insert_ref p 1 (entry 15)) in
+  Alcotest.(check (list int)) "insert order" [ 10; 15; 20 ]
+    (Array.to_list (Array.map (fun e -> e.Page.block) p.Page.refs));
+  let p = Helpers.ok_str (Page.remove_ref p 1) in
+  Alcotest.(check (list int)) "after remove" [ 10; 20 ]
+    (Array.to_list (Array.map (fun e -> e.Page.block) p.Page.refs));
+  let p = Helpers.ok_str (Page.with_ref p 0 (entry 11)) in
+  Alcotest.(check int) "with_ref" 11 p.Page.refs.(0).Page.block
+
+let test_ref_ops_bounds () =
+  (match Page.insert_ref Page.empty 1 (entry 1) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "insert past end accepted");
+  (match Page.remove_ref Page.empty 0 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "remove on empty accepted");
+  match Page.get_ref Page.empty 0 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "get on empty accepted"
+
+let test_record_access_on_ref () =
+  let p = Helpers.ok_str (Page.insert_ref Page.empty 0 (entry 10)) in
+  let p = Helpers.ok_str (Page.record_access p 0 Flags.Read) in
+  Alcotest.(check bool) "r recorded" true p.Page.refs.(0).Page.flags.Flags.r;
+  Alcotest.(check bool) "c implied" true p.Page.refs.(0).Page.flags.Flags.c
+
+let test_clear_child_flags () =
+  let flags = Flags.record (Flags.record Flags.clear Flags.Read) Flags.Write in
+  let p = Helpers.ok_str (Page.insert_ref Page.empty 0 (entry ~flags 10)) in
+  let p = Page.clear_child_flags p in
+  Alcotest.(check bool) "cleared" true (Flags.equal Flags.clear p.Page.refs.(0).Page.flags);
+  Alcotest.(check int) "block kept" 10 p.Page.refs.(0).Page.block
+
+let test_functional_updates_do_not_alias () =
+  let p = Helpers.ok_str (Page.insert_ref Page.empty 0 (entry 10)) in
+  let q = Helpers.ok_str (Page.with_ref p 0 (entry 99)) in
+  Alcotest.(check int) "original untouched" 10 p.Page.refs.(0).Page.block;
+  Alcotest.(check int) "copy updated" 99 q.Page.refs.(0).Page.block
+
+let test_data_capacity_sane () =
+  let cap_plain = Page.data_capacity ~block_size:32768 ~nrefs:0 ~is_version:0 in
+  let cap_vers = Page.data_capacity ~block_size:32768 ~nrefs:100 ~is_version:1 in
+  Alcotest.(check bool) "plain close to block size" true
+    (cap_plain > 32000 && cap_plain < 32768);
+  Alcotest.(check bool) "version page smaller" true (cap_vers < cap_plain);
+  (* The advertised capacity must actually fit. *)
+  let data = Bytes.make cap_vers 'd' in
+  let refs = Array.init 100 (fun i -> entry (i + 1)) in
+  let p =
+    Page.make_version_page ~file_cap:(cap 2) ~version_cap:(cap 5) ~base_ref:(Some 1)
+      ~parent_ref:(Some 1) ~refs ~data
+  in
+  Alcotest.(check bool) "fits" true (Page.encoded_size p <= 32768)
+
+(* Property: arbitrary pages roundtrip through the codec. *)
+let gen_flags =
+  QCheck2.Gen.map
+    (fun n -> match Flags.of_nibble (abs n mod 13) with Some f -> f | None -> Flags.clear)
+    QCheck2.Gen.int
+
+let gen_entry =
+  QCheck2.Gen.map2
+    (fun block flags -> { Page.block = abs block mod 100000; flags })
+    QCheck2.Gen.int gen_flags
+
+let gen_page =
+  let open QCheck2.Gen in
+  let* refs = array_size (int_range 0 20) gen_entry in
+  let* data = string_size (int_range 0 200) in
+  let* version = bool in
+  if version then
+    let* base = opt (int_range 0 1000) in
+    let* commit = opt (int_range 0 1000) in
+    let* top_lock = int_range 0 5 in
+    let p =
+      Page.make_version_page ~file_cap:(cap 2) ~version_cap:(cap 5) ~base_ref:base
+        ~parent_ref:None ~refs ~data:(Bytes.of_string data)
+    in
+    return
+      (Page.with_header p { p.Page.header with Page.commit_ref = commit; Page.top_lock = top_lock })
+  else return (Page.with_contents (Page.with_data Page.empty (Bytes.of_string data)) ~refs ~data:(Bytes.of_string data))
+
+let page_equal a b =
+  a.Page.header = b.Page.header
+  && Array.length a.Page.refs = Array.length b.Page.refs
+  && Array.for_all2 (fun x y -> x = y) a.Page.refs b.Page.refs
+  && Bytes.equal a.Page.data b.Page.data
+
+let prop_codec_roundtrip =
+  QCheck2.Test.make ~name:"page codec roundtrip" ~count:300 gen_page (fun p ->
+      match Page.decode (Page.encode p) with Ok p' -> page_equal p p' | Error _ -> false)
+
+let prop_encoded_size_consistent =
+  QCheck2.Test.make ~name:"encoded_size equals encode length" ~count:100 gen_page (fun p ->
+      Page.encoded_size p = Bytes.length (Page.encode p))
+
+(* Fuzz: decoding a corrupted valid image must fail cleanly or produce a
+   structurally valid page — never raise. *)
+let prop_decode_total_on_mutations =
+  let open QCheck2.Gen in
+  let gen =
+    let* page = gen_page in
+    let* pos = int_range 0 10000 in
+    let* xor = int_range 1 255 in
+    return (page, pos, xor)
+  in
+  QCheck2.Test.make ~name:"decode is total on corrupted images" ~count:500 gen
+    (fun (page, pos, xor) ->
+      let image = Page.encode page in
+      let pos = pos mod max 1 (Bytes.length image) in
+      Bytes.set image pos (Char.chr (Char.code (Bytes.get image pos) lxor xor));
+      match Page.decode image with
+      | Ok p -> Array.for_all (fun (e : Page.ref_entry) -> Flags.is_legal e.Page.flags) p.Page.refs
+      | Error _ -> true
+      | exception Invalid_argument _ -> false
+      | exception _ -> false)
+
+(* Fuzz: decoding arbitrary byte strings never raises. *)
+let prop_decode_total_on_garbage =
+  QCheck2.Test.make ~name:"decode is total on garbage" ~count:500
+    QCheck2.Gen.(string_size (int_range 0 300))
+    (fun s ->
+      match Page.decode (Bytes.of_string s) with
+      | Ok _ | Error _ -> true
+      | exception _ -> false)
+
+let () =
+  Alcotest.run "page"
+    [
+      ( "structure",
+        [
+          quick "empty page" test_empty_page;
+          quick "version page fields" test_version_page_fields;
+          quick "ref ops" test_ref_ops;
+          quick "ref bounds" test_ref_ops_bounds;
+          quick "record access" test_record_access_on_ref;
+          quick "clear child flags" test_clear_child_flags;
+          quick "no aliasing" test_functional_updates_do_not_alias;
+          quick "data capacity" test_data_capacity_sane;
+        ] );
+      ( "codec",
+        [
+          quick "plain roundtrip" test_codec_roundtrip_plain;
+          quick "version roundtrip" test_codec_roundtrip_version;
+          quick "locks roundtrip" test_codec_roundtrip_locks;
+          quick "rejects garbage" test_decode_rejects_garbage;
+          quick "rejects truncation" test_decode_rejects_truncation;
+          quick "rejects trailing bytes" test_decode_rejects_trailing;
+          quick "28-bit block numbers" test_block_number_28_bits;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_codec_roundtrip;
+          QCheck_alcotest.to_alcotest prop_encoded_size_consistent;
+          QCheck_alcotest.to_alcotest prop_decode_total_on_mutations;
+          QCheck_alcotest.to_alcotest prop_decode_total_on_garbage;
+        ] );
+    ]

@@ -1,0 +1,171 @@
+open Afs_core
+
+let quick = Helpers.quick
+let bytes = Helpers.bytes
+let ok = Helpers.ok
+
+let fresh ?cache () =
+  let store = Store.memory ~block_size:1024 () in
+  (store, Pagestore.create ?cache store)
+
+let page_with_data s = Page.with_data Page.empty (bytes s)
+
+let read_data ps b = Helpers.str (ok (Pagestore.read ps b)).Page.data
+
+let test_write_read_cached () =
+  let _, ps = fresh () in
+  let b = ok (Pagestore.allocate ps) in
+  ignore (ok (Pagestore.write ps b (page_with_data "cached")));
+  Alcotest.(check string) "read hits cache" "cached" (read_data ps b)
+
+let test_write_is_deferred () =
+  let store, ps = fresh () in
+  let b = ok (Pagestore.allocate ps) in
+  ignore (ok (Pagestore.write ps b (page_with_data "dirty")));
+  Alcotest.(check int) "dirty count" 1 (Pagestore.dirty_count ps);
+  (match store.Store.read b with
+  | Error _ -> () (* Not durable yet: exactly the §5.4 point. *)
+  | Ok _ -> Alcotest.fail "write reached the store before flush");
+  ignore (ok (Pagestore.flush ps));
+  Alcotest.(check int) "clean after flush" 0 (Pagestore.dirty_count ps);
+  match store.Store.read b with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "not durable after flush: %s" msg
+
+let test_write_through_immediate () =
+  let store, ps = fresh () in
+  let b = ok (Pagestore.allocate ps) in
+  ignore (ok (Pagestore.write_through ps b (page_with_data "now")));
+  Alcotest.(check int) "not dirty" 0 (Pagestore.dirty_count ps);
+  match store.Store.read b with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "not durable: %s" msg
+
+let test_flush_block_single () =
+  let _, ps = fresh () in
+  let b1 = ok (Pagestore.allocate ps) in
+  let b2 = ok (Pagestore.allocate ps) in
+  ignore (ok (Pagestore.write ps b1 (page_with_data "one")));
+  ignore (ok (Pagestore.write ps b2 (page_with_data "two")));
+  ignore (ok (Pagestore.flush_block ps b1));
+  Alcotest.(check int) "one still dirty" 1 (Pagestore.dirty_count ps)
+
+let test_crash_loses_unflushed () =
+  let _, ps = fresh () in
+  let b = ok (Pagestore.allocate ps) in
+  ignore (ok (Pagestore.write ps b (page_with_data "will vanish")));
+  Pagestore.drop_volatile ps;
+  Alcotest.(check int) "dirty gone" 0 (Pagestore.dirty_count ps);
+  match Pagestore.read ps b with
+  | Error (Errors.Store_failure _) -> ()
+  | Error e -> Alcotest.failf "unexpected error: %s" (Errors.to_string e)
+  | Ok _ -> Alcotest.fail "unflushed write survived the crash"
+
+let test_crash_keeps_flushed () =
+  let _, ps = fresh () in
+  let b = ok (Pagestore.allocate ps) in
+  ignore (ok (Pagestore.write ps b (page_with_data "durable")));
+  ignore (ok (Pagestore.flush ps));
+  Pagestore.drop_volatile ps;
+  Alcotest.(check string) "reloaded from store" "durable" (read_data ps b)
+
+let test_page_too_large () =
+  let _, ps = fresh () in
+  let b = ok (Pagestore.allocate ps) in
+  match Pagestore.write ps b (page_with_data (String.make 2000 'x')) with
+  | Error (Errors.Page_too_large { limit = 1024; _ }) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Errors.to_string e)
+  | Ok () -> Alcotest.fail "oversized page accepted"
+
+let test_overwrite_dirty_keeps_one_dirty_count () =
+  let _, ps = fresh () in
+  let b = ok (Pagestore.allocate ps) in
+  ignore (ok (Pagestore.write ps b (page_with_data "a")));
+  ignore (ok (Pagestore.write ps b (page_with_data "b")));
+  Alcotest.(check int) "counted once" 1 (Pagestore.dirty_count ps);
+  Alcotest.(check string) "latest wins" "b" (read_data ps b)
+
+let test_invalidate () =
+  let store, ps = fresh () in
+  let b = ok (Pagestore.allocate ps) in
+  ignore (ok (Pagestore.write_through ps b (page_with_data "v1")));
+  (* Another server writes the block behind our back. *)
+  (match store.Store.write b (Page.encode (page_with_data "v2")) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  Alcotest.(check string) "stale cache serves v1" "v1" (read_data ps b);
+  Pagestore.invalidate ps b;
+  Alcotest.(check string) "fresh after invalidate" "v2" (read_data ps b)
+
+let test_invalidate_dirty_discards () =
+  let _, ps = fresh () in
+  let b = ok (Pagestore.allocate ps) in
+  ignore (ok (Pagestore.write ps b (page_with_data "doomed")));
+  Pagestore.invalidate ps b;
+  Alcotest.(check int) "dirty count adjusted" 0 (Pagestore.dirty_count ps)
+
+let test_free_drops_cache () =
+  let _, ps = fresh () in
+  let b = ok (Pagestore.allocate ps) in
+  ignore (ok (Pagestore.write ps b (page_with_data "x")));
+  Pagestore.free ps b;
+  match Pagestore.read ps b with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "freed block still readable"
+
+let test_uncached_mode () =
+  let store, ps = fresh ~cache:false () in
+  let b = ok (Pagestore.allocate ps) in
+  ignore (ok (Pagestore.write ps b (page_with_data "direct")));
+  Alcotest.(check int) "never dirty" 0 (Pagestore.dirty_count ps);
+  (match store.Store.read b with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "write-through failed: %s" msg);
+  Alcotest.(check string) "reads via store" "direct" (read_data ps b)
+
+let test_decode_error_surfaces () =
+  let store, ps = fresh () in
+  let b = ok (Pagestore.allocate ps) in
+  (match store.Store.write b (bytes "garbage block") with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  match Pagestore.read ps b with
+  | Error (Errors.Store_failure _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Errors.to_string e)
+  | Ok _ -> Alcotest.fail "decoded garbage"
+
+let test_locks_pass_through () =
+  let _, ps = fresh () in
+  let b = ok (Pagestore.allocate ps) in
+  Alcotest.(check bool) "first lock" true (Pagestore.lock ps b);
+  Alcotest.(check bool) "second denied" false (Pagestore.lock ps b);
+  Pagestore.unlock ps b;
+  Alcotest.(check bool) "relock after unlock" true (Pagestore.lock ps b)
+
+let () =
+  Alcotest.run "pagestore"
+    [
+      ( "write-back cache",
+        [
+          quick "write/read cached" test_write_read_cached;
+          quick "writes deferred until flush" test_write_is_deferred;
+          quick "write_through immediate" test_write_through_immediate;
+          quick "flush single block" test_flush_block_single;
+          quick "crash loses unflushed" test_crash_loses_unflushed;
+          quick "crash keeps flushed" test_crash_keeps_flushed;
+          quick "overwrite dirty counted once" test_overwrite_dirty_keeps_one_dirty_count;
+          quick "uncached mode" test_uncached_mode;
+        ] );
+      ( "coherence",
+        [
+          quick "invalidate" test_invalidate;
+          quick "invalidate dirty" test_invalidate_dirty_discards;
+          quick "free drops cache" test_free_drops_cache;
+        ] );
+      ( "errors",
+        [
+          quick "page too large" test_page_too_large;
+          quick "decode error surfaces" test_decode_error_surfaces;
+          quick "locks pass through" test_locks_pass_through;
+        ] );
+    ]

@@ -1,0 +1,220 @@
+(* End-to-end crash recovery: the paper's headline operational claim.
+
+   "With optimistic concurrency control, the file system is always in a
+   consistent state. After a crash, there is no necessity for recovery: no
+   rollback is required, no locks have to be cleared, no intentions lists
+   have to be carried out." (§6)
+
+   These tests crash servers at adversarial points and verify that the
+   committed state is always intact, that a fresh server rebuilds its file
+   table from raw blocks alone, and that clients only ever need to redo
+   their unfinished update. *)
+
+open Afs_core
+module Block_server = Afs_block.Block_server
+module Stable_pair = Afs_stable.Stable_pair
+module Disk = Afs_disk.Disk
+module Media = Afs_disk.Media
+module P = Afs_util.Pagepath
+
+let quick = Helpers.quick
+let bytes = Helpers.bytes
+let ok = Helpers.ok
+let path = Helpers.path
+
+let commit_write srv f p s =
+  let v = ok (Server.create_version srv f) in
+  ok (Server.write_page srv v (path p) (bytes s));
+  ok (Server.commit srv v)
+
+(* {2 Crash points around commit} *)
+
+let test_crash_before_commit_loses_only_the_update () =
+  let store, srv = Helpers.fresh_server () in
+  let f = Helpers.file_with_pages srv 3 in
+  let v = ok (Server.create_version srv f) in
+  ok (Server.write_page srv v (path [ 0 ]) (bytes "unfinished"));
+  Server.crash srv;
+  (* Same store, fresh server process. *)
+  let srv2 = Server.create ~seed:7 store in
+  ignore (ok (Server.recover_from_blocks srv2 (Helpers.ok_str (store.Store.list_blocks ()))));
+  (match Server.list_files srv2 with
+  | [ fc ] ->
+      let cur = ok (Server.current_version srv2 fc) in
+      Helpers.check_bytes "committed state intact" "p0"
+        (ok (Server.read_page srv2 cur (path [ 0 ])));
+      (* The client redoes; no rollback was ever run. *)
+      commit_write srv2 fc [ 0 ] "redone";
+      let cur = ok (Server.current_version srv2 fc) in
+      Helpers.check_bytes "redo lands" "redone" (ok (Server.read_page srv2 cur (path [ 0 ])))
+  | l -> Alcotest.failf "expected 1 file, got %d" (List.length l))
+
+let test_crash_after_commit_preserves_update () =
+  let store, srv = Helpers.fresh_server () in
+  let f = Helpers.file_with_pages srv 3 in
+  commit_write srv f [ 1 ] "durable";
+  Server.crash srv;
+  let srv2 = Server.create ~seed:7 store in
+  ignore (ok (Server.recover_from_blocks srv2 (Helpers.ok_str (store.Store.list_blocks ()))));
+  match Server.list_files srv2 with
+  | [ fc ] ->
+      let cur = ok (Server.current_version srv2 fc) in
+      Helpers.check_bytes "committed update survived" "durable"
+        (ok (Server.read_page srv2 cur (path [ 1 ])))
+  | l -> Alcotest.failf "expected 1 file, got %d" (List.length l)
+
+let test_recovery_finds_many_files_and_chains () =
+  let store, srv = Helpers.fresh_server () in
+  let files = Array.init 5 (fun i -> ok (Server.create_file srv ~data:(bytes (Printf.sprintf "f%d" i)) ())) in
+  Array.iteri (fun i f -> for r = 1 to i + 1 do commit_write srv f [] (Printf.sprintf "f%d-r%d" i r) done) files;
+  Server.crash srv;
+  let srv2 = Server.create ~seed:7 store in
+  Alcotest.(check int) "five files" 5
+    (ok (Server.recover_from_blocks srv2 (Helpers.ok_str (store.Store.list_blocks ()))));
+  Array.iteri
+    (fun i f ->
+      let chain = ok (Server.committed_chain srv2 f) in
+      Alcotest.(check int) (Printf.sprintf "file %d chain" i) (i + 2) (List.length chain);
+      let cur = ok (Server.current_version srv2 f) in
+      Helpers.check_bytes "current content" (Printf.sprintf "f%d-r%d" i (i + 1))
+        (ok (Server.read_page srv2 cur P.root)))
+    files
+
+let test_no_recovery_needed_for_reads () =
+  (* A second server can serve reads over the same store immediately,
+     without any recovery pass at all — capabilities name everything. *)
+  let store, srv = Helpers.fresh_server () in
+  let f = Helpers.file_with_pages srv 2 in
+  Server.crash srv;
+  let srv2 = Server.create ~seed:7 store in
+  let cur = ok (Server.current_version srv2 f) in
+  Helpers.check_bytes "instant service" "p1" (ok (Server.read_page srv2 cur (path [ 1 ])))
+
+(* {2 Over a real block server} *)
+
+let test_recovery_via_block_server_account_listing () =
+  let disk = Disk.create ~media:Media.electronic ~blocks:256 ~block_size:32768 in
+  let bs = Block_server.create ~disk () in
+  let account = 42 in
+  let store = Store.of_block_server bs ~account in
+  let srv = Server.create store in
+  let f = Helpers.file_with_pages srv 3 in
+  commit_write srv f [ 2 ] "on real blocks";
+  ok (Pagestore.flush (Server.pagestore srv));
+  Server.crash srv;
+  Block_server.clear_locks bs;
+  (* §4: the block server's recovery operation lists the account's blocks;
+     the file server rebuilds from them. *)
+  let srv2 = Server.create ~seed:7 store in
+  let owned = Block_server.owned_blocks bs account in
+  Alcotest.(check int) "one file" 1 (ok (Server.recover_from_blocks srv2 owned));
+  match Server.list_files srv2 with
+  | [ fc ] ->
+      let cur = ok (Server.current_version srv2 fc) in
+      Helpers.check_bytes "content back" "on real blocks"
+        (ok (Server.read_page srv2 cur (path [ 2 ])))
+  | l -> Alcotest.failf "expected 1 file, got %d" (List.length l)
+
+(* {2 Over stable storage} *)
+
+let test_file_service_survives_stable_disk_loss () =
+  let pair = Stable_pair.create ~media:Media.electronic ~blocks:512 ~block_size:32768 () in
+  let store = Store.of_stable_pair pair in
+  let srv = Server.create store in
+  let f = Helpers.file_with_pages srv 3 in
+  commit_write srv f [ 0 ] "replicated";
+  ok (Pagestore.flush (Server.pagestore srv));
+  (* Lose one entire disk. *)
+  Stable_pair.wipe_and_crash pair 0;
+  Pagestore.drop_volatile (Server.pagestore srv);
+  let cur = ok (Server.current_version srv f) in
+  Helpers.check_bytes "served from companion" "replicated"
+    (ok (Server.read_page srv cur (path [ 0 ])));
+  (* Repair the lost disk and lose the OTHER one: data still there. *)
+  (match (Stable_pair.restart pair 0).Stable_pair.result with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "restart: %s" (Fmt.str "%a" Stable_pair.pp_error e));
+  Stable_pair.crash pair 1;
+  Pagestore.drop_volatile (Server.pagestore srv);
+  let cur = ok (Server.current_version srv f) in
+  Helpers.check_bytes "served from repaired disk" "replicated"
+    (ok (Server.read_page srv cur (path [ 0 ])))
+
+let test_update_through_single_surviving_server () =
+  let pair = Stable_pair.create ~media:Media.electronic ~blocks:512 ~block_size:32768 () in
+  let store = Store.of_stable_pair pair in
+  let srv = Server.create store in
+  let f = Helpers.file_with_pages srv 2 in
+  Stable_pair.crash pair 1;
+  (* Updates continue against the surviving server, intentions pending. *)
+  commit_write srv f [ 1 ] "written during outage";
+  ok (Pagestore.flush (Server.pagestore srv));
+  (match (Stable_pair.restart pair 1).Stable_pair.result with
+  | Ok repaired -> Alcotest.(check bool) "catch-up repairs" true (repaired > 0)
+  | Error e -> Alcotest.failf "restart: %s" (Fmt.str "%a" Stable_pair.pp_error e));
+  (* Now serve everything from the previously-dead server. *)
+  Stable_pair.crash pair 0;
+  Pagestore.drop_volatile (Server.pagestore srv);
+  let cur = ok (Server.current_version srv f) in
+  Helpers.check_bytes "outage write present on companion" "written during outage"
+    (ok (Server.read_page srv cur (path [ 1 ])))
+
+(* {2 The C2 contrast: recovery work is zero} *)
+
+let test_afs_recovery_work_is_zero () =
+  let store, srv = Helpers.fresh_server () in
+  let f = Helpers.file_with_pages srv 4 in
+  (* Plenty of in-flight work at crash time. *)
+  let versions = List.init 6 (fun _ -> ok (Server.create_version srv f)) in
+  List.iteri (fun i v -> ok (Server.write_page srv v (path [ i mod 4 ]) (bytes "wip"))) versions;
+  Server.crash srv;
+  (* A fresh server serves the committed state with NO recovery actions:
+     no locks cleared, no rollback, no intentions lists. Count the work. *)
+  let srv2 = Server.create ~seed:7 store in
+  let cur = ok (Server.current_version srv2 f) in
+  Helpers.check_bytes "immediate consistent read" "p0"
+    (ok (Server.read_page srv2 cur (path [ 0 ])));
+  (* The only optional work is the table rebuild, and even that is lazy. *)
+  Alcotest.(check int) "no rollback counter exists" 0
+    (Afs_util.Stats.Counter.get (Server.counters srv2) "rollbacks")
+
+let test_2pl_recovery_work_is_nonzero () =
+  (* The same scenario against the locking baseline requires real work. *)
+  let clock = ref 0.0 in
+  let t = Afs_baseline.Twopl.create ~clock:(fun () -> !clock) () in
+  let txns = List.init 6 (fun i -> (i, Afs_baseline.Twopl.begin_ t)) in
+  List.iter
+    (fun (i, txn) ->
+      (match Afs_baseline.Twopl.read t txn ~obj:i with Ok _ -> () | Error _ -> ());
+      match Afs_baseline.Twopl.write t txn ~obj:(i + 10) (bytes "wip") with
+      | Ok () -> ()
+      | Error _ -> ())
+    txns;
+  Afs_baseline.Twopl.crash t;
+  let stats = Afs_baseline.Twopl.recover t in
+  Alcotest.(check bool) "locks to clear" true (stats.Afs_baseline.Twopl.locks_cleared > 0);
+  Alcotest.(check int) "transactions to roll back" 6 stats.Afs_baseline.Twopl.txns_rolled_back
+
+let () =
+  Alcotest.run "recovery"
+    [
+      ( "crash points",
+        [
+          quick "before commit: only update lost" test_crash_before_commit_loses_only_the_update;
+          quick "after commit: update preserved" test_crash_after_commit_preserves_update;
+          quick "many files and chains" test_recovery_finds_many_files_and_chains;
+          quick "reads need no recovery" test_no_recovery_needed_for_reads;
+        ] );
+      ( "block server",
+        [ quick "account listing rebuild" test_recovery_via_block_server_account_listing ] );
+      ( "stable storage",
+        [
+          quick "survives disk loss" test_file_service_survives_stable_disk_loss;
+          quick "update through survivor" test_update_through_single_surviving_server;
+        ] );
+      ( "recovery work",
+        [
+          quick "afs: zero" test_afs_recovery_work_is_zero;
+          quick "2pl: nonzero" test_2pl_recovery_work_is_nonzero;
+        ] );
+    ]

@@ -1,0 +1,262 @@
+open Afs_sim
+open Afs_rpc
+module Server = Afs_core.Server
+module Store = Afs_core.Store
+module Errors = Afs_core.Errors
+module P = Afs_util.Pagepath
+
+let quick = Helpers.quick
+let bytes = Helpers.bytes
+let ok = Helpers.ok
+
+(* Run [body] as a simulated process and return its result. *)
+let in_sim body =
+  let engine = Engine.create () in
+  let result = ref None in
+  let _ = Proc.spawn engine (fun () -> result := Some (body engine)) in
+  Engine.run engine;
+  match !result with Some r -> r | None -> Alcotest.fail "process never finished"
+
+(* {2 Generic RPC} *)
+
+let test_call_round_trip () =
+  in_sim (fun engine ->
+      let server = Rpc.serve engine ~name:"echo" ~handler:(fun x -> x * 2) in
+      match Rpc.call server 21 with
+      | Ok v -> Alcotest.(check int) "doubled" 42 v
+      | Error e -> Alcotest.failf "call failed: %s" (Fmt.str "%a" Rpc.pp_call_error e))
+
+let test_latency_charged () =
+  in_sim (fun engine ->
+      let server = Rpc.serve ~latency_ms:5.0 ~proc_ms:1.0 engine ~name:"slow" ~handler:Fun.id in
+      let t0 = Engine.now engine in
+      (match Rpc.call server () with Ok () -> () | Error _ -> Alcotest.fail "failed");
+      let dt = Engine.now engine -. t0 in
+      (* Two network hops plus processing. *)
+      Alcotest.(check bool) (Printf.sprintf "%.1fms = 11ms" dt) true (abs_float (dt -. 11.0) < 1e-6))
+
+let test_requests_serialised () =
+  in_sim (fun engine ->
+      let active = ref 0 in
+      let max_active = ref 0 in
+      let server =
+        Rpc.serve ~proc_ms:2.0 engine ~name:"srv"
+          ~handler:(fun () ->
+            incr active;
+            if !active > !max_active then max_active := !active;
+            decr active)
+      in
+      let spawn_joined, join_all = Proc.joinable engine in
+      for _ = 1 to 5 do
+        ignore (spawn_joined (fun () -> ignore (Rpc.call server ())))
+      done;
+      join_all ();
+      Alcotest.(check int) "one at a time" 1 !max_active;
+      Alcotest.(check int) "all served" 5 (Rpc.requests_served server))
+
+let test_queueing_delays_later_requests () =
+  in_sim (fun engine ->
+      let server = Rpc.serve ~latency_ms:1.0 ~proc_ms:10.0 engine ~name:"srv" ~handler:Fun.id in
+      let finish_times = ref [] in
+      let spawn_joined, join_all = Proc.joinable engine in
+      for _ = 1 to 3 do
+        ignore
+          (spawn_joined (fun () ->
+               ignore (Rpc.call server ());
+               finish_times := Engine.now engine :: !finish_times))
+      done;
+      join_all ();
+      match List.sort compare !finish_times with
+      | [ a; b; c ] ->
+          Alcotest.(check bool) "spaced by service time" true (b -. a >= 9.9 && c -. b >= 9.9)
+      | _ -> Alcotest.fail "expected three finishes")
+
+let test_crash_fails_pending_and_future () =
+  in_sim (fun engine ->
+      let server = Rpc.serve ~proc_ms:50.0 engine ~name:"doomed" ~handler:Fun.id in
+      let outcome1 = ref None in
+      let _ =
+        Proc.spawn engine (fun () -> outcome1 := Some (Rpc.call server ()))
+      in
+      (* Crash while the first request is still queued. *)
+      Engine.at engine 1.0 (fun () -> Rpc.crash server);
+      let outcome2 = ref None in
+      let _ =
+        Proc.spawn engine (fun () ->
+            Proc.delay 5.0;
+            outcome2 := Some (Rpc.call server ()))
+      in
+      Engine.run engine;
+      (match !outcome1 with
+      | Some (Error (Rpc.Server_crashed | Rpc.Timeout)) -> ()
+      | Some (Ok _) -> Alcotest.fail "pending request answered by dead server"
+      | _ -> Alcotest.fail "no outcome");
+      match !outcome2 with
+      | Some (Error Rpc.Timeout) -> ()
+      | Some (Ok _) -> Alcotest.fail "dead server answered"
+      | _ -> Alcotest.fail "no outcome 2")
+
+let test_restart_resumes_service () =
+  in_sim (fun engine ->
+      let server = Rpc.serve engine ~name:"phoenix" ~handler:(fun x -> x + 1) in
+      Rpc.crash server;
+      Rpc.restart server;
+      match Rpc.call server 1 with
+      | Ok 2 -> ()
+      | _ -> Alcotest.fail "restarted server must serve")
+
+(* {2 Remote file service} *)
+
+let remote_setup engine =
+  let store = Store.memory () in
+  let srv = Server.create store in
+  let host = Remote.host engine ~name:"afs-1" srv in
+  (store, srv, host)
+
+let test_remote_end_to_end () =
+  in_sim (fun engine ->
+      let _, srv, host = remote_setup engine in
+      let conn = Remote.connect [ host ] in
+      let f = ok (Remote.create_file conn (bytes "hello")) in
+      let v = ok (Remote.create_version conn f) in
+      let p = ok (Remote.insert_page conn v ~parent:P.root ~index:0 ~data:(bytes "page")) in
+      ok (Remote.write_page conn v p (bytes "rewritten"));
+      ok (Remote.commit conn v);
+      let cur = ok (Remote.current_version conn f) in
+      Helpers.check_bytes "read back over rpc" "rewritten" (ok (Remote.read_page conn cur p));
+      (* The server behind the wire agrees. *)
+      let cur_local = ok (Server.current_version srv f) in
+      Helpers.check_bytes "server state" "rewritten"
+        (ok (Server.read_page srv cur_local (P.of_list [ 0 ]))))
+
+let test_remote_conflict_propagates () =
+  in_sim (fun engine ->
+      let _, _, host = remote_setup engine in
+      let conn = Remote.connect [ host ] in
+      let f = ok (Remote.create_file conn (bytes "base")) in
+      let va = ok (Remote.create_version conn f) in
+      let vb = ok (Remote.create_version conn f) in
+      let _ = ok (Remote.read_page conn va P.root) in
+      ok (Remote.write_page conn va P.root (bytes "a"));
+      ok (Remote.write_page conn vb P.root (bytes "b"));
+      ok (Remote.commit conn vb);
+      match Remote.commit conn va with
+      | Error Errors.Conflict -> ()
+      | Ok () -> Alcotest.fail "conflict not detected over rpc"
+      | Error e -> Alcotest.failf "wrong error: %s" (Errors.to_string e))
+
+let test_remote_validate_cache () =
+  in_sim (fun engine ->
+      let _, srv, host = remote_setup engine in
+      let conn = Remote.connect [ host ] in
+      let f = ok (Remote.create_file conn (bytes "v1")) in
+      let basis = ok (Server.current_block_of_file srv f) in
+      let v = ok (Remote.create_version conn f) in
+      ok (Remote.write_page conn v P.root (bytes "v2"));
+      ok (Remote.commit conn v);
+      let validation = ok (Remote.validate_cache conn ~file:f ~basis_block:basis) in
+      Alcotest.(check int) "one version behind" 1 validation.Afs_core.Cache.versions_walked;
+      Alcotest.(check (list string)) "root invalid" [ "/" ]
+        (List.map P.to_string validation.Afs_core.Cache.invalid))
+
+let test_failover_to_second_host () =
+  in_sim (fun engine ->
+      let store = Store.memory () in
+      let ports = Afs_core.Ports.create () in
+      let srv1 = Server.create ~seed:7 ~ports store in
+      let srv2 = Server.create ~seed:7 ~ports store in
+      let host1 = Remote.host engine ~name:"afs-1" srv1 in
+      let host2 = Remote.host engine ~name:"afs-2" srv2 in
+      let conn = Remote.connect [ host1; host2 ] in
+      let f = ok (Remote.create_file conn (bytes "replicated service")) in
+      (* Primary dies; the client's next request must succeed via host 2
+         without any client-visible recovery step. *)
+      Remote.crash_host host1;
+      Alcotest.(check bool) "host1 down" false (Remote.host_up host1);
+      let v = ok (Remote.create_version conn f) in
+      ok (Remote.write_page conn v P.root (bytes "served by standby"));
+      ok (Remote.commit conn v);
+      let cur = ok (Remote.current_version conn f) in
+      Helpers.check_bytes "standby serves" "served by standby"
+        (ok (Remote.read_page conn cur P.root)))
+
+let test_crash_loses_uncommitted_but_not_committed () =
+  in_sim (fun engine ->
+      let store = Store.memory () in
+      let ports = Afs_core.Ports.create () in
+      let srv1 = Server.create ~seed:7 ~ports store in
+      let srv2 = Server.create ~seed:7 ~ports store in
+      let host1 = Remote.host engine ~name:"afs-1" srv1 in
+      let host2 = Remote.host engine ~name:"afs-2" srv2 in
+      let conn = Remote.connect [ host1; host2 ] in
+      let f = ok (Remote.create_file conn (bytes "committed state")) in
+      let v = ok (Remote.create_version conn f) in
+      ok (Remote.write_page conn v P.root (bytes "in flight"));
+      Remote.crash_host host1;
+      (* The client redoes the whole update on the standby — the paper's
+         contract — and the committed state was never at risk. *)
+      (match Remote.read_page conn v P.root with
+      | Error _ -> () (* Uncommitted version died with the server. *)
+      | Ok data ->
+          (* Or, if flushed before the crash, it is still consistent. *)
+          Helpers.check_bytes "flushed copy consistent" "in flight" data);
+      let v2 = ok (Remote.create_version conn f) in
+      ok (Remote.write_page conn v2 P.root (bytes "redone"));
+      ok (Remote.commit conn v2);
+      let cur = ok (Remote.current_version conn f) in
+      Helpers.check_bytes "redo landed" "redone" (ok (Remote.read_page conn cur P.root)))
+
+let test_balanced_conn_spreads_and_stays_correct () =
+  in_sim (fun engine ->
+      let store = Store.memory () in
+      let ports = Afs_core.Ports.create () in
+      let srv1 = Server.create ~seed:7 ~ports store in
+      let srv2 = Server.create ~seed:7 ~ports store in
+      let host1 = Remote.host engine ~name:"afs-1" srv1 in
+      let host2 = Remote.host engine ~name:"afs-2" srv2 in
+      let conn = Remote.connect ~balance:true [ host1; host2 ] in
+      let f = ok (Remote.create_file conn (bytes "0")) in
+      (* A chain of read-modify-write transactions: correctness requires
+         every version's operations to reach its own managing server (the
+         write-back cache lives there), while create_version calls rotate. *)
+      for _ = 1 to 20 do
+        let v = ok (Remote.create_version conn f) in
+        let n = int_of_string (Helpers.str (ok (Remote.read_page conn v P.root))) in
+        ok (Remote.write_page conn v P.root (bytes (string_of_int (n + 1))));
+        ok (Remote.commit conn v)
+      done;
+      let cur = ok (Remote.current_version conn f) in
+      Helpers.check_bytes "all increments through both servers" "20"
+        (ok (Remote.read_page conn cur P.root));
+      (* Both servers actually served transactions. *)
+      let served h = Afs_util.Stats.Counter.get (Server.counters (Remote.host_server h)) "versions.created" in
+      Alcotest.(check bool) "host1 served" true (served host1 > 0);
+      Alcotest.(check bool) "host2 served" true (served host2 > 0))
+
+let test_no_hosts_rejected () =
+  Alcotest.check_raises "empty host list" (Invalid_argument "Remote.connect: no hosts")
+    (fun () -> ignore (Remote.connect []))
+
+let () =
+  Alcotest.run "rpc"
+    [
+      ( "transport",
+        [
+          quick "round trip" test_call_round_trip;
+          quick "latency charged" test_latency_charged;
+          quick "requests serialised" test_requests_serialised;
+          quick "queueing delays" test_queueing_delays_later_requests;
+          quick "crash fails requests" test_crash_fails_pending_and_future;
+          quick "restart resumes" test_restart_resumes_service;
+        ] );
+      ( "remote file service",
+        [
+          quick "end to end" test_remote_end_to_end;
+          quick "conflict propagates" test_remote_conflict_propagates;
+          quick "cache validation" test_remote_validate_cache;
+          quick "failover" test_failover_to_second_host;
+          quick "crash semantics" test_crash_loses_uncommitted_but_not_committed;
+          quick "balanced connection" test_balanced_conn_spreads_and_stays_correct;
+          quick "no hosts rejected" test_no_hosts_rejected;
+        ] );
+    ]

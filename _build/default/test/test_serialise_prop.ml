@@ -1,0 +1,171 @@
+(* Property-based validation of the optimistic concurrency control against
+   a brute-force oracle.
+
+   With transactions that only read and write whole pages (no structural
+   modification), the Kung & Robinson condition is exact, so the system's
+   behaviour is fully predictable:
+
+   - a transaction must abort iff some transaction that committed after
+     its base version wrote a page it read;
+   - the final state must equal the committed transactions' writes applied
+     in commit order (later writers of a page win).
+
+   The generator draws random batches of concurrent transactions over one
+   file and the property replays the oracle next to the real system. *)
+
+open Afs_core
+module P = Afs_util.Pagepath
+
+let ok = Helpers.ok
+let bytes = Helpers.bytes
+
+type txn = { reads : int list; writes : int list }
+
+let gen_txn npages =
+  let open QCheck2.Gen in
+  let page = int_range 0 (npages - 1) in
+  let* reads = list_size (int_range 0 3) page in
+  let* writes = list_size (int_range 0 3) page in
+  return { reads = List.sort_uniq compare reads; writes = List.sort_uniq compare writes }
+
+let gen_scenario =
+  let open QCheck2.Gen in
+  let* npages = int_range 2 6 in
+  let* txns = list_size (int_range 2 6) (gen_txn npages) in
+  return (npages, txns)
+
+let print_scenario (npages, txns) =
+  let show_txn t =
+    Printf.sprintf "{r=[%s] w=[%s]}"
+      (String.concat ";" (List.map string_of_int t.reads))
+      (String.concat ";" (List.map string_of_int t.writes))
+  in
+  Printf.sprintf "pages=%d txns=[%s]" npages (String.concat " " (List.map show_txn txns))
+
+(* The oracle: walk the transactions in commit order, tracking which pages
+   have been written by committed predecessors. *)
+let oracle npages txns =
+  let committed_writer = Array.make npages None in
+  let outcomes =
+    List.mapi
+      (fun i t ->
+        let dirty_read = List.exists (fun p -> committed_writer.(p) <> None) t.reads in
+        if dirty_read then `Abort
+        else begin
+          List.iter (fun p -> committed_writer.(p) <- Some i) t.writes;
+          `Commit
+        end)
+      txns
+  in
+  (outcomes, Array.map (function Some i -> Printf.sprintf "txn%d" i | None -> "init") committed_writer)
+
+let run_system npages txns =
+  let _, srv = Helpers.fresh_server () in
+  let f = ok (Server.create_file srv ()) in
+  let setup = ok (Server.create_version srv f) in
+  for i = 0 to npages - 1 do
+    ignore (ok (Server.insert_page srv setup ~parent:P.root ~index:i ~data:(bytes "init") ()))
+  done;
+  ok (Server.commit srv setup);
+  (* All versions are created first — fully concurrent transactions. *)
+  let versions = List.map (fun _ -> ok (Server.create_version srv f)) txns in
+  List.iter2
+    (fun t v ->
+      List.iter (fun p -> ignore (ok (Server.read_page srv v (P.of_list [ p ])))) t.reads;
+      List.iteri
+        (fun _ p -> ok (Server.write_page srv v (P.of_list [ p ]) (bytes "")))
+        t.writes)
+    txns versions;
+  let outcomes =
+    List.mapi
+      (fun i (t, v) ->
+        (* Tag each write with the transaction index so the final state
+           identifies the writer. Writes happened above with placeholder
+           content; rewrite with the tag before committing. *)
+        List.iter
+          (fun p ->
+            ok (Server.write_page srv v (P.of_list [ p ]) (bytes (Printf.sprintf "txn%d" i))))
+          t.writes;
+        match Server.commit srv v with
+        | Ok () -> `Commit
+        | Error Errors.Conflict -> `Abort
+        | Error e -> Alcotest.failf "unexpected commit error: %s" (Errors.to_string e))
+      (List.combine txns versions)
+  in
+  let cur = ok (Server.current_version srv f) in
+  let final =
+    Array.init npages (fun p -> Helpers.str (ok (Server.read_page srv cur (P.of_list [ p ]))))
+  in
+  (outcomes, final)
+
+let same_outcomes a b =
+  List.length a = List.length b && List.for_all2 (fun x y -> x = y) a b
+
+let prop_matches_oracle =
+  QCheck2.Test.make ~name:"OCC matches the serial oracle" ~count:300
+    ~print:print_scenario gen_scenario (fun (npages, txns) ->
+      let expected_outcomes, expected_final = oracle npages txns in
+      let outcomes, final = run_system npages txns in
+      let final_expected =
+        Array.map (fun s -> if s = "init" then "init" else s) expected_final
+      in
+      same_outcomes expected_outcomes outcomes
+      && Array.for_all2 ( = ) final_expected final)
+
+(* A sequential-only property: without concurrency nothing ever aborts and
+   the last write wins — the degenerate case of the oracle. *)
+let prop_sequential_never_aborts =
+  QCheck2.Test.make ~name:"sequential updates never abort" ~count:100 ~print:print_scenario
+    gen_scenario (fun (npages, txns) ->
+      let _, srv = Helpers.fresh_server () in
+      let f = ok (Server.create_file srv ()) in
+      let setup = ok (Server.create_version srv f) in
+      for i = 0 to npages - 1 do
+        ignore
+          (ok (Server.insert_page srv setup ~parent:P.root ~index:i ~data:(bytes "init") ()))
+      done;
+      ok (Server.commit srv setup);
+      List.for_all
+        (fun t ->
+          let v = ok (Server.create_version srv f) in
+          List.iter (fun p -> ignore (ok (Server.read_page srv v (P.of_list [ p ])))) t.reads;
+          List.iter
+            (fun p -> ok (Server.write_page srv v (P.of_list [ p ]) (bytes "seq")))
+            t.writes;
+          Server.commit srv v = Ok ())
+        txns)
+
+(* Read-only transactions commit regardless of concurrency as long as the
+   pages they read were not overwritten. *)
+let prop_disjoint_readers_commute =
+  let open QCheck2.Gen in
+  let gen =
+    let* npages = int_range 4 8 in
+    let* boundary = int_range 1 (npages - 1) in
+    return (npages, boundary)
+  in
+  QCheck2.Test.make ~name:"reader and writer of disjoint pages both commit" ~count:100 gen
+    (fun (npages, boundary) ->
+      let _, srv = Helpers.fresh_server () in
+      let f = Helpers.file_with_pages srv npages in
+      let reader = ok (Server.create_version srv f) in
+      let writer = ok (Server.create_version srv f) in
+      for p = 0 to boundary - 1 do
+        ignore (ok (Server.read_page srv reader (P.of_list [ p ])))
+      done;
+      for p = boundary to npages - 1 do
+        ok (Server.write_page srv writer (P.of_list [ p ]) (Helpers.bytes "w"))
+      done;
+      ok (Server.commit srv writer);
+      Server.commit srv reader = Ok ())
+
+let () =
+  Alcotest.run "serialise-properties"
+    [
+      ( "oracle",
+        [
+          QCheck_alcotest.to_alcotest prop_matches_oracle;
+          QCheck_alcotest.to_alcotest prop_sequential_never_aborts;
+          QCheck_alcotest.to_alcotest prop_disjoint_readers_commute;
+        ] );
+    ]
