@@ -1,5 +1,6 @@
 module Pagepath = Afs_util.Pagepath
 module Capability = Afs_util.Capability
+module Det = Afs_util.Det
 
 open Errors
 
@@ -118,7 +119,7 @@ let revalidate ?flag_cache t ~file =
       List.iter
         (fun bad ->
           let doomed =
-            Hashtbl.fold
+            Det.fold_sorted
               (fun p _ acc -> if Pagepath.is_prefix bad p then p :: acc else acc)
               e.pages []
           in

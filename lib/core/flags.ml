@@ -43,9 +43,7 @@ let of_nibble = function
       Some { c = true; r; w; s = sm >= 1; m = sm = 2 }
   | _ -> None
 
-let all =
-  List.init 13 (fun n ->
-      match of_nibble n with Some f -> f | None -> assert false)
+let all = List.filter_map of_nibble (List.init 13 Fun.id)
 
 let union a b =
   let t =

@@ -1,6 +1,7 @@
 module Capability = Afs_util.Capability
 module Pagepath = Afs_util.Pagepath
 module Stats = Afs_util.Stats
+module Det = Afs_util.Det
 
 open Errors
 
@@ -407,10 +408,10 @@ let destroy_file t cap =
           v.status <- Aborted
       | _ -> ())
     file.uncommitted;
-  Hashtbl.iter
+  Det.iter_sorted
     (fun vb (v : version_record) ->
       if v.file_obj = file.file_obj then Hashtbl.remove t.versions vb)
-    (Hashtbl.copy t.versions);
+    t.versions;
   Hashtbl.remove t.files file.file_obj;
   Hashtbl.replace t.destroyed file.file_obj ();
   bump t "files.destroyed";
@@ -619,10 +620,10 @@ let flush_version t cap =
 let crash t =
   Pagestore.drop_volatile t.ps;
   (* Uncommitted versions are volatile by design. *)
-  Hashtbl.iter
+  Det.iter_sorted
     (fun _ v -> if v.status = Uncommitted then v.status <- Aborted)
     t.versions;
-  Hashtbl.iter (fun _ f -> f.uncommitted <- []) t.files;
+  Det.iter_sorted (fun _ f -> f.uncommitted <- []) t.files;
   bump t "server.crashes"
 
 let recover_from_blocks t blocks =
@@ -644,7 +645,7 @@ let recover_from_blocks t blocks =
       | None -> ())
     version_pages;
   let recovered = ref 0 in
-  Hashtbl.iter
+  Det.iter_sorted
     (fun file_obj pages ->
       match List.find_opt (fun (_, p) -> p.Page.header.Page.base_ref = None) pages with
       | None -> () (* No chain root among these blocks: cannot recover. *)
@@ -691,4 +692,4 @@ let note_pruned_chain t cap ~new_oldest =
   Ok ()
 
 let list_files t =
-  Hashtbl.fold (fun _ f acc -> mint_file_cap t (f.file_obj / 2) :: acc) t.files []
+  List.rev (Det.fold_sorted (fun _ f acc -> mint_file_cap t (f.file_obj / 2) :: acc) t.files [])

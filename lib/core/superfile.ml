@@ -15,6 +15,8 @@ type update = {
 
 let ps u = Server.pagestore u.server
 
+let super_file u = u.super_file
+
 (* Links to sub-file version pages are marked written: they are new
    content relative to nothing (or to the previous link). *)
 let link_flags = Flags.record Flags.clear Flags.Write

@@ -108,16 +108,18 @@ let split_child t txn parent_path idx =
   let child_path = Pagepath.child parent_path idx in
   let* child = read_node txn child_path in
   match child with
-  | Leaf entries ->
+  | Leaf entries -> (
       let left, right = split_list entries in
-      let median = match right with (k, _) :: _ -> k | [] -> assert false in
-      let* () = write_node t txn child_path (Leaf left) in
-      let* _ =
-        Client.Txn.insert txn ~parent:parent_path ~index:(idx + 1)
-          ~data:(encode_node ~order:t.order (Leaf right))
-          ()
-      in
-      Ok median
+      match right with
+      | [] -> Error (Errors.Store_failure "btree: split of an empty leaf")
+      | (median, _) :: _ ->
+          let* () = write_node t txn child_path (Leaf left) in
+          let* _ =
+            Client.Txn.insert txn ~parent:parent_path ~index:(idx + 1)
+              ~data:(encode_node ~order:t.order (Leaf right))
+              ()
+          in
+          Ok median)
   | Interior keys ->
       let server = Client.server t.client in
       let version = Client.Txn.version txn in
@@ -156,20 +158,22 @@ let split_child t txn parent_path idx =
 let split_root t txn =
   let* root = read_node txn Pagepath.root in
   match root with
-  | Leaf entries ->
+  | Leaf entries -> (
       let left, right = split_list entries in
-      let median = match right with (k, _) :: _ -> k | [] -> assert false in
-      let* _ =
-        Client.Txn.insert txn ~parent:Pagepath.root ~index:0
-          ~data:(encode_node ~order:t.order (Leaf left))
-          ()
-      in
-      let* _ =
-        Client.Txn.insert txn ~parent:Pagepath.root ~index:1
-          ~data:(encode_node ~order:t.order (Leaf right))
-          ()
-      in
-      write_node t txn Pagepath.root (Interior [ median ])
+      match right with
+      | [] -> Error (Errors.Store_failure "btree: split of an empty root leaf")
+      | (median, _) :: _ ->
+          let* _ =
+            Client.Txn.insert txn ~parent:Pagepath.root ~index:0
+              ~data:(encode_node ~order:t.order (Leaf left))
+              ()
+          in
+          let* _ =
+            Client.Txn.insert txn ~parent:Pagepath.root ~index:1
+              ~data:(encode_node ~order:t.order (Leaf right))
+              ()
+          in
+          write_node t txn Pagepath.root (Interior [ median ]))
   | Interior keys ->
       let server = Client.server t.client in
       let version = Client.Txn.version txn in

@@ -1,5 +1,4 @@
 module Engine = Afs_sim.Engine
-module Proc = Afs_sim.Proc
 module Ivar = Afs_sim.Ivar
 module Disk = Afs_disk.Disk
 
@@ -92,6 +91,8 @@ let crash t =
     doomed
 
 let restart t = t.up <- true
+
+let name t = t.name
 
 let is_up t = t.up
 let requests_served t = t.served

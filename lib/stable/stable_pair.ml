@@ -2,6 +2,7 @@ module Disk = Afs_disk.Disk
 module Media = Afs_disk.Media
 module Wire = Afs_util.Wire
 module Xrng = Afs_util.Xrng
+module Det = Afs_util.Det
 
 type id = int
 
@@ -316,9 +317,9 @@ let restart t i =
        companion's intentions list is a cheap summary, but after a wipe the
        full union is what restores the disk, so we always walk the union. *)
     let candidates = Hashtbl.create 256 in
-    Hashtbl.iter (fun b () -> Hashtbl.replace candidates b ()) s.allocated;
-    Hashtbl.iter (fun b () -> Hashtbl.replace candidates b ()) q.allocated;
-    Hashtbl.iter (fun b () -> Hashtbl.replace candidates b ()) q.intentions;
+    Det.iter_sorted (fun b () -> Hashtbl.replace candidates b ()) s.allocated;
+    Det.iter_sorted (fun b () -> Hashtbl.replace candidates b ()) q.allocated;
+    Det.iter_sorted (fun b () -> Hashtbl.replace candidates b ()) q.intentions;
     let repaired = ref 0 in
     let cost = ref hop_ms in
     let repair_one b () =
@@ -355,10 +356,10 @@ let restart t i =
           Hashtbl.remove s.allocated b;
           Hashtbl.remove q.allocated b
     in
-    Hashtbl.iter repair_one candidates;
+    Det.iter_sorted repair_one candidates;
     (* Both views now agree; intentions are discharged. *)
-    Hashtbl.iter (fun b () -> Hashtbl.replace s.allocated b ()) q.allocated;
-    Hashtbl.iter (fun b () -> Hashtbl.replace q.allocated b ()) s.allocated;
+    Det.iter_sorted (fun b () -> Hashtbl.replace s.allocated b ()) q.allocated;
+    Det.iter_sorted (fun b () -> Hashtbl.replace q.allocated b ()) s.allocated;
     Hashtbl.reset q.intentions;
     Hashtbl.reset s.intentions;
     s.recovered <- true;
@@ -368,8 +369,8 @@ let restart t i =
 let verify_companion_invariant t =
   let a = t.servers.(0) and b = t.servers.(1) in
   let union = Hashtbl.create 256 in
-  Hashtbl.iter (fun blk () -> Hashtbl.replace union blk ()) a.allocated;
-  Hashtbl.iter (fun blk () -> Hashtbl.replace union blk ()) b.allocated;
+  Det.iter_sorted (fun blk () -> Hashtbl.replace union blk ()) a.allocated;
+  Det.iter_sorted (fun blk () -> Hashtbl.replace union blk ()) b.allocated;
   let violation = ref None in
   let check blk () =
     if !violation = None then begin
@@ -380,5 +381,5 @@ let verify_companion_invariant t =
       | _ -> ()
     end
   in
-  Hashtbl.iter check union;
+  Det.iter_sorted check union;
   match !violation with None -> Ok () | Some msg -> Error msg

@@ -1,0 +1,11 @@
+let sorted_keys t = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t [])
+
+let iter_sorted f t =
+  List.iter
+    (fun k -> match Hashtbl.find_opt t k with Some v -> f k v | None -> ())
+    (sorted_keys t)
+
+let fold_sorted f t init =
+  List.fold_left
+    (fun acc k -> match Hashtbl.find_opt t k with Some v -> f k v acc | None -> acc)
+    init (sorted_keys t)

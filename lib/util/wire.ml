@@ -3,7 +3,7 @@ exception Decode_error of string
 let fail fmt = Printf.ksprintf (fun s -> raise (Decode_error s)) fmt
 
 module Writer = struct
-  type t = { mutable buf : Buffer.t }
+  type t = { buf : Buffer.t }
 
   let create ?(capacity = 256) () = { buf = Buffer.create capacity }
   let length t = Buffer.length t.buf

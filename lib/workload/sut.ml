@@ -1,4 +1,3 @@
-module Capability = Afs_util.Capability
 module Pagepath = Afs_util.Pagepath
 module Server = Afs_core.Server
 module Errors = Afs_core.Errors
@@ -20,9 +19,17 @@ type t = {
   read_page : int -> int -> bytes;
 }
 
-let fatal where = function
-  | Ok v -> v
-  | Error e -> failwith (Printf.sprintf "%s: %s" where (Errors.to_string e))
+exception Fatal of { where : string; error : Errors.t }
+
+let () =
+  Printexc.register_printer (function
+    | Fatal { where; error } ->
+        Some (Printf.sprintf "Sut.Fatal(%s: %s)" where (Errors.to_string error))
+    | _ -> None)
+
+let fatal_error where error = raise (Fatal { where; error })
+
+let fatal where = function Ok v -> v | Error e -> fatal_error where e
 
 let page_path i = Pagepath.of_list [ i ]
 
@@ -56,19 +63,19 @@ let afs_local server ~files =
       match Server.create_version server file with
       | Error (Errors.Locked_out _) ->
           if n < max_retries then attempt (n + 1) else { committed = false; attempts = n }
-      | Error e -> failwith ("afs_local create_version: " ^ Errors.to_string e)
+      | Error e -> fatal_error "afs_local create_version" e
       | Ok version -> (
           match run_ops version spec.ops with
           | Error e ->
               ignore (Server.abort_version server version);
-              failwith ("afs_local ops: " ^ Errors.to_string e)
+              fatal_error "afs_local ops" e
           | Ok () -> (
               match Server.commit server version with
               | Ok () -> { committed = true; attempts = n }
               | Error Errors.Conflict ->
                   if n < max_retries then attempt (n + 1)
                   else { committed = false; attempts = n }
-              | Error e -> failwith ("afs_local commit: " ^ Errors.to_string e)))
+              | Error e -> fatal_error "afs_local commit" e))
     in
     attempt 1
   in
@@ -118,19 +125,19 @@ let afs_remote ?(name = "afs-occ-rpc") ?(respect_hints = false) conn ~fallback ~
             attempt (n + 1)
           end
           else { committed = false; attempts = n }
-      | Error e -> failwith ("afs_remote create_version: " ^ Errors.to_string e)
+      | Error e -> fatal_error "afs_remote create_version" e
       | Ok version -> (
           match run_ops version spec.ops with
           | Error e ->
               ignore (Remote.abort_version conn version);
-              failwith ("afs_remote ops: " ^ Errors.to_string e)
+              fatal_error "afs_remote ops" e
           | Ok () -> (
               match Remote.commit conn version with
               | Ok () -> { committed = true; attempts = n }
               | Error Errors.Conflict ->
                   if n < max_retries then attempt (n + 1)
                   else { committed = false; attempts = n }
-              | Error e -> failwith ("afs_remote commit: " ^ Errors.to_string e)))
+              | Error e -> fatal_error "afs_remote commit" e))
     in
     attempt 1
   in
@@ -165,8 +172,8 @@ let remote_runner = function
         let result = ref None in
         (match Afs_rpc.Rpc.call rpc (fun () -> result := Some (f ())) with
         | Ok () -> ()
-        | Error _ -> failwith "baseline op server crashed");
-        (match !result with Some v -> v | None -> failwith "baseline op lost")
+        | Error _ -> fatal_error "baseline op" (Errors.Store_failure "op server crashed"));
+        (match !result with Some v -> v | None -> fatal_error "baseline op" (Errors.Store_failure "reply lost"))
 
 (* {2 XDFS-style two-phase locking} *)
 

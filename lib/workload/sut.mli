@@ -8,6 +8,13 @@
     SWALLOW-style timestamp baseline, each encoding its own redo/wait
     policy. *)
 
+exception Fatal of { where : string; error : Afs_core.Errors.t }
+(** A reply the workload can never legitimately see: a harness bug or
+    corrupted protocol state, never an outcome a backend may report.
+    Raised so it escapes the engine loop and fails the run loudly
+    instead of miscounting; carries the protocol {!Afs_core.Errors.t}
+    (lint rule P1: no stringly [failwith] in protocol paths). *)
+
 type op =
   | Read of int
   | Write of int * bytes

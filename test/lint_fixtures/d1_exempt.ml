@@ -1,0 +1,4 @@
+(* Fixture: same banned calls as d1_random.ml, but this file is listed in
+   [config.rng_exempt], so D1 must stay silent. *)
+
+let seed () = Random.bits ()

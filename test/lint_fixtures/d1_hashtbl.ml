@@ -1,0 +1,13 @@
+(* Fixture: unordered hashtable traversal in a unit that mentions the wire
+   format. Only the bare [Hashtbl.iter] is a violation; traversals whose
+   result is immediately sorted are deterministic and must not fire. *)
+
+module W = Wire
+
+let bad t = Hashtbl.iter (fun _ _ -> ()) t
+
+let good_direct t = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t [])
+
+let good_piped t = Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort compare
+
+let good_applied t = List.sort compare @@ Hashtbl.fold (fun k _ acc -> k :: acc) t []

@@ -1,0 +1,7 @@
+(* Fixture: unordered traversal is fine in a unit that never touches
+   Wire/Serialise/Engine — nothing here can reach the wire format. *)
+
+let count t =
+  let n = ref 0 in
+  Hashtbl.iter (fun _ _ -> incr n) t;
+  !n

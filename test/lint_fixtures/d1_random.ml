@@ -1,0 +1,8 @@
+(* Fixture: every ambient time/randomness source rule D1 must catch.
+   Parse-only — never compiled. *)
+
+let wall_clock () = Unix.gettimeofday ()
+
+let ambient_random () = Random.int 10
+
+let cpu_clock () = Sys.time ()

@@ -1,0 +1,10 @@
+(* Fixture: the three E1 effect-safety hazards.
+   - re-entering the engine from inside a coroutine body;
+   - blocking inside an [Engine.at] callback (callbacks are not processes);
+   - an ivar read in a unit with no fulfiller anywhere. *)
+
+let reenter engine = ignore (Proc.spawn engine (fun () -> Engine.run engine))
+
+let block_in_callback engine = Engine.at engine 1.0 (fun () -> Proc.delay 5.0)
+
+let orphan_wait iv = Ivar.read iv

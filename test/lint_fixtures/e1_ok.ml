@@ -1,0 +1,14 @@
+(* Fixture: the blessed shapes E1 must accept — blocking reads inside a
+   process with a fulfiller in the same unit, engine run at top level,
+   and non-blocking [Ivar.try_fill] from an [Engine.at] callback. *)
+
+let request engine rpc =
+  let reply = Ivar.create () in
+  Engine.at engine 1.0 (fun () -> ignore (Ivar.try_fill reply rpc));
+  Ivar.read reply
+
+let drive engine =
+  ignore (Proc.spawn engine (fun () -> Proc.delay 1.0));
+  Engine.run engine
+
+let fulfil iv v = Ivar.fill iv v

@@ -1,0 +1,3 @@
+(* Fixture: covered by covered.mli — rule M1 stays silent. *)
+
+let covered = 1

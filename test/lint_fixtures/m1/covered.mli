@@ -1,0 +1,1 @@
+val covered : int

@@ -1,0 +1,3 @@
+(* Fixture: an implementation with no sibling .mli — rule M1 fires. *)
+
+let uncovered = 1

@@ -1,0 +1,9 @@
+(* Fixture: one of each partial idiom rule P1 bans in protocol paths. *)
+
+let first l = List.hd l
+
+let forced o = Option.get o
+
+let boom () = failwith "protocol error as a string"
+
+let total = function Some x -> x | None -> assert false

@@ -1,0 +1,140 @@
+(* The lint engine against known-violation fixtures: each rule family must
+   fire exactly where expected, stay silent on the blessed shapes, and be
+   suppressible through the allowlist. *)
+
+let fixture_config =
+  {
+    Lint_types.rng_exempt = [ "lint_fixtures/d1_exempt.ml" ];
+    protocol_dirs = [ "lint_fixtures" ];
+    hashtbl_dirs = [ "lint_fixtures" ];
+    e1_dirs = [ "lint_fixtures" ];
+    e1_exempt = [];
+    mli_dirs = [];
+  }
+
+let run ?(config = fixture_config) ?(allowlist = []) dirs =
+  Lint_engine.run ~config ~allowlist ~root:"." dirs
+
+let key (f : Lint_types.finding) = (Lint_types.rule_id f.rule, f.file, f.symbol)
+
+let keys (r : Lint_engine.result) = List.map key r.findings
+
+let in_file file (r : Lint_engine.result) =
+  List.filter (fun (_, f, _) -> f = file) (keys r)
+
+let check_keys = Alcotest.(check (list (triple string string string)))
+
+let scan = lazy (run [ "lint_fixtures" ])
+
+let test_parses_everything () =
+  let r = Lazy.force scan in
+  Alcotest.(check (list (pair string string))) "no unparseable fixtures" [] r.broken;
+  Alcotest.(check int) "all fixtures scanned" 9 r.files_scanned
+
+let test_d1_ambient () =
+  check_keys "one finding per ambient source, none in the exempt file"
+    [
+      ("D1", "lint_fixtures/d1_random.ml", "Unix.gettimeofday");
+      ("D1", "lint_fixtures/d1_random.ml", "Random.int");
+      ("D1", "lint_fixtures/d1_random.ml", "Sys.time");
+    ]
+    (in_file "lint_fixtures/d1_random.ml" (Lazy.force scan)
+    @ in_file "lint_fixtures/d1_exempt.ml" (Lazy.force scan))
+
+let test_d1_hashtbl () =
+  check_keys "bare iter fires; sorted folds and wire-free units do not"
+    [ ("D1", "lint_fixtures/d1_hashtbl.ml", "Hashtbl.iter") ]
+    (in_file "lint_fixtures/d1_hashtbl.ml" (Lazy.force scan)
+    @ in_file "lint_fixtures/d1_hashtbl_pure.ml" (Lazy.force scan))
+
+let test_p1 () =
+  check_keys "each partial idiom fires once"
+    [
+      ("P1", "lint_fixtures/p1_partial.ml", "List.hd");
+      ("P1", "lint_fixtures/p1_partial.ml", "Option.get");
+      ("P1", "lint_fixtures/p1_partial.ml", "failwith");
+      ("P1", "lint_fixtures/p1_partial.ml", "assert false");
+    ]
+    (in_file "lint_fixtures/p1_partial.ml" (Lazy.force scan))
+
+let test_e1 () =
+  check_keys "re-entry, callback blocking, orphan read; blessed shapes silent"
+    [
+      ("E1", "lint_fixtures/e1_nested.ml", "Engine.run");
+      ("E1", "lint_fixtures/e1_nested.ml", "Proc.delay");
+      ("E1", "lint_fixtures/e1_nested.ml", "Ivar.read");
+    ]
+    (in_file "lint_fixtures/e1_nested.ml" (Lazy.force scan)
+    @ in_file "lint_fixtures/e1_ok.ml" (Lazy.force scan))
+
+let test_e1_severity () =
+  let r = Lazy.force scan in
+  let sev symbol =
+    match
+      List.find_opt
+        (fun (f : Lint_types.finding) ->
+          f.file = "lint_fixtures/e1_nested.ml" && f.symbol = symbol)
+        r.findings
+    with
+    | Some f -> Lint_types.severity_id f.severity
+    | None -> "missing"
+  in
+  Alcotest.(check string) "re-entry is an error" "error" (sev "Engine.run");
+  Alcotest.(check string) "orphan read is only a warning" "warning" (sev "Ivar.read")
+
+let test_m1 () =
+  let config = { fixture_config with Lint_types.mli_dirs = [ "lint_fixtures/m1" ] } in
+  let r = run ~config [ "lint_fixtures/m1" ] in
+  check_keys "only the uncovered module fires"
+    [ ("M1", "lint_fixtures/m1/orphan.ml", "missing-mli") ]
+    (keys r)
+
+let test_allowlist_suppresses () =
+  let allowlist =
+    Lint_allow.of_string
+      "# comment lines and blanks are ignored\n\n\
+       P1 lint_fixtures/p1_partial.ml failwith\n\
+       D1 lint_fixtures/d1_hashtbl.ml *   # wildcard symbol\n"
+  in
+  let r = run ~allowlist [ "lint_fixtures" ] in
+  Alcotest.(check bool) "failwith suppressed" false
+    (List.mem ("P1", "lint_fixtures/p1_partial.ml", "failwith") (keys r));
+  Alcotest.(check bool) "List.hd still reported" true
+    (List.mem ("P1", "lint_fixtures/p1_partial.ml", "List.hd") (keys r));
+  check_keys "wildcard clears the whole file" []
+    (in_file "lint_fixtures/d1_hashtbl.ml" r);
+  Alcotest.(check int) "both entries recorded as suppressions" 2
+    (List.length r.suppressed);
+  Alcotest.(check int) "no unused entries" 0 (List.length (Lint_allow.unused allowlist))
+
+let test_allowlist_unused_and_errors () =
+  let allowlist = Lint_allow.of_string "E1 lint_fixtures/never.ml Ivar.read\n" in
+  let (_ : Lint_engine.result) = run ~allowlist [ "lint_fixtures" ] in
+  Alcotest.(check int) "entry that matches nothing is unused" 1
+    (List.length (Lint_allow.unused allowlist));
+  Alcotest.check_raises "malformed line rejected"
+    (Lint_allow.Parse_error "line 1: want 'RULE file symbol', got \"only-two fields\"")
+    (fun () -> ignore (Lint_allow.of_string "only-two fields\n"));
+  Alcotest.check_raises "unknown rule rejected"
+    (Lint_allow.Parse_error "line 1: unknown rule \"Z9\" (want D1|P1|E1|M1)") (fun () ->
+      ignore (Lint_allow.of_string "Z9 some/file.ml sym\n"))
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "fixtures parse" `Quick test_parses_everything;
+          Alcotest.test_case "D1 ambient sources" `Quick test_d1_ambient;
+          Alcotest.test_case "D1 unordered hashtbl" `Quick test_d1_hashtbl;
+          Alcotest.test_case "P1 partial idioms" `Quick test_p1;
+          Alcotest.test_case "E1 effect safety" `Quick test_e1;
+          Alcotest.test_case "E1 severities" `Quick test_e1_severity;
+          Alcotest.test_case "M1 interface coverage" `Quick test_m1;
+        ] );
+      ( "allowlist",
+        [
+          Alcotest.test_case "suppression" `Quick test_allowlist_suppresses;
+          Alcotest.test_case "unused & malformed" `Quick test_allowlist_unused_and_errors;
+        ] );
+    ]

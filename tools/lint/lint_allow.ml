@@ -1,0 +1,67 @@
+(* Allowlist: deliberate, reviewed exceptions to lint rules.
+
+   Format, one entry per line:
+
+     RULE  path/to/file.ml  symbol   # optional comment
+
+   [symbol] is the identifier the finding reports (e.g. [Hashtbl.fold],
+   [failwith], [missing-mli]); [*] matches any symbol. Blank lines and
+   lines starting with [#] are ignored. *)
+
+open Lint_types
+
+type entry = { rule : rule; file : string; symbol : string; lineno : int; mutable used : bool }
+
+type t = entry list
+
+exception Parse_error of string
+
+let parse_line lineno line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let line = String.trim line in
+  if line = "" then None
+  else
+    match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+    | [ rule; file; symbol ] -> (
+        match rule_of_string rule with
+        | Some rule -> Some { rule; file; symbol; lineno; used = false }
+        | None ->
+            raise
+              (Parse_error
+                 (Printf.sprintf "line %d: unknown rule %S (want D1|P1|E1|M1)" lineno rule)))
+    | _ ->
+        raise
+          (Parse_error
+             (Printf.sprintf "line %d: want 'RULE file symbol', got %S" lineno line))
+
+let of_string s : t =
+  String.split_on_char '\n' s
+  |> List.mapi (fun i line -> parse_line (i + 1) line)
+  |> List.filter_map Fun.id
+
+let load path : t =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+let suppresses (t : t) (f : finding) =
+  List.exists
+    (fun e ->
+      let hit = e.rule = f.rule && e.file = f.file && (e.symbol = "*" || e.symbol = f.symbol) in
+      if hit then e.used <- true;
+      hit)
+    t
+
+(** Partition findings into (kept, suppressed). *)
+let apply (t : t) findings = List.partition (fun f -> not (suppresses t f)) findings
+
+(** Entries that never matched a finding — stale exceptions worth pruning. *)
+let unused (t : t) = List.filter (fun e -> not e.used) t
+
+let entry_to_string (e : entry) =
+  Printf.sprintf "line %d: %s %s %s" e.lineno (rule_id e.rule) e.file e.symbol

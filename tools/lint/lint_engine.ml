@@ -1,0 +1,109 @@
+(* Directory walking, parsing, and rule orchestration.
+
+   The engine owns everything that is not expression-level analysis: finding
+   the sources, parsing them with the compiler's own parser (parse only — the
+   pass needs no typing, so fixtures and generated code lint fine), and the
+   file-level M1 interface-coverage rule. *)
+
+open Lint_types
+
+type result = {
+  findings : finding list;  (** after allowlist filtering, sorted *)
+  suppressed : finding list;  (** removed by the allowlist *)
+  broken : (string * string) list;  (** unparseable files: (path, reason) *)
+  missing_dirs : string list;  (** requested scan roots that don't exist *)
+  files_scanned : int;
+}
+
+let ( / ) a b = if a = "" || a = "." then b else a ^ "/" ^ b
+
+(* Recursively collect files under [dir] (relative to [root]) matching
+   [keep], sorted so the linter's own output is deterministic. *)
+let rec collect_files ~root ~keep dir acc =
+  let abs = Filename.concat root dir in
+  if not (Sys.file_exists abs && Sys.is_directory abs) then acc
+  else
+    Array.fold_left
+      (fun acc entry ->
+        let rel = dir / entry in
+        let abs = Filename.concat root rel in
+        if Sys.is_directory abs then
+          if String.length entry > 0 && (entry.[0] = '.' || entry.[0] = '_') then acc
+          else collect_files ~root ~keep rel acc
+        else if keep entry then rel :: acc
+        else acc)
+      acc
+      (Sys.readdir abs)
+
+let ml_files ~root dirs =
+  List.concat_map
+    (fun d -> collect_files ~root ~keep:(fun f -> Filename.check_suffix f ".ml") d [])
+    dirs
+  |> List.sort_uniq compare
+
+let parse_impl path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lexbuf = Lexing.from_channel ic in
+      Lexing.set_filename lexbuf path;
+      Parse.implementation lexbuf)
+
+(* M1: every implementation in scope ships an interface. *)
+let check_mli (config : config) ~root file =
+  if
+    in_scope config.mli_dirs file
+    && not (Sys.file_exists (Filename.concat root (Filename.remove_extension file ^ ".mli")))
+  then
+    [
+      {
+        rule = M1;
+        severity = Error;
+        file;
+        line = 1;
+        col = 0;
+        symbol = "missing-mli";
+        message =
+          "module has no .mli — library modules must declare their interface \
+           (interface coverage keeps the protocol surface reviewable)";
+      };
+    ]
+  else []
+
+let describe_exn = function
+  | Syntaxerr.Error _ -> "syntax error"
+  | e -> Printexc.to_string e
+
+let run ?(config = default_config) ?(allowlist = []) ~root dirs =
+  (* A mistyped directory must not read as a clean scan. *)
+  let missing_dirs =
+    List.filter
+      (fun d ->
+        let abs = Filename.concat root d in
+        not (Sys.file_exists abs && Sys.is_directory abs))
+      dirs
+  in
+  let files = ml_files ~root dirs in
+  let broken = ref [] in
+  let findings =
+    List.concat_map
+      (fun file ->
+        let structural =
+          match parse_impl (Filename.concat root file) with
+          | str -> Lint_rules.analyse config ~file str
+          | exception e ->
+              broken := (file, describe_exn e) :: !broken;
+              []
+        in
+        structural @ check_mli config ~root file)
+      files
+  in
+  let kept, suppressed = Lint_allow.apply allowlist findings in
+  {
+    findings = List.sort compare_findings kept;
+    suppressed = List.sort compare_findings suppressed;
+    broken = List.rev !broken;
+    missing_dirs;
+    files_scanned = List.length files;
+  }

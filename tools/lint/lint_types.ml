@@ -1,0 +1,68 @@
+(* Shared vocabulary of the afs_lint static-analysis pass. *)
+
+type rule = D1 | P1 | E1 | M1
+
+let rule_id = function D1 -> "D1" | P1 -> "P1" | E1 -> "E1" | M1 -> "M1"
+
+let rule_of_string = function
+  | "D1" -> Some D1
+  | "P1" -> Some P1
+  | "E1" -> Some E1
+  | "M1" -> Some M1
+  | _ -> None
+
+type severity = Error | Warning
+
+let severity_id = function Error -> "error" | Warning -> "warning"
+
+type finding = {
+  rule : rule;
+  severity : severity;
+  file : string;  (** path relative to the scan root, '/'-separated *)
+  line : int;
+  col : int;
+  symbol : string;  (** offending identifier, or a rule-specific tag *)
+  message : string;
+}
+
+(* Order findings for stable output: by file, then position, then rule. *)
+let compare_findings a b =
+  match compare a.file b.file with
+  | 0 -> (
+      match compare (a.line, a.col) (b.line, b.col) with
+      | 0 -> compare (rule_id a.rule, a.symbol) (rule_id b.rule, b.symbol)
+      | c -> c)
+  | c -> c
+
+(** Per-run configuration. Directory scopes are '/'-separated paths relative
+    to the scan root; a scope of [""] matches every file. *)
+type config = {
+  rng_exempt : string list;
+      (** Files allowed to implement or touch ambient randomness / clocks
+          (the seeded RNG itself). *)
+  protocol_dirs : string list;  (** P1 scope: where partial idioms are banned. *)
+  hashtbl_dirs : string list;
+      (** D1 unordered-iteration scope (always further gated on the unit
+          referencing Wire/Serialise/Engine). *)
+  e1_dirs : string list;  (** E1 scope. *)
+  e1_exempt : string list;
+      (** Subtrees exempt from E1 (the sim engine implements the
+          primitives it would otherwise be flagged for). *)
+  mli_dirs : string list;  (** M1 scope: every .ml here needs a sibling .mli. *)
+}
+
+let default_config =
+  {
+    rng_exempt = [ "lib/util/xrng.ml" ];
+    protocol_dirs = [ "lib" ];
+    hashtbl_dirs = [ "lib"; "bin"; "bench"; "examples" ];
+    e1_dirs = [ "lib" ];
+    e1_exempt = [ "lib/sim" ];
+    mli_dirs = [ "lib" ];
+  }
+
+(* [in_scope dirs file] holds when [file] lives under one of [dirs]. *)
+let in_scope dirs file =
+  List.exists
+    (fun d -> d = "" || file = d || String.starts_with ~prefix:(d ^ "/") file)
+    dirs
