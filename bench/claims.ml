@@ -228,6 +228,10 @@ let c3 () =
     let r0, _ = io () in
     let v = ok (Cache.server_validate srv ~file:f ~basis_block:basis) in
     let r1, _ = io () in
+    let key = Printf.sprintf "n%d_p%d" intervening pages_per_commit in
+    metric "c3-cache-validation" (key ^ "_invalid")
+      (float_of_int (List.length v.Cache.invalid));
+    metric "c3-cache-validation" (key ^ "_reads") (float_of_int (r1 - r0));
     [
       string_of_int intervening;
       string_of_int pages_per_commit;
@@ -278,6 +282,9 @@ let c4 () =
             let before = counter srv "serialise.pages_visited" in
             ok (Server.commit srv vb);
             let visited = counter srv "serialise.pages_visited" - before in
+            metric "c4-serialise-cost"
+              (Printf.sprintf "visited_b%d_c%d" size_b size_c)
+              (float_of_int visited);
             [ string_of_int size_b; string_of_int size_c; string_of_int visited;
               f2 (float_of_int visited /. float_of_int (min size_b size_c + 1)) ])
           sizes)

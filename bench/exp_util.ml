@@ -38,6 +38,20 @@ let table headers rows =
 
 let note fmt = Printf.ksprintf (fun s -> Printf.printf "note: %s\n" s) fmt
 
+(* {2 Metrics}
+
+   Experiments publish their headline numbers here under
+   "<experiment>.<metric>"; the harness serialises them to the bench
+   trajectory file (BENCH_afs.json) and CI compares runs against the
+   committed baseline. Everything published must be deterministic —
+   simulated or counted cost, never wall-clock. *)
+
+let metrics : (string * float) list ref = ref []
+
+let metric exp name v = metrics := (exp ^ "." ^ name, v) :: !metrics
+let metric_i exp name v = metric exp name (float_of_int v)
+let all_metrics () = List.sort compare !metrics
+
 let f1 v = Printf.sprintf "%.1f" v
 let f2 v = Printf.sprintf "%.2f" v
 let pct num den = if den = 0 then "0.0%" else Printf.sprintf "%.1f%%" (100.0 *. float_of_int num /. float_of_int den)

@@ -3,6 +3,9 @@
 
    Run everything:        dune exec bench/main.exe
    One experiment:        dune exec bench/main.exe -- --only c1-occ-vs-locking
+   Bench trajectory:      dune exec bench/main.exe -- --json BENCH_afs.json
+   CI regression check:   dune exec bench/main.exe -- --json bench.json \
+                            --check-baseline BENCH_afs.json
    Add Bechamel micros:   dune exec bench/main.exe -- --bechamel
    List experiments:      dune exec bench/main.exe -- --list *)
 
@@ -26,12 +29,61 @@ let experiments =
     ("a1-flag-cache", Ablations.a1);
     ("a2-gc", Ablations.a2);
     ("a3-write-back", Ablations.a3);
+    ("m1-validate-after-n", Ablations.m1);
   ]
+
+(* Wall-clock is machine-dependent: recorded only under --timed, published
+   under a ".wall_us" suffix the baseline checker ignores. *)
+let wall_us = "wall_us"
+
+let run_one ~timed (id, f) =
+  if timed then begin
+    let t0 = Monotonic_clock.now () in
+    f ();
+    let t1 = Monotonic_clock.now () in
+    Exp_util.metric id wall_us (Int64.to_float (Int64.sub t1 t0) /. 1_000.0)
+  end
+  else f ()
+
+let is_wall_clock name =
+  let suffix = "." ^ wall_us in
+  let nl = String.length name and sl = String.length suffix in
+  nl >= sl && String.sub name (nl - sl) sl = suffix
+
+(* Compare this run's metrics against a committed baseline: any
+   deterministic metric drifting more than [tolerance] (relative) fails.
+   Only keys present in both are compared, so a smoke run of a few
+   experiments checks against the full committed trajectory. *)
+let check_baseline ~tolerance path current =
+  let text = In_channel.with_open_text path In_channel.input_all in
+  let baseline = Bjson.parse_metrics text in
+  let failures = ref 0 and compared = ref 0 in
+  List.iter
+    (fun (name, base) ->
+      match List.assoc_opt name current with
+      | None -> ()
+      | Some now when is_wall_clock name ->
+          Printf.printf "baseline (informational) %s: %.1f -> %.1f\n" name base now
+      | Some now ->
+          incr compared;
+          let drift = Float.abs (now -. base) /. Float.max (Float.abs base) 1.0 in
+          if drift > tolerance then begin
+            incr failures;
+            Printf.printf "baseline REGRESSION %s: %.2f -> %.2f (%.0f%% > %.0f%%)\n" name
+              base now (100.0 *. drift) (100.0 *. tolerance)
+          end)
+    baseline;
+  Printf.printf "baseline check vs %s: %d metrics compared, %d regressions\n" path !compared
+    !failures;
+  if !failures > 0 then exit 1
 
 let () =
   let only = ref [] in
   let list_only = ref false in
   let bechamel = ref false in
+  let timed = ref false in
+  let json_out = ref "" in
+  let baseline = ref "" in
   let speclist =
     [
       ( "--only",
@@ -39,11 +91,18 @@ let () =
         "ID  run only the experiment with this id (repeatable)" );
       ("--list", Arg.Set list_only, "  list experiment ids and exit");
       ("--bechamel", Arg.Set bechamel, "  also run the Bechamel micro-benchmarks");
+      ("--timed", Arg.Set timed, "  record wall-clock per experiment (informational)");
+      ( "--json",
+        Arg.Set_string json_out,
+        "FILE  write the run's metrics to FILE as JSON (the bench trajectory)" );
+      ( "--check-baseline",
+        Arg.Set_string baseline,
+        "FILE  fail if any deterministic metric drifts >10% from FILE" );
     ]
   in
   Arg.parse speclist
     (fun anon -> raise (Arg.Bad ("unexpected argument " ^ anon)))
-    "main.exe [--list] [--only ID]... [--bechamel]";
+    "main.exe [--list] [--only ID]... [--json FILE] [--check-baseline FILE] [--timed] [--bechamel]";
   if !list_only then List.iter (fun (id, _) -> print_endline id) experiments
   else begin
     let selected =
@@ -62,7 +121,14 @@ let () =
       "Amoeba File Service reproduction — experiment harness (%d experiments)\n"
       (List.length selected);
     Printf.printf "All times are SIMULATED unless marked as Bechamel wall-clock.\n";
-    List.iter (fun (_, f) -> f ()) selected;
+    List.iter (run_one ~timed:!timed) selected;
     if !bechamel then Micro.run ();
+    let metrics = Exp_util.all_metrics () in
+    if !json_out <> "" then begin
+      Out_channel.with_open_text !json_out (fun oc ->
+          Out_channel.output_string oc (Bjson.document ~schema:"afs-bench/1" metrics));
+      Printf.printf "\nwrote %d metrics to %s\n" (List.length metrics) !json_out
+    end;
+    if !baseline <> "" then check_baseline ~tolerance:0.10 !baseline metrics;
     Printf.printf "\n%s\ndone.\n" (String.make 78 '=')
   end

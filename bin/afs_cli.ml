@@ -105,7 +105,7 @@ let walkthrough () =
 
 (* {2 simulate} *)
 
-let simulate system clients duration_s think_ms nfiles pages theta =
+let simulate system clients duration_s think_ms nfiles pages theta cache_capacity =
   let open Afs_workload in
   let shape =
     {
@@ -129,7 +129,7 @@ let simulate system clients duration_s think_ms nfiles pages theta =
     match system with
     | "afs" ->
         let store = Store.memory () in
-        let srv = Server.create store in
+        let srv = Server.create ?cache_capacity store in
         let files = ok (Workload.setup_pages srv shape ~initial:(bytes "0")) in
         let host = Afs_rpc.Remote.host ~latency_ms:2.0 engine ~name:"afs" srv in
         Sut.afs_remote (Afs_rpc.Remote.connect [ host ]) ~fallback:srv ~files
@@ -193,8 +193,17 @@ let simulate_cmd =
   let nfiles = Arg.(value & opt int 32 & info [ "files" ] ~doc:"Number of files") in
   let pages = Arg.(value & opt int 16 & info [ "pages" ] ~doc:"Pages per file") in
   let theta = Arg.(value & opt float 0.0 & info [ "theta" ] ~doc:"Zipf skew (0 = uniform)") in
+  let cache_capacity =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-capacity" ] ~docv:"BLOCKS"
+          ~doc:"Server page-cache capacity in blocks (afs only; default 4096)")
+  in
   Cmd.v (Cmd.info "simulate" ~doc:"Run the multi-client workload driver")
-    Term.(const simulate $ system $ clients $ duration $ think $ nfiles $ pages $ theta)
+    Term.(
+      const simulate $ system $ clients $ duration $ think $ nfiles $ pages $ theta
+      $ cache_capacity)
 
 let conflict_cmd =
   let ints name doc = Arg.(value & opt (list int) [] & info [ name ] ~doc) in

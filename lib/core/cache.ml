@@ -1,6 +1,5 @@
 module Pagepath = Afs_util.Pagepath
 module Capability = Afs_util.Capability
-module Det = Afs_util.Det
 
 open Errors
 
@@ -13,7 +12,11 @@ module Flag_cache = struct
     match Hashtbl.find_opt t version_block with
     | Some paths -> Ok paths
     | None ->
-        let* paths = Serialise.written_paths (Server.pagestore server) ~version:version_block in
+        (* [Server.written_set] reads the incremental administration when
+           the server kept one — O(pages written), no page reads — and
+           falls back to the flag walk otherwise. Memoised either way:
+           committed versions are immutable. *)
+        let* paths = Server.written_set server version_block in
         Hashtbl.replace t version_block paths;
         Ok paths
 
@@ -37,7 +40,7 @@ let server_validate ?flag_cache server ~file ~basis_block =
     let write_set_of vb =
       match flag_cache with
       | Some fc -> Flag_cache.write_set fc server ~version_block:vb
-      | None -> Serialise.written_paths ps ~version:vb
+      | None -> Server.written_set server vb
     in
     (* Walk forward from the basis to the current version, accumulating the
        write sets of every intervening commit. *)
@@ -69,9 +72,14 @@ let server_validate ?flag_cache server ~file ~basis_block =
         Ok { current_block; invalid; versions_walked; pages_examined }
   end
 
-(* {2 Client side} *)
+(* {2 Client side}
 
-type file_entry = { mutable basis_block : int; pages : (Pagepath.t, bytes) Hashtbl.t }
+   Cached pages live in an ordered map over pathnames. The path order
+   places a page immediately before its descendants, so invalidating a
+   subtree is a range scan from the doomed root: O(log n) to find it plus
+   O(pages actually dropped), instead of a sweep over every cached page. *)
+
+type file_entry = { mutable basis_block : int; mutable pages : bytes Pagepath.Map.t }
 
 type t = { server : Server.t; files : (int, file_entry) Hashtbl.t }
 
@@ -82,21 +90,21 @@ let entry_for t file_obj basis =
   | Some e when e.basis_block = basis -> e
   | Some e ->
       e.basis_block <- basis;
-      Hashtbl.reset e.pages;
+      e.pages <- Pagepath.Map.empty;
       e
   | None ->
-      let e = { basis_block = basis; pages = Hashtbl.create 32 } in
+      let e = { basis_block = basis; pages = Pagepath.Map.empty } in
       Hashtbl.replace t.files file_obj e;
       e
 
 let put t ~file ~basis_block ~path ~data =
   let e = entry_for t file.Capability.obj basis_block in
-  Hashtbl.replace e.pages path (Bytes.copy data)
+  e.pages <- Pagepath.Map.add path (Bytes.copy data) e.pages
 
 let get t ~file ~path =
   match Hashtbl.find_opt t.files file.Capability.obj with
   | None -> None
-  | Some e -> Option.map Bytes.copy (Hashtbl.find_opt e.pages path)
+  | Some e -> Option.map Bytes.copy (Pagepath.Map.find_opt path e.pages)
 
 let basis t ~file =
   Option.map (fun e -> e.basis_block) (Hashtbl.find_opt t.files file.Capability.obj)
@@ -104,7 +112,18 @@ let basis t ~file =
 let pages_cached t ~file =
   match Hashtbl.find_opt t.files file.Capability.obj with
   | None -> 0
-  | Some e -> Hashtbl.length e.pages
+  | Some e -> Pagepath.Map.cardinal e.pages
+
+(* Drop [bad] and everything beneath it: the doomed paths are contiguous
+   in path order starting at [bad] itself. *)
+let drop_subtree pages bad =
+  let rec collect seq acc =
+    match seq () with
+    | Seq.Cons ((p, _), rest) when Pagepath.is_prefix bad p -> collect rest (p :: acc)
+    | Seq.Cons _ | Seq.Nil -> acc
+  in
+  let doomed = collect (Pagepath.Map.to_seq_from bad pages) [] in
+  List.fold_left (fun m p -> Pagepath.Map.remove p m) pages doomed
 
 let revalidate ?flag_cache t ~file =
   match Hashtbl.find_opt t.files file.Capability.obj with
@@ -116,14 +135,6 @@ let revalidate ?flag_cache t ~file =
       let* v = server_validate ?flag_cache t.server ~file ~basis_block:e.basis_block in
       (* Drop each invalid path together with the subtree beneath it: a
          restructured page invalidates every cached descendant. *)
-      List.iter
-        (fun bad ->
-          let doomed =
-            Det.fold_sorted
-              (fun p _ acc -> if Pagepath.is_prefix bad p then p :: acc else acc)
-              e.pages []
-          in
-          List.iter (Hashtbl.remove e.pages) doomed)
-        v.invalid;
+      e.pages <- List.fold_left drop_subtree e.pages v.invalid;
       e.basis_block <- v.current_block;
       Ok v

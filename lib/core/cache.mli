@@ -11,7 +11,11 @@
 
     {!Flag_cache} is the §5.4 refinement where the server keeps the
     concurrency-control administration (each committed version's write
-    set) in memory, so validation does not re-read page trees. *)
+    set) in memory, so validation does not re-read page trees. The write
+    sets themselves come from {!Server.written_set}: O(pages written) via
+    the incrementally maintained {!Writeset} for versions this server
+    created, the flag walk only as a fallback — so even a cold flag cache
+    validates without tree reads. *)
 
 module Flag_cache : sig
   type t

@@ -1,30 +1,91 @@
-type entry = { page : Page.t; dirty : bool }
+module Lru = Afs_util.Lru
+module Stats = Afs_util.Stats
+
+type entry = { mutable page : Page.t; mutable dirty : bool }
 
 type t = {
   store : Store.t;
   cache_enabled : bool;
-  cache : (int, entry) Hashtbl.t;
+  capacity : int;
+  cache : (int, entry) Lru.t;
+  (* Blocks held under a store lock: their cache entries are pinned so the
+     commit critical section never loses its block to eviction. *)
+  locked : (int, unit) Hashtbl.t;
   mutable dirty_total : int;
+  counters : Stats.Counter.t;
 }
 
-let create ?(cache = true) store =
-  { store; cache_enabled = cache; cache = Hashtbl.create 1024; dirty_total = 0 }
+let default_capacity = 4096
+
+let create ?(cache = true) ?(capacity = default_capacity) ?counters store =
+  if capacity < 1 then invalid_arg "Pagestore.create: capacity must be positive";
+  {
+    store;
+    cache_enabled = cache;
+    capacity;
+    cache = Lru.create ~capacity;
+    locked = Hashtbl.create 4;
+    dirty_total = 0;
+    counters = (match counters with Some c -> c | None -> Stats.Counter.create ());
+  }
 
 let store t = t.store
 let page_size_limit t = t.store.Store.block_size
+let capacity t = t.capacity
+let counters t = t.counters
+let bump ?by t name = Stats.Counter.incr ?by t.counters name
 
 let allocate t =
   match t.store.Store.allocate () with
   | Ok b -> Ok b
   | Error msg -> Error (Errors.Store_failure msg)
 
-let free t b =
-  Hashtbl.remove t.cache b;
-  ignore (t.store.Store.free b)
+let store_write t b page =
+  match t.store.Store.write b (Page.encode page) with
+  | Ok () -> Ok ()
+  | Error msg -> Error (Errors.Store_failure msg)
+
+(* Bring the cache back within capacity, oldest unpinned entries first.
+   A dirty evictee is written back before it is dropped (the §5.4
+   write-back contract: eviction must not lose writes), so a store error
+   here surfaces to the caller and the entry survives. *)
+let rec evict_excess t =
+  if not (Lru.needs_eviction t.cache) then Ok ()
+  else
+    match Lru.lru_unpinned t.cache with
+    | None -> Ok () (* Everything pinned: transiently over capacity. *)
+    | Some (b, e) ->
+        let write_back =
+          if e.dirty then
+            match store_write t b e.page with
+            | Ok () ->
+                e.dirty <- false;
+                t.dirty_total <- t.dirty_total - 1;
+                bump t "cache.writebacks";
+                Ok ()
+            | Error _ as err -> err
+          else Ok ()
+        in
+        (match write_back with
+        | Ok () ->
+            Lru.remove t.cache b;
+            bump t "cache.evictions";
+            evict_excess t
+        | Error _ as err -> err)
+
+(* Insert or refresh a cache entry, pinning it when its block is locked
+   (the entry may be created inside the critical section, after the lock
+   was taken). *)
+let cache_set t b entry =
+  Lru.set t.cache b entry;
+  if Hashtbl.mem t.locked b then ignore (Lru.pin t.cache b);
+  evict_excess t
 
 let read t b =
-  match Hashtbl.find_opt t.cache b with
-  | Some { page; _ } -> Ok page
+  match if t.cache_enabled then Lru.find t.cache b else None with
+  | Some e ->
+      bump t "cache.hits";
+      Ok e.page
   | None -> (
       match t.store.Store.read b with
       | Error msg -> Error (Errors.Store_failure msg)
@@ -32,8 +93,13 @@ let read t b =
           match Page.decode image with
           | Error msg -> Error (Errors.Store_failure msg)
           | Ok page ->
-              if t.cache_enabled then Hashtbl.replace t.cache b { page; dirty = false };
-              Ok page))
+              if t.cache_enabled then begin
+                bump t "cache.misses";
+                match cache_set t b { page; dirty = false } with
+                | Ok () -> Ok page
+                | Error _ as e -> e
+              end
+              else Ok page))
 
 let check_size t page =
   let bytes = Page.encoded_size page in
@@ -41,23 +107,21 @@ let check_size t page =
     Error (Errors.Page_too_large { bytes; limit = page_size_limit t })
   else Ok bytes
 
-let store_write t b page =
-  match t.store.Store.write b (Page.encode page) with
-  | Ok () -> Ok ()
-  | Error msg -> Error (Errors.Store_failure msg)
-
 let write t b page =
   match check_size t page with
   | Error _ as e -> e
   | Ok _ ->
       if not t.cache_enabled then store_write t b page
-      else begin
-        (match Hashtbl.find_opt t.cache b with
-        | Some { dirty = true; _ } -> ()
-        | Some { dirty = false; _ } | None -> t.dirty_total <- t.dirty_total + 1);
-        Hashtbl.replace t.cache b { page; dirty = true };
-        Ok ()
-      end
+      else (
+        match Lru.find t.cache b with
+        | Some e ->
+            if not e.dirty then t.dirty_total <- t.dirty_total + 1;
+            e.page <- page;
+            e.dirty <- true;
+            Ok ()
+        | None ->
+            t.dirty_total <- t.dirty_total + 1;
+            cache_set t b { page; dirty = true })
 
 let write_through t b page =
   match check_size t page with
@@ -66,29 +130,28 @@ let write_through t b page =
       match store_write t b page with
       | Error _ as e -> e
       | Ok () ->
-          (match Hashtbl.find_opt t.cache b with
+          (match Lru.peek t.cache b with
           | Some { dirty = true; _ } -> t.dirty_total <- t.dirty_total - 1
           | _ -> ());
-          if t.cache_enabled then Hashtbl.replace t.cache b { page; dirty = false };
-          Ok ())
+          if t.cache_enabled then cache_set t b { page; dirty = false } else Ok ())
 
 let flush_block t b =
-  match Hashtbl.find_opt t.cache b with
-  | Some { page; dirty = true } -> (
-      match store_write t b page with
-      | Error _ as e -> e
+  match Lru.peek t.cache b with
+  | Some ({ dirty = true; _ } as e) -> (
+      match store_write t b e.page with
+      | Error _ as err -> err
       | Ok () ->
-          Hashtbl.replace t.cache b { page; dirty = false };
+          e.dirty <- false;
           t.dirty_total <- t.dirty_total - 1;
           Ok ())
   | Some { dirty = false; _ } | None -> Ok ()
 
 let flush t =
   let dirty_blocks =
-    Hashtbl.fold (fun b { dirty; _ } acc -> if dirty then b :: acc else acc) t.cache []
+    Lru.fold (fun b e acc -> if e.dirty then b :: acc else acc) t.cache []
+    (* Deterministic order keeps simulated costs reproducible. *)
+    |> List.sort compare
   in
-  (* Deterministic order keeps simulated costs reproducible. *)
-  let dirty_blocks = List.sort compare dirty_blocks in
   let rec go = function
     | [] -> Ok ()
     | b :: rest -> ( match flush_block t b with Ok () -> go rest | Error _ as e -> e)
@@ -97,20 +160,37 @@ let flush t =
 
 let dirty_count t = t.dirty_total
 
-let lock t b = t.store.Store.lock b
-let unlock t b = t.store.Store.unlock b
+let lock t b =
+  if t.store.Store.lock b then begin
+    Hashtbl.replace t.locked b ();
+    ignore (Lru.pin t.cache b);
+    true
+  end
+  else false
+
+let unlock t b =
+  Hashtbl.remove t.locked b;
+  Lru.unpin t.cache b;
+  t.store.Store.unlock b
 
 let drop_volatile t =
-  Hashtbl.reset t.cache;
+  Lru.clear t.cache;
   t.dirty_total <- 0
 
-let refresh t b =
-  match Hashtbl.find_opt t.cache b with
-  | Some { dirty = true; _ } -> () (* Our own pending write is authoritative. *)
-  | Some { dirty = false; _ } | None -> Hashtbl.remove t.cache b
-
-let invalidate t b =
-  (match Hashtbl.find_opt t.cache b with
+let drop_entry t b =
+  (match Lru.peek t.cache b with
   | Some { dirty = true; _ } -> t.dirty_total <- t.dirty_total - 1
   | _ -> ());
-  Hashtbl.remove t.cache b
+  Lru.remove t.cache b
+
+let refresh t b =
+  match Lru.peek t.cache b with
+  | Some { dirty = true; _ } -> () (* Our own pending write is authoritative. *)
+  | Some { dirty = false; _ } -> Lru.remove t.cache b
+  | None -> ()
+
+let invalidate t b = drop_entry t b
+
+let free t b =
+  drop_entry t b;
+  ignore (t.store.Store.free b)

@@ -1,23 +1,41 @@
-(** Typed page access over a {!Store.t}, with a write-back page cache.
+(** Typed page access over a {!Store.t}, with a bounded write-back cache.
 
     The paper notes (§5.4) that the page cache "does not have to be a
     write-through cache": pages written in a version need not reach stable
-    storage until just before commit. This module implements exactly that:
-    {!write} updates the cache and marks the block dirty; {!flush} makes
-    everything durable; the commit path calls {!flush} first, and crash
-    simulation calls {!drop_volatile} to lose whatever was not flushed. *)
+    storage until just before commit. This module implements exactly that
+    over a capacity-bounded LRU: {!write} updates the cache and marks the
+    block dirty; {!flush} makes everything durable; the commit path calls
+    {!flush} first, and crash simulation calls {!drop_volatile} to lose
+    whatever was not flushed.
+
+    Eviction: when an insertion pushes the cache past its capacity, the
+    least-recently-used unpinned entries are dropped; a dirty evictee is
+    written back to the store first, so eviction never loses a write —
+    only {!drop_volatile} (a crash) can do that. Blocks held under {!lock}
+    are pinned and never evicted, keeping the §5.2 commit critical
+    section's block resident. Counters ([cache.hits], [cache.misses],
+    [cache.evictions], [cache.writebacks]) accumulate in {!counters}. *)
 
 type t
 
-val create : ?cache:bool -> Store.t -> t
+val default_capacity : int
+(** 4096 pages. *)
+
+val create : ?cache:bool -> ?capacity:int -> ?counters:Afs_util.Stats.Counter.t -> Store.t -> t
 (** [cache:false] makes every write write-through and every read hit the
-    store — the ablation baseline. *)
+    store — the ablation baseline. [capacity] bounds the number of cached
+    pages (default {!default_capacity}; raises [Invalid_argument] when
+    [< 1]). [counters] lets the owner share a counter set (the server
+    passes its own, so cache statistics appear with the commit ones). *)
 
 val store : t -> Store.t
 
 val page_size_limit : t -> int
 (** The store's block size, which by §5 is at most 32K: a page must fit in
     one atomic transaction message. *)
+
+val capacity : t -> int
+val counters : t -> Afs_util.Stats.Counter.t
 
 val allocate : t -> (int, Errors.t) result
 val free : t -> int -> unit
@@ -26,7 +44,8 @@ val read : t -> int -> (Page.t, Errors.t) result
 
 val write : t -> int -> Page.t -> (unit, Errors.t) result
 (** Cached, deferred write. Fails with [Page_too_large] if the encoded
-    page exceeds the block size. *)
+    page exceeds the block size; a store failure while writing back a
+    dirty evictee also surfaces here. *)
 
 val write_through : t -> int -> Page.t -> (unit, Errors.t) result
 (** Immediately durable (used for version pages in the commit path). *)
@@ -37,6 +56,9 @@ val flush_block : t -> int -> (unit, Errors.t) result
 val dirty_count : t -> int
 
 val lock : t -> int -> bool
+(** Store lock plus a pin: the block's cache entry (present or created
+    while locked) is exempt from eviction until {!unlock}. *)
+
 val unlock : t -> int -> unit
 
 val drop_volatile : t -> unit

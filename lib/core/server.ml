@@ -9,13 +9,27 @@ type version_status = Uncommitted | Committed | Aborted
 
 type page_info = { nrefs : int; dsize : int; child_flags : Flags.t array }
 
-type version_record = { vblock : int; file_obj : int; mutable status : version_status }
+type version_record = {
+  vblock : int;
+  file_obj : int;
+  mutable status : version_status;
+  (* The §5.4 concurrency-control administration, maintained incrementally
+     as flags are recorded. [Some] only for versions this server created
+     itself (the invariant — map = exactly the flags in the page tree —
+     cannot be asserted for lazily learned or recovered versions, whose
+     flags may predate this server). *)
+  mutable wset : Writeset.t option;
+}
 
 type file_record = {
   file_obj : int;  (** Even-numbered object: 2 * first version block. *)
   mutable current_hint : int;
   mutable oldest_hint : int;  (** Oldest retained committed version. *)
-  mutable uncommitted : int list;  (** Version-page blocks. *)
+  uncommitted : (int, unit) Hashtbl.t;  (** Version-page blocks. *)
+  (* Every version block ever registered for this file, newest first:
+     destroying the file walks this list instead of every version the
+     server knows about. *)
+  mutable vblocks : int list;
 }
 
 type t = {
@@ -31,17 +45,20 @@ type t = {
   counters : Stats.Counter.t;
 }
 
-let create ?(page_cache = true) ?(seed = 0xA40EBA) ?ports store =
+let create ?(page_cache = true) ?cache_capacity ?(seed = 0xA40EBA) ?ports store =
   let port_registry = match ports with Some p -> p | None -> Ports.create () in
+  let counters = Stats.Counter.create () in
   {
-    ps = Pagestore.create ~cache:page_cache store;
+    (* The server shares its counter set with the page store, so cache
+       hit/miss/eviction figures surface alongside the commit counters. *)
+    ps = Pagestore.create ~cache:page_cache ?capacity:cache_capacity ~counters store;
     secret = Capability.secret_of_seed seed;
     server_port = Capability.port_of_int (seed land 0xFFFFFFFFFFFF);
     port_registry;
     files = Hashtbl.create 64;
     versions = Hashtbl.create 256;
     destroyed = Hashtbl.create 8;
-    counters = Stats.Counter.create ();
+    counters;
   }
 
 let pagestore t = t.ps
@@ -73,6 +90,18 @@ let validate_cap t cap ~need =
   then Ok ()
   else Error Invalid_capability
 
+let fresh_file_record ~file_obj ~current ~oldest ~vblocks =
+  { file_obj; current_hint = current; oldest_hint = oldest; uncommitted = Hashtbl.create 4; vblocks }
+
+(* Register a version block in its file's index (creating the file record
+   when the file itself has not been seen yet). *)
+let index_version t ~file_obj ~vblock =
+  match Hashtbl.find_opt t.files file_obj with
+  | Some f -> f.vblocks <- vblock :: f.vblocks
+  | None ->
+      Hashtbl.replace t.files file_obj
+        (fresh_file_record ~file_obj ~current:vblock ~oldest:vblock ~vblocks:[ vblock ])
+
 (* Like versions, files can be learned lazily from the store: the file
    capability's object number is derived from its first version block. *)
 let learn_file t cap =
@@ -84,13 +113,11 @@ let learn_file t cap =
   | Ok page ->
       (match page.Page.header.Page.file_cap with
       | Some fc when fc.Capability.obj = cap.Capability.obj ->
+          (* No version of this file is registered yet: every registration
+             path creates the file record first. *)
           let f =
-            {
-              file_obj = cap.Capability.obj;
-              current_hint = first;
-              oldest_hint = first;
-              uncommitted = [];
-            }
+            fresh_file_record ~file_obj:cap.Capability.obj ~current:first ~oldest:first
+              ~vblocks:[]
           in
           Hashtbl.replace t.files cap.Capability.obj f;
           Ok f
@@ -135,17 +162,13 @@ let learn_version t cap =
               vblock;
               file_obj = fc.Capability.obj;
               status = (if committed then Committed else Uncommitted);
+              (* Another server recorded this version's flags: no
+                 incremental administration can be asserted for it. *)
+              wset = None;
             }
           in
           Hashtbl.replace t.versions vblock v;
-          if not (Hashtbl.mem t.files fc.Capability.obj) then
-            Hashtbl.replace t.files fc.Capability.obj
-              {
-                file_obj = fc.Capability.obj;
-                current_hint = vblock;
-                oldest_hint = vblock;
-                uncommitted = [];
-              };
+          index_version t ~file_obj:fc.Capability.obj ~vblock;
           Ok v
       | _ -> Error (No_such_version cap.Capability.obj))
 
@@ -181,26 +204,42 @@ let rec chase_current t block =
       | None -> Ok block
       | Some successor -> chase_current t successor)
 
+(* Apply a write-set transform to a version's incremental administration,
+   if it carries one. Called only after the corresponding tree write
+   succeeded, so the map-equals-tree-flags invariant is preserved. *)
+let update_wset (v : version_record) f = v.wset <- Option.map f v.wset
+
+let update_wset_at t vblock f =
+  match Hashtbl.find_opt t.versions vblock with
+  | Some v -> update_wset v f
+  | None -> ()
+
 (* Record an access at a page's flag location: the version page's own
-   root-flags field for the root, the parent's reference entry otherwise. *)
-let record_access_at t ~vblock location access =
+   root-flags field for the root, the parent's reference entry otherwise.
+   [path] names the page within the version so the same recording lands in
+   the incremental write set. *)
+let record_access_at t ~vblock ~path location access =
+  let note () = update_wset_at t vblock (fun ws -> Writeset.record ws path access) in
   match location with
   | None ->
       let* page = read_pg t vblock in
       let header = page.Page.header in
       let root_flags = Flags.record header.Page.root_flags access in
-      if Flags.equal root_flags header.Page.root_flags then Ok ()
-      else write_pg t vblock (Page.with_header page { header with Page.root_flags })
+      if Flags.equal root_flags header.Page.root_flags then Ok (note ())
+      else
+        let* () = write_pg t vblock (Page.with_header page { header with Page.root_flags }) in
+        Ok (note ())
   | Some (pblock, index) ->
       let* page = read_pg t pblock in
       let* entry = lift_page_err Pagepath.root (Page.get_ref page index) in
       let flags = Flags.record entry.Page.flags access in
-      if Flags.equal flags entry.Page.flags then Ok ()
+      if Flags.equal flags entry.Page.flags then Ok (note ())
       else
         let* page =
           lift_page_err Pagepath.root (Page.with_ref page index { entry with Page.flags })
         in
-        write_pg t pblock page
+        let* () = write_pg t pblock page in
+        Ok (note ())
 
 (* Copy-on-write of the child at [index] of the page at [pblock]: allocate
    a private block, store the child there with cleared grand-child flags
@@ -229,12 +268,12 @@ let copy_child t pblock index (entry : Page.ref_entry) =
    references are consulted and [access] on the target. Returns the
    target's private block. *)
 let locate_for_access t vblock path access =
-  let rec descend location block = function
+  let rec descend location at block = function
     | [] ->
-        let* () = record_access_at t ~vblock location access in
+        let* () = record_access_at t ~vblock ~path:at location access in
         Ok block
     | index :: rest ->
-        let* () = record_access_at t ~vblock location Flags.Search in
+        let* () = record_access_at t ~vblock ~path:at location Flags.Search in
         let* page = read_pg t block in
         (match Page.get_ref page index with
         | Error _ ->
@@ -244,9 +283,9 @@ let locate_for_access t vblock path access =
               if entry.Page.flags.Flags.c then Ok entry.Page.block
               else copy_child t block index entry
             in
-            descend (Some (block, index)) child_block rest)
+            descend (Some (block, index)) (Pagepath.child at index) child_block rest)
   in
-  descend None vblock (Pagepath.to_list path)
+  descend None Pagepath.root vblock (Pagepath.to_list path)
 
 (* Plain traversal with no copying and no flag recording, for committed
    versions (and introspection). *)
@@ -273,9 +312,9 @@ let create_file t ?(data = Bytes.empty) () =
   in
   let* () = Pagestore.write_through t.ps vb page in
   Hashtbl.replace t.files (file_obj_of_block vb)
-    { file_obj = file_obj_of_block vb; current_hint = vb; oldest_hint = vb; uncommitted = [] };
+    (fresh_file_record ~file_obj:(file_obj_of_block vb) ~current:vb ~oldest:vb ~vblocks:[ vb ]);
   Hashtbl.replace t.versions vb
-    { vblock = vb; file_obj = file_obj_of_block vb; status = Committed };
+    { vblock = vb; file_obj = file_obj_of_block vb; status = Committed; wset = Some Writeset.empty };
   bump t "files.created";
   Ok file_cap
 
@@ -303,7 +342,7 @@ let committed_chain t cap =
 
 let uncommitted_versions t cap =
   let* file = find_file t cap ~need:Capability.rights_none in
-  Ok file.uncommitted
+  Ok (Det.sorted_keys file.uncommitted)
 
 (* {2 Versions} *)
 
@@ -351,8 +390,10 @@ let create_version ?(respect_hints = false) ?(updater_port = 0) ?(holding_port =
       ~data:cpage.Page.data
   in
   let* () = write_pg t vb vpage in
-  Hashtbl.replace t.versions vb { vblock = vb; file_obj = file.file_obj; status = Uncommitted };
-  file.uncommitted <- vb :: file.uncommitted;
+  Hashtbl.replace t.versions vb
+    { vblock = vb; file_obj = file.file_obj; status = Uncommitted; wset = Some Writeset.empty };
+  file.vblocks <- vb :: file.vblocks;
+  Hashtbl.replace file.uncommitted vb ();
   bump t "versions.created";
   Ok version_cap
 
@@ -392,8 +433,7 @@ let free_private_pages t vblock =
   (match read_pg t vblock with Ok page -> free_copies page | Error _ -> ());
   Pagestore.free t.ps vblock
 
-let forget_uncommitted file vblock =
-  file.uncommitted <- List.filter (fun b -> b <> vblock) file.uncommitted
+let forget_uncommitted file vblock = Hashtbl.remove file.uncommitted vblock
 
 let destroy_file t cap =
   let* file = find_file t cap ~need:Capability.right_destroy in
@@ -405,13 +445,20 @@ let destroy_file t cap =
       match Hashtbl.find_opt t.versions vb with
       | Some v when v.status = Uncommitted ->
           free_private_pages t vb;
-          v.status <- Aborted
+          v.status <- Aborted;
+          v.wset <- None
       | _ -> ())
-    file.uncommitted;
-  Det.iter_sorted
-    (fun vb (v : version_record) ->
-      if v.file_obj = file.file_obj then Hashtbl.remove t.versions vb)
-    t.versions;
+    (Det.sorted_keys file.uncommitted);
+  (* Only this file's own version index is walked — not every version the
+     server knows about. A freed block may since have been reused by
+     another file, hence the ownership check. *)
+  List.iter
+    (fun vb ->
+      match Hashtbl.find_opt t.versions vb with
+      | Some (v : version_record) when v.file_obj = file.file_obj ->
+          Hashtbl.remove t.versions vb
+      | _ -> ())
+    file.vblocks;
   Hashtbl.remove t.files file.file_obj;
   Hashtbl.replace t.destroyed file.file_obj ();
   bump t "files.destroyed";
@@ -427,6 +474,7 @@ let abort_version t cap =
       | None -> ());
       free_private_pages t v.vblock;
       v.status <- Aborted;
+      v.wset <- None;
       bump t "versions.aborted";
       Ok ()
 
@@ -478,6 +526,10 @@ let insert_page t cap ~parent ~index ?(data = Bytes.empty) () =
     let entry = { Page.block = fresh; flags } in
     let* ppage = lift_page_err parent (Page.insert_ref ppage index entry) in
     let* () = write_pg t pblock ppage in
+    update_wset v (fun ws ->
+        let ws = Writeset.open_gap ws ~parent ~index in
+        let child = Pagepath.child parent index in
+        Writeset.record (Writeset.record ws child Flags.Write) child Flags.Search);
     Ok (Pagepath.child parent index)
 
 let remove_page t cap ~parent ~index =
@@ -488,7 +540,9 @@ let remove_page t cap ~parent ~index =
     Error (Bad_index { path = parent; index; nrefs = Page.nrefs ppage })
   else
     let* ppage = lift_page_err parent (Page.remove_ref ppage index) in
-    write_pg t pblock ppage
+    let* () = write_pg t pblock ppage in
+    update_wset v (fun ws -> Writeset.remove_at ws ~parent ~index);
+    Ok ()
 
 let move_page t cap ~src_parent ~src_index ~dst_parent ~dst_index =
   let src_path = Pagepath.child src_parent src_index in
@@ -501,13 +555,25 @@ let move_page t cap ~src_parent ~src_index ~dst_parent ~dst_index =
     let* entry = lift_page_err src_path (Page.get_ref src_page src_index) in
     let* src_page = lift_page_err src_path (Page.remove_ref src_page src_index) in
     let* () = write_pg t src_block src_page in
+    (* The moved subtree's recordings travel with it: extract them (and
+       close the gap) before the destination path — whose coordinates are
+       post-removal — is even walked, then graft at the landing point. *)
+    let moved_recordings = ref Writeset.empty in
+    update_wset v (fun ws ->
+        let sub, rest = Writeset.extract ws src_path in
+        moved_recordings := sub;
+        Writeset.close_gap rest ~parent:src_parent ~index:src_index);
     let* dst_block = locate_for_access t v.vblock dst_parent Flags.Modify in
     let* dst_page = read_pg t dst_block in
     if dst_index < 0 || dst_index > Page.nrefs dst_page then
       Error (Bad_index { path = dst_parent; index = dst_index; nrefs = Page.nrefs dst_page })
     else
       let* dst_page = lift_page_err dst_parent (Page.insert_ref dst_page dst_index entry) in
-      write_pg t dst_block dst_page
+      let* () = write_pg t dst_block dst_page in
+      update_wset v (fun ws ->
+          let ws = Writeset.open_gap ws ~parent:dst_parent ~index:dst_index in
+          Writeset.graft ws ~at:(Pagepath.child dst_parent dst_index) !moved_recordings);
+      Ok ()
 
 let split_page t cap ~path ~at =
   match (Pagepath.parent path, Pagepath.last path) with
@@ -525,6 +591,13 @@ let split_page t cap ~path ~at =
         let kept = Array.sub target.Page.refs 0 at in
         let target = Page.with_contents target ~refs:kept ~data:target.Page.data in
         let* () = write_pg t target_block target in
+        (* Recordings for the children that moved out follow them to the
+           sibling (child [at] becomes the sibling's child [0]). *)
+        let moved_recordings = ref Writeset.empty in
+        update_wset v (fun ws ->
+            let sub, rest = Writeset.extract_children_from ws ~parent:path ~from:at in
+            moved_recordings := sub;
+            rest);
         let* sibling_block = Pagestore.allocate t.ps in
         let sibling = Page.with_contents Page.empty ~refs:moved ~data:Bytes.empty in
         let* () = write_pg t sibling_block sibling in
@@ -535,6 +608,11 @@ let split_page t cap ~path ~at =
         let entry = { Page.block = sibling_block; flags } in
         let* ppage = lift_page_err parent (Page.insert_ref ppage (position + 1) entry) in
         let* () = write_pg t pblock ppage in
+        update_wset v (fun ws ->
+            let ws = Writeset.open_gap ws ~parent ~index:(position + 1) in
+            let spath = Pagepath.child parent (position + 1) in
+            let ws = Writeset.record (Writeset.record ws spath Flags.Write) spath Flags.Modify in
+            Writeset.graft ws ~at:spath !moved_recordings);
         bump t "pages.split";
         Ok (Pagepath.child parent (position + 1))
       end
@@ -593,21 +671,44 @@ let commit t cap =
         Ok ()
     | Ok (Some successor) -> (
         bump t "commits.intercepted";
-        match Serialise.test_and_merge t.ps ~candidate:vb ~committed:successor with
-        | Error e -> Error e
-        | Ok (Serialise.Conflict { stats; _ }) ->
-            bump t ~by:stats.Serialise.pages_visited "serialise.pages_visited";
+        let abandon () =
+          (match Hashtbl.find_opt t.files v.file_obj with
+          | Some file -> forget_uncommitted file vb
+          | None -> ());
+          free_private_pages t vb;
+          v.status <- Aborted;
+          v.wset <- None;
+          Error Conflict
+        in
+        (* When both sides carry the incremental administration, the §5.2
+           conflict conditions can be decided from the two flag maps alone
+           — disjoint (or merely read-shared) updates are told apart
+           without reading a single page of either tree. Only the
+           no-conflict answer still needs the tree walk, for the merge. *)
+        let precheck =
+          match v.wset with
+          | None -> None
+          | Some candidate -> (
+              match Hashtbl.find_opt t.versions successor with
+              | Some { wset = Some committed; _ } -> Writeset.conflict ~candidate ~committed
+              | _ -> None)
+        in
+        match precheck with
+        | Some _ ->
+            bump t "commits.shortcircuit";
             bump t "commits.conflict";
-            (match Hashtbl.find_opt t.files v.file_obj with
-            | Some file -> forget_uncommitted file vb
-            | None -> ());
-            free_private_pages t vb;
-            v.status <- Aborted;
-            Error Conflict
-        | Ok (Serialise.Serialisable stats) ->
-            bump t ~by:stats.Serialise.pages_visited "serialise.pages_visited";
-            let* () = Pagestore.flush t.ps in
-            attempt successor)
+            abandon ()
+        | None -> (
+            match Serialise.test_and_merge t.ps ~candidate:vb ~committed:successor with
+            | Error e -> Error e
+            | Ok (Serialise.Conflict { stats; _ }) ->
+                bump t ~by:stats.Serialise.pages_visited "serialise.pages_visited";
+                bump t "commits.conflict";
+                abandon ()
+            | Ok (Serialise.Serialisable stats) ->
+                bump t ~by:stats.Serialise.pages_visited "serialise.pages_visited";
+                let* () = Pagestore.flush t.ps in
+                attempt successor))
   in
   attempt base0
 
@@ -621,9 +722,13 @@ let crash t =
   Pagestore.drop_volatile t.ps;
   (* Uncommitted versions are volatile by design. *)
   Det.iter_sorted
-    (fun _ v -> if v.status = Uncommitted then v.status <- Aborted)
+    (fun _ v ->
+      if v.status = Uncommitted then begin
+        v.status <- Aborted;
+        v.wset <- None
+      end)
     t.versions;
-  Det.iter_sorted (fun _ f -> f.uncommitted <- []) t.files;
+  Det.iter_sorted (fun _ f -> Hashtbl.reset f.uncommitted) t.files;
   bump t "server.crashes"
 
 let recover_from_blocks t blocks =
@@ -650,8 +755,11 @@ let recover_from_blocks t blocks =
       match List.find_opt (fun (_, p) -> p.Page.header.Page.base_ref = None) pages with
       | None -> () (* No chain root among these blocks: cannot recover. *)
       | Some (first, _) ->
+          let chain = ref [] in
           let rec register block =
-            Hashtbl.replace t.versions block { vblock = block; file_obj; status = Committed };
+            Hashtbl.replace t.versions block
+              { vblock = block; file_obj; status = Committed; wset = None };
+            chain := block :: !chain;
             match read_pg t block with
             | Ok page -> (
                 match page.Page.header.Page.commit_ref with
@@ -661,13 +769,26 @@ let recover_from_blocks t blocks =
           in
           let current = register first in
           Hashtbl.replace t.files file_obj
-            { file_obj; current_hint = current; oldest_hint = first; uncommitted = [] };
+            (fresh_file_record ~file_obj ~current ~oldest:first ~vblocks:!chain);
           incr recovered)
     by_file;
   bump t ~by:!recovered "files.recovered";
   Ok !recovered
 
 (* {2 Introspection} *)
+
+(* The version's write set, from the incremental administration when the
+   server maintained one (O(pages written)), by the flag walk otherwise
+   (O(tree) fallback for learned/recovered versions). *)
+let written_set t block =
+  match Hashtbl.find_opt t.versions block with
+  | Some { wset = Some ws; _ } -> Ok (Writeset.written_paths ws)
+  | Some { wset = None; _ } | None -> Serialise.written_paths t.ps ~version:block
+
+let tracked_writeset t block =
+  match Hashtbl.find_opt t.versions block with
+  | Some v -> v.wset
+  | None -> None
 
 let root_flags_of t block =
   let* page = read_pg t block in

@@ -24,9 +24,12 @@ type page_info = {
   child_flags : Flags.t array;  (** Access flags of each child reference. *)
 }
 
-val create : ?page_cache:bool -> ?seed:int -> ?ports:Ports.t -> Store.t -> t
+val create :
+  ?page_cache:bool -> ?cache_capacity:int -> ?seed:int -> ?ports:Ports.t -> Store.t -> t
 (** Servers sharing a store must share [seed] (the capability secret) and
-    should share [ports]. *)
+    should share [ports]. [cache_capacity] bounds the write-back page
+    cache (default {!Pagestore.default_capacity}); the cache's hit, miss,
+    eviction and write-back counters land in this server's {!counters}. *)
 
 val pagestore : t -> Pagestore.t
 val ports : t -> Ports.t
@@ -112,7 +115,14 @@ val commit : t -> Afs_util.Capability.t -> unit Errors.r
 (** Flush, then run the §5.2 protocol: test-and-set the base's commit
     reference; on interception, serialisability-test and merge against
     each intervening committed version, retrying until the set succeeds
-    or the test fails with [Conflict] (the version is then removed). *)
+    or the test fails with [Conflict] (the version is then removed).
+
+    When both the candidate and the intervening version carry the
+    incrementally maintained flag map ({!Writeset}), the conflict
+    conditions are first decided from the two maps alone — a conflicting
+    commit is rejected without reading any page of either tree (counter
+    [commits.shortcircuit]); only the no-conflict case still walks the
+    trees, to build the merge. *)
 
 val flush_version : t -> Afs_util.Capability.t -> unit Errors.r
 
@@ -130,6 +140,16 @@ val recover_from_blocks : t -> int list -> int Errors.r
     their owners must redo, as the paper prescribes. *)
 
 (** {2 Introspection for tests, GC and experiments} *)
+
+val written_set : t -> int -> Afs_util.Pagepath.t list Errors.r
+(** The write set (§5.4) of the version at the given block, root-first.
+    O(pages written) via the incremental administration for versions this
+    server created; falls back to the [Serialise.written_paths] flag walk
+    for versions learned from the store or recovered after a crash. *)
+
+val tracked_writeset : t -> int -> Writeset.t option
+(** The incremental flag map itself, when one is maintained — exposed for
+    tests asserting the map-equals-tree-flags invariant. *)
 
 val root_flags_of : t -> int -> Flags.t Errors.r
 (** Root flags of the version page at the given block. *)

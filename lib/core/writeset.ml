@@ -1,0 +1,127 @@
+module Pagepath = Afs_util.Pagepath
+
+(* The concurrency-control administration of one uncommitted version,
+   kept incrementally: every copied path mapped to the C/R/W/S/M flags its
+   parent reference holds. Canonical representation: Pagepath.Map, whose
+   lexicographic order places a page immediately before its descendants,
+   so subtree queries are range scans and derived lists come out sorted
+   root-first — the same order Serialise.written_paths produces. *)
+
+type t = Flags.t Pagepath.Map.t
+
+let empty = Pagepath.Map.empty
+
+let cardinal = Pagepath.Map.cardinal
+
+let flags_at t path =
+  match Pagepath.Map.find_opt path t with Some f -> f | None -> Flags.clear
+
+let record t path access =
+  Pagepath.Map.update path
+    (fun f -> Some (Flags.record (Option.value ~default:Flags.clear f) access))
+    t
+
+let paths t = List.map fst (Pagepath.Map.bindings t)
+
+let written_paths t =
+  Pagepath.Map.fold
+    (fun p (f : Flags.t) acc -> if f.Flags.w || f.Flags.m then p :: acc else acc)
+    t []
+  |> List.rev
+
+(* {2 Structural edits}
+
+   These mirror the server's reference-table operations so the recorded
+   paths keep naming the pages they named before the edit. *)
+
+(* [Some suffix] when [prefix] is a (possibly equal) prefix of [l]. *)
+let rec strip_prefix prefix l =
+  match (prefix, l) with
+  | [], suffix -> Some suffix
+  | _, [] -> None
+  | x :: p', y :: l' -> if x = y then strip_prefix p' l' else None
+
+let rebuild f t =
+  Pagepath.Map.fold
+    (fun p flags acc ->
+      match f p flags with Some p' -> Pagepath.Map.add p' flags acc | None -> acc)
+    t Pagepath.Map.empty
+
+let open_gap t ~parent ~index =
+  let pl = Pagepath.to_list parent in
+  rebuild
+    (fun p _ ->
+      match strip_prefix pl (Pagepath.to_list p) with
+      | Some (j :: rest) when j >= index -> Some (Pagepath.of_list (pl @ ((j + 1) :: rest)))
+      | _ -> Some p)
+    t
+
+let close_gap t ~parent ~index =
+  let pl = Pagepath.to_list parent in
+  rebuild
+    (fun p _ ->
+      match strip_prefix pl (Pagepath.to_list p) with
+      | Some (j :: rest) when j > index -> Some (Pagepath.of_list (pl @ ((j - 1) :: rest)))
+      | Some (j :: _) when j = index -> None (* inside the removed subtree *)
+      | _ -> Some p)
+    t
+
+let remove_at t ~parent ~index = close_gap t ~parent ~index
+
+let extract t path =
+  let pl = Pagepath.to_list path in
+  Pagepath.Map.fold
+    (fun p flags (sub, rest) ->
+      match strip_prefix pl (Pagepath.to_list p) with
+      | Some suffix -> (Pagepath.Map.add (Pagepath.of_list suffix) flags sub, rest)
+      | None -> (sub, Pagepath.Map.add p flags rest))
+    t (Pagepath.Map.empty, Pagepath.Map.empty)
+
+let extract_children_from t ~parent ~from =
+  let pl = Pagepath.to_list parent in
+  Pagepath.Map.fold
+    (fun p flags (sub, rest) ->
+      match strip_prefix pl (Pagepath.to_list p) with
+      | Some (j :: tail) when j >= from ->
+          (Pagepath.Map.add (Pagepath.of_list ((j - from) :: tail)) flags sub, rest)
+      | _ -> (sub, Pagepath.Map.add p flags rest))
+    t (Pagepath.Map.empty, Pagepath.Map.empty)
+
+let graft t ~at sub =
+  let al = Pagepath.to_list at in
+  Pagepath.Map.fold
+    (fun q flags acc -> Pagepath.Map.add (Pagepath.of_list (al @ Pagepath.to_list q)) flags acc)
+    sub t
+
+(* {2 The serialisability pre-test}
+
+   Exactly the conflict conditions of the Serialise tree walk, evaluated
+   over the two flag maps with no page reads. A path can conflict only
+   where both versions copied it (clear flags conflict with nothing), so
+   iterating the candidate's map and probing the committed one covers
+   every case; for the candidate's M pages the walk rejects any page the
+   committed update copied below, which here is a single ordered-map
+   neighbour probe (descendants sort immediately after their ancestor). *)
+
+let conflict ~candidate ~committed =
+  let exception Found of Pagepath.t * string in
+  let check p (fb : Flags.t) =
+    let fc = flags_at committed p in
+    if fc.Flags.w && fb.Flags.r then
+      raise (Found (p, "data written by committed, read by candidate"));
+    if fc.Flags.m && fb.Flags.s then
+      raise (Found (p, "references modified by committed, searched by candidate"));
+    if fb.Flags.m then
+      match
+        Pagepath.Map.find_first_opt (fun q -> Pagepath.compare q p > 0) committed
+      with
+      | Some (q, _) when Pagepath.is_prefix p q ->
+          raise
+            (Found (q, "candidate restructured references over pages the committed update accessed"))
+      | _ -> ()
+  in
+  match Pagepath.Map.iter check candidate with
+  | () -> None
+  | exception Found (p, reason) -> Some (p, reason)
+
+let equal = Pagepath.Map.equal Flags.equal

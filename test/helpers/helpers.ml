@@ -26,10 +26,10 @@ let check_bytes msg expected actual = Alcotest.(check string) msg expected (str 
 
 let quick name f = Alcotest.test_case name `Quick f
 
-(** Fresh in-memory server. *)
-let fresh_server ?(seed = 7) () =
+(** Fresh in-memory server. [capacity] bounds its page cache. *)
+let fresh_server ?(seed = 7) ?capacity () =
   let store = Afs_core.Store.memory () in
-  (store, Afs_core.Server.create ~seed store)
+  (store, Afs_core.Server.create ~seed ?cache_capacity:capacity store)
 
 (** A file with [n] pages "p0".."p(n-1)" under the root. *)
 let file_with_pages server n =

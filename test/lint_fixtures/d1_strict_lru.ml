@@ -1,0 +1,7 @@
+(* Fixture: a determinism-critical unit (listed in hashtbl_strict_units).
+   Unordered traversal fires even though nothing here mentions
+   Wire/Serialise/Engine; sorted traversals stay silent as usual. *)
+
+let bad t = Hashtbl.iter (fun _ _ -> ()) t
+
+let good t = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t [])

@@ -68,6 +68,32 @@ let test_validation_cost_proportional_to_changes () =
     (Printf.sprintf "examined %d pages, far fewer than 64" v.Cache.pages_examined)
     true (v.Cache.pages_examined <= 4)
 
+let test_validation_cost_independent_of_depth () =
+  (* With the incremental administration, validating a fixed write set
+     costs the same however deep the tree it lives in. *)
+  let examined_at depth =
+    let _, srv = Helpers.fresh_server () in
+    let f = ok (Server.create_file srv ~data:(bytes "root") ()) in
+    let v = ok (Server.create_version srv f) in
+    let rec build parent level =
+      for i = 0 to 2 do
+        let child = ok (Server.insert_page srv v ~parent ~index:i ~data:(bytes "n") ()) in
+        if level + 1 < depth then build child (level + 1)
+      done
+    in
+    build P.root 0;
+    ok (Server.commit srv v);
+    let basis = ok (Server.current_block_of_file srv f) in
+    let leaf = path (List.init depth (fun _ -> 1)) in
+    let u = ok (Server.create_version srv f) in
+    ok (Server.write_page srv u leaf (bytes "deep change"));
+    ok (Server.commit srv u);
+    (ok (Cache.server_validate srv ~file:f ~basis_block:basis)).Cache.pages_examined
+  in
+  let shallow = examined_at 2 and deep = examined_at 5 in
+  Alcotest.(check int) "same cost at depth 5 as at depth 2" shallow deep;
+  Alcotest.(check int) "exactly the one written page" 1 deep
+
 (* {2 Flag cache (§5.4 last paragraph)} *)
 
 let test_flag_cache_memoises () =
@@ -192,6 +218,7 @@ let () =
           quick "accumulates chain" test_validation_accumulates_chain;
           quick "unknown basis discards all" test_validation_unknown_basis_discards_all;
           quick "cost tracks changes" test_validation_cost_proportional_to_changes;
+          quick "cost independent of depth" test_validation_cost_independent_of_depth;
         ] );
       ( "flag cache",
         [

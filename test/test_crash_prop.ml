@@ -21,9 +21,9 @@ let bytes = Helpers.bytes
 
 let npages = 4
 
-let run_with_crash ~seed ~crash_after_updates ~flush_before_crash =
+let run_with_crash ?capacity ~seed ~crash_after_updates ~flush_before_crash () =
   let store = Store.memory () in
-  let srv = Server.create ~seed:7 store in
+  let srv = Server.create ~seed:7 ?cache_capacity:capacity store in
   let f = Helpers.file_with_pages srv npages in
   let rng = Xrng.create seed in
   (* The model tracks only committed state. *)
@@ -61,22 +61,34 @@ let run_with_crash ~seed ~crash_after_updates ~flush_before_crash =
       (model, state)
   | l -> Alcotest.failf "expected 1 file, got %d" (List.length l)
 
-let prop_committed_prefix_survives =
-  QCheck2.Test.make ~name:"crash preserves exactly the committed prefix" ~count:150
+(* Each property also runs at tiny page-cache capacities: eviction
+   write-back must never change what a crash preserves. *)
+let cache_configs = [ (None, "default cache"); (Some 2, "cap 2"); (Some 4, "cap 4"); (Some 8, "cap 8") ]
+
+let prop_committed_prefix_survives (capacity, label) =
+  QCheck2.Test.make
+    ~name:(Printf.sprintf "crash preserves exactly the committed prefix (%s)" label)
+    ~count:(if capacity = None then 150 else 60)
     ~print:(fun (seed, n) -> Printf.sprintf "seed=%d crash_after=%d" seed n)
     QCheck2.Gen.(pair (int_range 1 100000) (int_range 0 20))
     (fun (seed, crash_after_updates) ->
-      let model, state = run_with_crash ~seed ~crash_after_updates ~flush_before_crash:true in
+      let model, state =
+        run_with_crash ?capacity ~seed ~crash_after_updates ~flush_before_crash:true ()
+      in
       Array.for_all2 ( = ) model state)
 
 (* Commits flush before the test-and-set, so even without an explicit
    flush the committed state must survive a crash. *)
-let prop_commit_implies_durability =
-  QCheck2.Test.make ~name:"commit implies durability (no flush needed)" ~count:150
+let prop_commit_implies_durability (capacity, label) =
+  QCheck2.Test.make
+    ~name:(Printf.sprintf "commit implies durability, no flush needed (%s)" label)
+    ~count:(if capacity = None then 150 else 60)
     ~print:(fun (seed, n) -> Printf.sprintf "seed=%d crash_after=%d" seed n)
     QCheck2.Gen.(pair (int_range 1 100000) (int_range 0 20))
     (fun (seed, crash_after_updates) ->
-      let model, state = run_with_crash ~seed ~crash_after_updates ~flush_before_crash:false in
+      let model, state =
+        run_with_crash ?capacity ~seed ~crash_after_updates ~flush_before_crash:false ()
+      in
       Array.for_all2 ( = ) model state)
 
 (* {2 Stable-pair crash storms} *)
@@ -147,10 +159,13 @@ let () =
   Alcotest.run "crash-properties"
     [
       ( "file service",
-        [
-          QCheck_alcotest.to_alcotest prop_committed_prefix_survives;
-          QCheck_alcotest.to_alcotest prop_commit_implies_durability;
-        ] );
+        List.concat_map
+          (fun config ->
+            [
+              QCheck_alcotest.to_alcotest (prop_committed_prefix_survives config);
+              QCheck_alcotest.to_alcotest (prop_commit_implies_durability config);
+            ])
+          cache_configs );
       ( "stable storage",
         [ QCheck_alcotest.to_alcotest prop_stable_survives_crash_storm ] );
     ]

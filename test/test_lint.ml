@@ -7,6 +7,7 @@ let fixture_config =
     Lint_types.rng_exempt = [ "lint_fixtures/d1_exempt.ml" ];
     protocol_dirs = [ "lint_fixtures" ];
     hashtbl_dirs = [ "lint_fixtures" ];
+    hashtbl_strict_units = [ "lint_fixtures/d1_strict_lru.ml" ];
     e1_dirs = [ "lint_fixtures" ];
     e1_exempt = [];
     mli_dirs = [];
@@ -29,7 +30,7 @@ let scan = lazy (run [ "lint_fixtures" ])
 let test_parses_everything () =
   let r = Lazy.force scan in
   Alcotest.(check (list (pair string string))) "no unparseable fixtures" [] r.broken;
-  Alcotest.(check int) "all fixtures scanned" 9 r.files_scanned
+  Alcotest.(check int) "all fixtures scanned" 10 r.files_scanned
 
 let test_d1_ambient () =
   check_keys "one finding per ambient source, none in the exempt file"
@@ -46,6 +47,17 @@ let test_d1_hashtbl () =
     [ ("D1", "lint_fixtures/d1_hashtbl.ml", "Hashtbl.iter") ]
     (in_file "lint_fixtures/d1_hashtbl.ml" (Lazy.force scan)
     @ in_file "lint_fixtures/d1_hashtbl_pure.ml" (Lazy.force scan))
+
+let test_d1_strict_unit () =
+  (* The strict-unit list applies D1 without the wire-mention gate; dropping
+     the file from the list restores the default (silent) behaviour. *)
+  check_keys "unordered iter fires in a strict unit with no wire mention"
+    [ ("D1", "lint_fixtures/d1_strict_lru.ml", "Hashtbl.iter") ]
+    (in_file "lint_fixtures/d1_strict_lru.ml" (Lazy.force scan));
+  let config = { fixture_config with Lint_types.hashtbl_strict_units = [] } in
+  check_keys "silent once delisted"
+    []
+    (in_file "lint_fixtures/d1_strict_lru.ml" (run ~config [ "lint_fixtures" ]))
 
 let test_p1 () =
   check_keys "each partial idiom fires once"
@@ -127,6 +139,7 @@ let () =
           Alcotest.test_case "fixtures parse" `Quick test_parses_everything;
           Alcotest.test_case "D1 ambient sources" `Quick test_d1_ambient;
           Alcotest.test_case "D1 unordered hashtbl" `Quick test_d1_hashtbl;
+          Alcotest.test_case "D1 strict units" `Quick test_d1_strict_unit;
           Alcotest.test_case "P1 partial idioms" `Quick test_p1;
           Alcotest.test_case "E1 effect safety" `Quick test_e1;
           Alcotest.test_case "E1 severities" `Quick test_e1_severity;

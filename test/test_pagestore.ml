@@ -4,9 +4,11 @@ let quick = Helpers.quick
 let bytes = Helpers.bytes
 let ok = Helpers.ok
 
-let fresh ?cache () =
+let fresh ?cache ?capacity () =
   let store = Store.memory ~block_size:1024 () in
-  (store, Pagestore.create ?cache store)
+  (store, Pagestore.create ?cache ?capacity store)
+
+let counter ps name = Afs_util.Stats.Counter.get (Pagestore.counters ps) name
 
 let page_with_data s = Page.with_data Page.empty (bytes s)
 
@@ -142,6 +144,83 @@ let test_locks_pass_through () =
   Pagestore.unlock ps b;
   Alcotest.(check bool) "relock after unlock" true (Pagestore.lock ps b)
 
+(* {2 Bounded capacity: eviction, write-back, pinning} *)
+
+let test_eviction_writes_back_dirty () =
+  let store, ps = fresh ~capacity:2 () in
+  let blocks = List.init 4 (fun i -> (i, ok (Pagestore.allocate ps))) in
+  List.iter
+    (fun (i, b) -> ignore (ok (Pagestore.write ps b (page_with_data (Printf.sprintf "d%d" i)))))
+    blocks;
+  (* Capacity 2, four dirty inserts: two evictions, each written back. *)
+  Alcotest.(check int) "evictions" 2 (counter ps "cache.evictions");
+  Alcotest.(check int) "writebacks" 2 (counter ps "cache.writebacks");
+  Alcotest.(check int) "dirty entries left" 2 (Pagestore.dirty_count ps);
+  (* The evicted writes reached the store without any flush. *)
+  let b0 = List.assoc 0 blocks in
+  (match store.Store.read b0 with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "evicted dirty block not written back: %s" msg);
+  (* Re-reading the evictee is a miss but sees the written-back data. *)
+  Alcotest.(check string) "write-back preserved data" "d0" (read_data ps b0)
+
+let test_eviction_order_is_lru () =
+  let _, ps = fresh ~capacity:2 () in
+  let b0 = ok (Pagestore.allocate ps) in
+  let b1 = ok (Pagestore.allocate ps) in
+  let b2 = ok (Pagestore.allocate ps) in
+  ignore (ok (Pagestore.write ps b0 (page_with_data "a")));
+  ignore (ok (Pagestore.write ps b1 (page_with_data "b")));
+  ignore (read_data ps b0) (* touch b0: b1 becomes the LRU *);
+  let m0 = counter ps "cache.misses" in
+  ignore (ok (Pagestore.write ps b2 (page_with_data "c")));
+  ignore (read_data ps b0);
+  Alcotest.(check int) "b0 still cached after b2 insert" m0 (counter ps "cache.misses");
+  ignore (read_data ps b1);
+  Alcotest.(check int) "b1 was the evictee" (m0 + 1) (counter ps "cache.misses")
+
+let test_locked_block_never_evicted () =
+  let _, ps = fresh ~capacity:1 () in
+  let b0 = ok (Pagestore.allocate ps) in
+  ignore (ok (Pagestore.write ps b0 (page_with_data "pinned")));
+  Alcotest.(check bool) "lock" true (Pagestore.lock ps b0);
+  (* Push many other blocks through the one-slot cache. *)
+  for i = 1 to 5 do
+    let b = ok (Pagestore.allocate ps) in
+    ignore (ok (Pagestore.write ps b (page_with_data (string_of_int i))))
+  done;
+  let h0 = counter ps "cache.hits" in
+  Alcotest.(check string) "pinned entry survived" "pinned" (read_data ps b0);
+  Alcotest.(check int) "served from cache" (h0 + 1) (counter ps "cache.hits");
+  Pagestore.unlock ps b0;
+  (* Unpinned now: the next insert evicts it (write-back keeps the data). *)
+  let b = ok (Pagestore.allocate ps) in
+  ignore (ok (Pagestore.write ps b (page_with_data "x")));
+  let m0 = counter ps "cache.misses" in
+  Alcotest.(check string) "data survives via write-back" "pinned" (read_data ps b0);
+  Alcotest.(check int) "read after unlock misses" (m0 + 1) (counter ps "cache.misses")
+
+let test_hit_miss_counters () =
+  let _, ps = fresh () in
+  let b = ok (Pagestore.allocate ps) in
+  ignore (ok (Pagestore.write_through ps b (page_with_data "x")));
+  Pagestore.invalidate ps b;
+  ignore (read_data ps b);
+  ignore (read_data ps b);
+  Alcotest.(check int) "one miss" 1 (counter ps "cache.misses");
+  Alcotest.(check int) "one hit" 1 (counter ps "cache.hits")
+
+let test_flush_then_evict_no_second_write () =
+  let _, ps = fresh ~capacity:1 () in
+  let b0 = ok (Pagestore.allocate ps) in
+  ignore (ok (Pagestore.write ps b0 (page_with_data "v")));
+  ignore (ok (Pagestore.flush ps));
+  (* Clean after flush: evicting it must not write back again. *)
+  let b1 = ok (Pagestore.allocate ps) in
+  ignore (ok (Pagestore.write ps b1 (page_with_data "w")));
+  Alcotest.(check int) "no write-back of clean evictee" 0 (counter ps "cache.writebacks");
+  Alcotest.(check int) "evicted" 1 (counter ps "cache.evictions")
+
 let () =
   Alcotest.run "pagestore"
     [
@@ -161,6 +240,14 @@ let () =
           quick "invalidate" test_invalidate;
           quick "invalidate dirty" test_invalidate_dirty_discards;
           quick "free drops cache" test_free_drops_cache;
+        ] );
+      ( "bounded capacity",
+        [
+          quick "dirty eviction writes back" test_eviction_writes_back_dirty;
+          quick "eviction order is LRU" test_eviction_order_is_lru;
+          quick "locked block never evicted" test_locked_block_never_evicted;
+          quick "hit/miss counters" test_hit_miss_counters;
+          quick "clean evictee not rewritten" test_flush_then_evict_no_second_write;
         ] );
       ( "errors",
         [

@@ -59,8 +59,8 @@ let oracle npages txns =
   in
   (outcomes, Array.map (function Some i -> Printf.sprintf "txn%d" i | None -> "init") committed_writer)
 
-let run_system npages txns =
-  let _, srv = Helpers.fresh_server () in
+let run_system ?capacity npages txns =
+  let _, srv = Helpers.fresh_server ?capacity () in
   let f = ok (Server.create_file srv ()) in
   let setup = ok (Server.create_version srv f) in
   for i = 0 to npages - 1 do
@@ -101,11 +101,15 @@ let run_system npages txns =
 let same_outcomes a b =
   List.length a = List.length b && List.for_all2 (fun x y -> x = y) a b
 
-let prop_matches_oracle =
-  QCheck2.Test.make ~name:"OCC matches the serial oracle" ~count:300
+(* Also run at tiny page-cache capacities: eviction and write-back in the
+   middle of an update must not change any commit verdict. *)
+let prop_matches_oracle (capacity, label) =
+  QCheck2.Test.make
+    ~name:(Printf.sprintf "OCC matches the serial oracle (%s)" label)
+    ~count:(if capacity = None then 300 else 100)
     ~print:print_scenario gen_scenario (fun (npages, txns) ->
       let expected_outcomes, expected_final = oracle npages txns in
-      let outcomes, final = run_system npages txns in
+      let outcomes, final = run_system ?capacity npages txns in
       let final_expected =
         Array.map (fun s -> if s = "init" then "init" else s) expected_final
       in
@@ -163,9 +167,11 @@ let () =
   Alcotest.run "serialise-properties"
     [
       ( "oracle",
-        [
-          QCheck_alcotest.to_alcotest prop_matches_oracle;
-          QCheck_alcotest.to_alcotest prop_sequential_never_aborts;
-          QCheck_alcotest.to_alcotest prop_disjoint_readers_commute;
-        ] );
+        List.map
+          (fun config -> QCheck_alcotest.to_alcotest (prop_matches_oracle config))
+          [ (None, "default cache"); (Some 2, "cap 2"); (Some 4, "cap 4"); (Some 8, "cap 8") ]
+        @ [
+            QCheck_alcotest.to_alcotest prop_sequential_never_aborts;
+            QCheck_alcotest.to_alcotest prop_disjoint_readers_commute;
+          ] );
     ]

@@ -1,0 +1,247 @@
+(* The incremental concurrency-control administration (Writeset) against
+   its definition: the flags actually reachable in a version's page tree.
+
+   The unit tests pin the structural-edit transforms; the properties run
+   random operation sequences — page writes, reads, inserts, removes,
+   moves, splits — through a server and check (1) the tracked map equals
+   the tree's flags exactly, (2) the derived write set equals the
+   Serialise flag walk, and (3) the map-only conflict pre-test agrees
+   with the tree-walking serialisability test on every pair of updates. *)
+
+open Afs_core
+module P = Afs_util.Pagepath
+module Xrng = Afs_util.Xrng
+module Writeset = Afs_core.Writeset
+
+let ok = Helpers.ok
+let bytes = Helpers.bytes
+let path = Helpers.path
+
+(* {2 Unit tests for the transforms} *)
+
+let record_all ws l = List.fold_left (fun ws (p, a) -> Writeset.record ws (path p) a) ws l
+
+let paths_of ws = List.map P.to_list (Writeset.paths ws)
+
+let test_record_and_written () =
+  let ws =
+    record_all Writeset.empty
+      [ ([ 0 ], Flags.Read); ([ 1 ], Flags.Write); ([], Flags.Modify); ([ 1 ], Flags.Read) ]
+  in
+  Alcotest.(check (list (list int))) "all paths sorted" [ []; [ 0 ]; [ 1 ] ] (paths_of ws);
+  Alcotest.(check (list (list int)))
+    "written = W or M" [ []; [ 1 ] ]
+    (List.map P.to_list (Writeset.written_paths ws));
+  let f1 = Writeset.flags_at ws (path [ 1 ]) in
+  Alcotest.(check bool) "W and R accumulate" true (f1.Flags.w && f1.Flags.r)
+
+let test_open_close_gap () =
+  let ws = record_all Writeset.empty [ ([ 0 ], Flags.Read); ([ 2 ], Flags.Write); ([ 2; 1 ], Flags.Read) ] in
+  let ws' = Writeset.open_gap ws ~parent:P.root ~index:1 in
+  Alcotest.(check (list (list int))) "shifted up" [ [ 0 ]; [ 3 ]; [ 3; 1 ] ] (paths_of ws');
+  let ws'' = Writeset.close_gap ws' ~parent:P.root ~index:1 in
+  Alcotest.(check (list (list int))) "shifted back" [ [ 0 ]; [ 2 ]; [ 2; 1 ] ] (paths_of ws'')
+
+let test_close_gap_drops_subtree () =
+  let ws =
+    record_all Writeset.empty
+      [ ([ 0 ], Flags.Write); ([ 0; 3 ], Flags.Read); ([ 1 ], Flags.Read) ]
+  in
+  let ws' = Writeset.remove_at ws ~parent:P.root ~index:0 in
+  Alcotest.(check (list (list int))) "subtree dropped, sibling shifted" [ [ 0 ] ] (paths_of ws')
+
+let test_extract_graft_roundtrip () =
+  let ws =
+    record_all Writeset.empty
+      [ ([ 1 ], Flags.Write); ([ 1; 0 ], Flags.Read); ([ 2 ], Flags.Read) ]
+  in
+  let sub, rest = Writeset.extract ws (path [ 1 ]) in
+  Alcotest.(check (list (list int))) "sub re-rooted" [ []; [ 0 ] ] (paths_of sub);
+  Alcotest.(check (list (list int))) "rest" [ [ 2 ] ] (paths_of rest);
+  let back = Writeset.graft rest ~at:(path [ 1 ]) sub in
+  Alcotest.(check bool) "graft restores" true (Writeset.equal ws back)
+
+let test_extract_children_from () =
+  let ws =
+    record_all Writeset.empty
+      [ ([ 0; 1 ], Flags.Read); ([ 0; 2 ], Flags.Write); ([ 0; 2; 5 ], Flags.Read); ([ 0 ], Flags.Modify) ]
+  in
+  let sub, rest = Writeset.extract_children_from ws ~parent:(path [ 0 ]) ~from:2 in
+  Alcotest.(check (list (list int))) "renumbered from 0" [ [ 0 ]; [ 0; 5 ] ] (paths_of sub);
+  Alcotest.(check (list (list int))) "kept" [ [ 0 ]; [ 0; 1 ] ] (paths_of rest)
+
+let test_conflict_conditions () =
+  let committed = record_all Writeset.empty [ ([ 1 ], Flags.Write); ([ 2 ], Flags.Modify) ] in
+  let reader = record_all Writeset.empty [ ([ 1 ], Flags.Read) ] in
+  let searcher = record_all Writeset.empty [ ([ 2 ], Flags.Search) ] in
+  let disjoint = record_all Writeset.empty [ ([ 0 ], Flags.Write) ] in
+  Alcotest.(check bool) "W/R conflict" true
+    (Writeset.conflict ~candidate:reader ~committed <> None);
+  Alcotest.(check bool) "M/S conflict" true
+    (Writeset.conflict ~candidate:searcher ~committed <> None);
+  Alcotest.(check bool) "disjoint is clean" true
+    (Writeset.conflict ~candidate:disjoint ~committed = None);
+  (* Candidate restructured over pages the committed update reached below. *)
+  let restructurer = record_all Writeset.empty [ ([ 1 ], Flags.Modify) ] in
+  let below = record_all Writeset.empty [ ([ 1; 0 ], Flags.Read) ] in
+  Alcotest.(check bool) "M over accessed-below conflict" true
+    (Writeset.conflict ~candidate:restructurer ~committed:below <> None)
+
+(* {2 Random-operation properties against the server} *)
+
+(* A random existing path, by unrecorded traversal (page_info does not
+   touch flags). *)
+let random_path rng srv v =
+  let rec go p =
+    let info = ok (Server.page_info srv v p) in
+    if info.Server.nrefs = 0 || Xrng.int rng 3 = 0 then p
+    else go (P.child p (Xrng.int rng info.Server.nrefs))
+  in
+  go P.root
+
+let random_op rng srv v =
+  let ignore_result = function Ok _ -> () | Error (_ : Errors.t) -> () in
+  match Xrng.int rng 10 with
+  | 0 | 1 | 2 ->
+      let p = random_path rng srv v in
+      ignore_result (Server.write_page srv v p (bytes "w"))
+  | 3 | 4 ->
+      let p = random_path rng srv v in
+      ignore_result (Result.map ignore (Server.read_page srv v p))
+  | 5 | 6 ->
+      let parent = random_path rng srv v in
+      let n = (ok (Server.page_info srv v parent)).Server.nrefs in
+      ignore_result
+        (Result.map ignore (Server.insert_page srv v ~parent ~index:(Xrng.int rng (n + 1)) ()))
+  | 7 ->
+      let parent = random_path rng srv v in
+      let n = (ok (Server.page_info srv v parent)).Server.nrefs in
+      if n > 0 then ignore_result (Server.remove_page srv v ~parent ~index:(Xrng.int rng n))
+  | 8 ->
+      (* Move: picked against the pre-removal shape, so the call may fail
+         (destination inside the moved subtree, or gone after removal);
+         a partial move still has to keep the administration exact. *)
+      let src_parent = random_path rng srv v in
+      let n = (ok (Server.page_info srv v src_parent)).Server.nrefs in
+      if n > 0 then begin
+        let src_index = Xrng.int rng n in
+        let dst_parent = random_path rng srv v in
+        let m = (ok (Server.page_info srv v dst_parent)).Server.nrefs in
+        ignore_result
+          (Server.move_page srv v ~src_parent ~src_index ~dst_parent
+             ~dst_index:(Xrng.int rng (m + 1)))
+      end
+  | _ ->
+      let p = random_path rng srv v in
+      let n = (ok (Server.page_info srv v p)).Server.nrefs in
+      ignore_result (Result.map ignore (Server.split_page srv v ~path:p ~at:(Xrng.int rng (n + 1))))
+
+(* Every non-clear flag reachable in the version's tree, with its path. *)
+let tree_flags srv vblock =
+  let acc = ref [] in
+  let page = ok (Server.read_version_page srv vblock) in
+  let root_flags = page.Page.header.Page.root_flags in
+  if not (Flags.equal root_flags Flags.clear) then acc := (P.root, root_flags) :: !acc;
+  let rec walk p (page : Page.t) =
+    Array.iteri
+      (fun i (e : Page.ref_entry) ->
+        if not (Flags.equal e.Page.flags Flags.clear) then begin
+          let cp = P.child p i in
+          acc := (cp, e.Page.flags) :: !acc;
+          if e.Page.flags.Flags.c then walk cp (ok (Server.read_version_page srv e.Page.block))
+        end)
+      page.Page.refs
+  in
+  walk P.root page;
+  List.sort (fun (a, _) (b, _) -> P.compare a b) !acc
+
+let same_flag_list a b =
+  List.length a = List.length b
+  && List.for_all2 (fun (p, f) (q, g) -> P.equal p q && Flags.equal f g) a b
+
+let build_version rng srv f nops =
+  let v = ok (Server.create_version srv f) in
+  for _ = 1 to nops do
+    random_op rng srv v
+  done;
+  v
+
+let prop_map_equals_tree_flags =
+  QCheck2.Test.make ~name:"incremental map = reachable tree flags" ~count:200
+    ~print:(fun (seed, nops) -> Printf.sprintf "seed=%d nops=%d" seed nops)
+    QCheck2.Gen.(pair (int_range 1 100000) (int_range 0 40))
+    (fun (seed, nops) ->
+      let _, srv = Helpers.fresh_server () in
+      let f = Helpers.file_with_pages srv 3 in
+      let rng = Xrng.create seed in
+      let v = build_version rng srv f nops in
+      let vblock = ok (Server.version_block srv v) in
+      match Server.tracked_writeset srv vblock with
+      | None -> false
+      | Some ws ->
+          let from_map =
+            List.map (fun p -> (p, Writeset.flags_at ws p)) (Writeset.paths ws)
+          in
+          same_flag_list from_map (tree_flags srv vblock))
+
+let prop_written_matches_flag_walk =
+  QCheck2.Test.make ~name:"incremental write set = Serialise.written_paths" ~count:200
+    ~print:(fun (seed, nops) -> Printf.sprintf "seed=%d nops=%d" seed nops)
+    QCheck2.Gen.(pair (int_range 1 100000) (int_range 0 40))
+    (fun (seed, nops) ->
+      let _, srv = Helpers.fresh_server () in
+      let f = Helpers.file_with_pages srv 3 in
+      let rng = Xrng.create seed in
+      let v = build_version rng srv f nops in
+      let vblock = ok (Server.version_block srv v) in
+      let incremental = ok (Server.written_set srv vblock) in
+      let walked = ok (Serialise.written_paths (Server.pagestore srv) ~version:vblock) in
+      List.length incremental = List.length walked
+      && List.for_all2 P.equal incremental walked)
+
+(* The commit fast path never runs the walk, so check the pre-test against
+   Serialise.test_only directly on concurrent version pairs. *)
+let prop_pretest_agrees_with_walk =
+  QCheck2.Test.make ~name:"map conflict pre-test = tree-walk verdict" ~count:200
+    ~print:(fun (seed, n1, n2) -> Printf.sprintf "seed=%d nops=%d/%d" seed n1 n2)
+    QCheck2.Gen.(triple (int_range 1 100000) (int_range 0 25) (int_range 0 25))
+    (fun (seed, n1, n2) ->
+      let _, srv = Helpers.fresh_server () in
+      let f = Helpers.file_with_pages srv 3 in
+      let rng = Xrng.create seed in
+      let vb = build_version rng srv f n1 in
+      let vc = build_version rng srv f n2 in
+      let b_block = ok (Server.version_block srv vb) in
+      let c_block = ok (Server.version_block srv vc) in
+      ok (Server.commit srv vc);
+      match (Server.tracked_writeset srv b_block, Server.tracked_writeset srv c_block) with
+      | Some candidate, Some committed ->
+          let pre = Writeset.conflict ~candidate ~committed in
+          let walk =
+            ok (Serialise.test_only (Server.pagestore srv) ~candidate:b_block ~committed:c_block)
+          in
+          (match (pre, walk) with
+          | None, Serialise.Serialisable _ -> true
+          | Some _, Serialise.Conflict _ -> true
+          | None, Serialise.Conflict _ | Some _, Serialise.Serialisable _ -> false)
+      | _ -> false)
+
+let () =
+  Alcotest.run "writeset"
+    [
+      ( "transforms",
+        [
+          Helpers.quick "record and written_paths" test_record_and_written;
+          Helpers.quick "open/close gap" test_open_close_gap;
+          Helpers.quick "close_gap drops subtree" test_close_gap_drops_subtree;
+          Helpers.quick "extract/graft roundtrip" test_extract_graft_roundtrip;
+          Helpers.quick "extract_children_from" test_extract_children_from;
+          Helpers.quick "conflict conditions" test_conflict_conditions;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_map_equals_tree_flags;
+          QCheck_alcotest.to_alcotest prop_written_matches_flag_walk;
+          QCheck_alcotest.to_alcotest prop_pretest_agrees_with_walk;
+        ] );
+    ]

@@ -127,7 +127,10 @@ let analyse (config : config) ~file (str : Parsetree.structure) =
     findings := mk ~rule ~severity ~file ~loc ~symbol message :: !findings
   in
   let p1_scope = in_scope config.protocol_dirs file in
-  let hashtbl_scope = in_scope config.hashtbl_dirs file && facts.mentions_wire in
+  let hashtbl_strict = in_scope config.hashtbl_strict_units file in
+  let hashtbl_scope =
+    hashtbl_strict || (in_scope config.hashtbl_dirs file && facts.mentions_wire)
+  in
   let e1_scope = in_scope config.e1_dirs file && not (in_scope config.e1_exempt file) in
   let rng_exempt = List.mem file config.rng_exempt in
   (* Lexical context, innermost first. *)
@@ -144,11 +147,14 @@ let analyse (config : config) ~file (str : Parsetree.structure) =
         (banned_ambient comps);
     (match unordered_hashtbl comps with
     | Some _ when hashtbl_scope && !sorted_depth = 0 ->
+        let why =
+          if hashtbl_strict then "a determinism-critical unit"
+          else "a unit that feeds Wire/Serialise/Engine"
+        in
         emit ~rule:D1 ~severity:Error ~loc ~symbol:name
           (Printf.sprintf
-             "unordered %s in a unit that feeds Wire/Serialise/Engine — iterate in sorted key \
-              order (Afs_util.Det) or sort the result"
-             name)
+             "unordered %s in %s — iterate in sorted key order (Afs_util.Det) or sort the result"
+             name why)
     | _ -> ());
     if p1_scope then begin
       match name with
