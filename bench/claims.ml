@@ -309,7 +309,7 @@ let c5 () =
     "§4: write companion-first; collisions detected before damage; compare-notes recovery";
   (* Write overhead vs a plain single-disk block server. *)
   let plain_ms =
-    let disk = Disk.create ~media:Media.magnetic ~blocks:1024 ~block_size:32768 in
+    let disk = Disk.create ~media:Media.magnetic ~blocks:1024 ~block_size:32768 () in
     let bs = Afs_block.Block_server.create ~disk () in
     let total = ref 0.0 in
     for _ = 1 to 100 do
@@ -472,7 +472,7 @@ let c7 () =
       string_of_int s.Store.index_writes; string_of_int s.Store.index_blocks; readable ]
   in
   let run_magnetic () =
-    let disk = Disk.create ~media:Media.magnetic ~blocks:200_000 ~block_size:33000 in
+    let disk = Disk.create ~media:Media.magnetic ~blocks:200_000 ~block_size:33000 () in
     let bs = Afs_block.Block_server.create ~disk () in
     let store = Store.of_block_server bs ~account:1 in
     let srv = Server.create store in

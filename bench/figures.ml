@@ -20,7 +20,7 @@ module P = Afs_util.Pagepath
 let f1 () =
   banner "f1-hierarchy" "Storage services hierarchy: directory / file / block server"
     "Figure 1, §2.1";
-  let disk = Afs_disk.Disk.create ~media:Afs_disk.Media.electronic ~blocks:8192 ~block_size:32768 in
+  let disk = Afs_disk.Disk.create ~media:Afs_disk.Media.electronic ~blocks:8192 ~block_size:32768 () in
   let block_server = Afs_block.Block_server.create ~disk () in
   let store, io = Store.counting (Store.of_block_server block_server ~account:1) in
   let srv = Server.create store in

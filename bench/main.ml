@@ -29,6 +29,7 @@ let experiments =
     ("a1-flag-cache", Ablations.a1);
     ("a2-gc", Ablations.a2);
     ("a3-write-back", Ablations.a3);
+    ("a4-trace-overhead", Ablations.a4);
     ("m1-validate-after-n", Ablations.m1);
   ]
 

@@ -7,6 +7,8 @@
                                   and print a report row
      afs_cli conflict [...]       build a concurrent schedule and show
                                   the serialisability verdict
+     afs_cli trace FILE           summarise a catapult trace written by
+                                  simulate --trace
 
    The store is in-memory: the tool is a demonstrator and debugging aid,
    not a persistence layer. *)
@@ -105,7 +107,7 @@ let walkthrough () =
 
 (* {2 simulate} *)
 
-let simulate system clients duration_s think_ms nfiles pages theta cache_capacity =
+let simulate system clients duration_s think_ms nfiles pages theta cache_capacity trace_file =
   let open Afs_workload in
   let shape =
     {
@@ -117,6 +119,23 @@ let simulate system clients duration_s think_ms nfiles pages theta cache_capacit
     }
   in
   let engine = Afs_sim.Engine.create () in
+  (* With [--trace FILE] every event streams straight to a catapult JSON
+     document; nothing is buffered beyond the open channel. *)
+  let trace_sink =
+    match trace_file with
+    | None -> None
+    | Some path ->
+        let oc = open_out path in
+        let w = Afs_trace.Catapult.writer (output_string oc) in
+        let tr =
+          Afs_trace.Trace.stream
+            ~now:(fun () -> Afs_sim.Engine.now engine)
+            (Afs_trace.Catapult.emit w)
+        in
+        Afs_sim.Engine.set_trace engine tr;
+        Some (path, oc, w, tr)
+  in
+  let trace = Afs_sim.Engine.trace engine in
   let config =
     {
       Driver.default_config with
@@ -129,26 +148,62 @@ let simulate system clients duration_s think_ms nfiles pages theta cache_capacit
     match system with
     | "afs" ->
         let store = Store.memory () in
-        let srv = Server.create ?cache_capacity store in
+        let srv = Server.create ?cache_capacity ~trace store in
         let files = ok (Workload.setup_pages srv shape ~initial:(bytes "0")) in
         let host = Afs_rpc.Remote.host ~latency_ms:2.0 engine ~name:"afs" srv in
         Sut.afs_remote (Afs_rpc.Remote.connect [ host ]) ~fallback:srv ~files
     | "2pl" ->
         let backend =
-          Afs_baseline.Twopl.create ~vulnerable_after_ms:2000.0
+          Afs_baseline.Twopl.create ~vulnerable_after_ms:2000.0 ~trace
             ~clock:(fun () -> Afs_sim.Engine.now engine)
             ()
         in
         Sut.twopl ~remote:engine backend ~pages_per_file:shape.Workload.pages_per_file
           ~retry_wait_ms:8.0
     | "tso" ->
-        let backend = Afs_baseline.Tsorder.create () in
+        let backend = Afs_baseline.Tsorder.create ~trace () in
         Sut.tsorder ~remote:engine backend ~pages_per_file:shape.Workload.pages_per_file
     | other -> failwith (Printf.sprintf "unknown system %S (afs|2pl|tso)" other)
   in
   let report = Driver.run engine config sut ~gen:(Workload.make shape) in
   print_endline Driver.header_row;
-  print_endline (Driver.report_row report)
+  print_endline (Driver.report_row report);
+  match trace_sink with
+  | None -> ()
+  | Some (path, oc, w, tr) ->
+      Afs_trace.Catapult.finish w;
+      close_out oc;
+      Printf.printf "trace: %d events -> %s\n" (Afs_trace.Trace.events_emitted tr) path
+
+(* {2 trace} *)
+
+let trace_report file slowest_n =
+  let src =
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Afs_trace.Catapult.parse src with
+  | Error msg -> failwith msg
+  | Ok events ->
+      let module Q = Afs_trace.Query in
+      Printf.printf "%-28s %10s\n" "kind" "count";
+      List.iter
+        (fun (kind, n) -> Printf.printf "%-28s %10d\n" kind n)
+        (Q.kind_counts events);
+      let spans = Q.slowest events slowest_n in
+      if spans <> [] then begin
+        Printf.printf "\nslowest spans:\n";
+        Printf.printf "  %-12s %-16s %12s %10s %10s\n" "kind" "label" "start-ms" "dur-ms"
+          "self-ms";
+        List.iter
+          (fun s ->
+            Printf.printf "  %-12s %-16s %12.3f %10.3f %10.3f\n" s.Q.kind
+              (if s.Q.label = "" then "-" else s.Q.label)
+              s.Q.start_ms (Q.duration s) (Q.self_ms events s))
+          spans
+      end
 
 (* {2 conflict} *)
 
@@ -200,10 +255,28 @@ let simulate_cmd =
       & info [ "cache-capacity" ] ~docv:"BLOCKS"
           ~doc:"Server page-cache capacity in blocks (afs only; default 4096)")
   in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Stream a Chrome trace-event (catapult) JSON trace of the run to $(docv)")
+  in
   Cmd.v (Cmd.info "simulate" ~doc:"Run the multi-client workload driver")
     Term.(
       const simulate $ system $ clients $ duration $ think $ nfiles $ pages $ theta
-      $ cache_capacity)
+      $ cache_capacity $ trace_file)
+
+let trace_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Catapult JSON trace")
+  in
+  let slowest =
+    Arg.(value & opt int 10 & info [ "slowest" ] ~docv:"N" ~doc:"Show the N slowest spans")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Summarise a trace file written by simulate --trace")
+    Term.(const trace_report $ file $ slowest)
 
 let conflict_cmd =
   let ints name doc = Arg.(value & opt (list int) [] & info [ name ] ~doc) in
@@ -216,4 +289,5 @@ let () =
   let doc = "Amoeba File Service demonstrator" in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "afs_cli" ~doc) [ walkthrough_cmd; simulate_cmd; conflict_cmd ]))
+       (Cmd.group (Cmd.info "afs_cli" ~doc)
+          [ walkthrough_cmd; simulate_cmd; conflict_cmd; trace_cmd ]))

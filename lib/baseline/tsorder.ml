@@ -1,4 +1,5 @@
 module Stats = Afs_util.Stats
+module Trace = Afs_trace.Trace
 
 type version = { wts : int; mutable rts : int; data : bytes }
 
@@ -16,11 +17,29 @@ type t = {
   objects : (int, history) Hashtbl.t;
   counters : Stats.Counter.t;
   mutable next_ts : int;
+  trace : Trace.t;
 }
 
-let create () = { objects = Hashtbl.create 1024; counters = Stats.Counter.create (); next_ts = 1 }
+let create ?(trace = Trace.null) () =
+  {
+    objects = Hashtbl.create 1024;
+    counters = Stats.Counter.create ();
+    next_ts = 1;
+    trace;
+  }
 
 let bump t name = Stats.Counter.incr t.counters name
+
+(* Late operations are MVTO's analogue of lock denials: the moment a
+   transaction discovers it has lost the timestamp race. *)
+let note_late t ~kind ~obj ~ts ~blocker =
+  if Trace.enabled t.trace then
+    Trace.point t.trace
+      (Trace.Generic
+         {
+           kind;
+           fields = [ ("obj", Trace.Int obj); ("ts", Trace.Int ts); ("blocker", Trace.Int blocker) ];
+         })
 
 let begin_ t =
   let txn = { ts = t.next_ts; active = true; buffered = [] } in
@@ -53,7 +72,9 @@ let read t txn ~obj =
   | None -> (
       let h = history_of t obj in
       match version_at h txn.ts with
-      | None -> Error `Late_read
+      | None ->
+          note_late t ~kind:"ts.late_read" ~obj ~ts:txn.ts ~blocker:0;
+          Error `Late_read
       | Some v ->
           if txn.ts > v.rts then v.rts <- txn.ts;
           bump t "op.read";
@@ -71,9 +92,10 @@ let write t txn ~obj data =
   assert txn.active;
   let h = history_of t obj in
   match write_allowed h txn.ts with
-  | Error e ->
+  | Error (`Late_write blocker) ->
+      note_late t ~kind:"ts.late_write" ~obj ~ts:txn.ts ~blocker;
       bump t "op.write_late";
-      Error e
+      Error (`Late_write blocker)
   | Ok () ->
       txn.buffered <- (obj, Bytes.copy data) :: txn.buffered;
       bump t "op.write";
@@ -101,7 +123,8 @@ let commit t txn =
         | Ok () -> check rest)
   in
   match check writes with
-  | Error e ->
+  | Error (`Late_write blocker as e) ->
+      note_late t ~kind:"ts.late_write" ~obj:0 ~ts:txn.ts ~blocker;
       abort t txn;
       bump t "txn.late_at_commit";
       Error e

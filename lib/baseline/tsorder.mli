@@ -17,7 +17,9 @@ type t
 
 type txn
 
-val create : unit -> t
+val create : ?trace:Afs_trace.Trace.t -> unit -> t
+(** With a [trace], late reads and writes emit [ts.late_read]/[ts.late_write]
+    events naming the object, the losing timestamp and the blocker. *)
 
 val begin_ : t -> txn
 val timestamp_of : txn -> int

@@ -1,4 +1,5 @@
 module Stats = Afs_util.Stats
+module Trace = Afs_trace.Trace
 
 type denial = { holder : int; vulnerable : bool }
 
@@ -33,11 +34,12 @@ type t = {
   (* A durably-logged intentions list whose application was interrupted by
      a crash; recovery replays it. *)
   mutable interrupted : (int * bytes) list;
+  trace : Trace.t;
 }
 
 type txn = txn_state
 
-let create ?(vulnerable_after_ms = 50.0) ~clock () =
+let create ?(vulnerable_after_ms = 50.0) ?(trace = Trace.null) ~clock () =
   {
     clock;
     vulnerable_after_ms;
@@ -48,9 +50,16 @@ let create ?(vulnerable_after_ms = 50.0) ~clock () =
     next_txn = 1;
     up = true;
     interrupted = [];
+    trace;
   }
 
 let bump ?by t name = Stats.Counter.incr ?by t.counters name
+
+let tpoint t payload = if Trace.enabled t.trace then Trace.point t.trace payload
+
+let note_wait t ~obj ~txn ~holder = tpoint t (Trace.Lock_wait { obj; txn; holder })
+
+let note_acquire t ~obj ~txn ~mode = tpoint t (Trace.Lock_acquire { obj; txn; mode })
 
 let begin_ t =
   let txn =
@@ -85,12 +94,17 @@ let read t txn ~obj =
   txn.last_op_at <- t.clock ();
   let l = lock_of t obj in
   match (l.commit_holder, l.commit_pending) with
-  | Some holder, _ when holder <> txn.id -> Error { holder; vulnerable = false }
-  | _, Some holder when holder <> txn.id -> Error { holder; vulnerable = false }
+  | Some holder, _ when holder <> txn.id ->
+      note_wait t ~obj ~txn:txn.id ~holder;
+      Error { holder; vulnerable = false }
+  | _, Some holder when holder <> txn.id ->
+      note_wait t ~obj ~txn:txn.id ~holder;
+      Error { holder; vulnerable = false }
   | _, _ ->
       if not (List.mem_assoc txn.id l.readers) then begin
         l.readers <- (txn.id, t.clock ()) :: l.readers;
-        txn.read_set <- obj :: txn.read_set
+        txn.read_set <- obj :: txn.read_set;
+        note_acquire t ~obj ~txn:txn.id ~mode:"read"
       end;
       bump t "op.read";
       Ok (match Hashtbl.find_opt t.data obj with Some v -> Bytes.copy v | None -> Bytes.empty)
@@ -106,10 +120,17 @@ let reserve t txn ~obj =
     txn.last_op_at <- t.clock ();
     let l = lock_of t obj in
     match (l.commit_holder, l.iwriter) with
-    | Some holder, _ when holder <> txn.id -> Error { holder; vulnerable = false }
-    | _, Some (holder, at) when holder <> txn.id -> Error (denial t ~holder ~acquired_at:at)
+    | Some holder, _ when holder <> txn.id ->
+        note_wait t ~obj ~txn:txn.id ~holder;
+        Error { holder; vulnerable = false }
+    | _, Some (holder, at) when holder <> txn.id ->
+        note_wait t ~obj ~txn:txn.id ~holder;
+        Error (denial t ~holder ~acquired_at:at)
     | _, _ ->
-        if l.iwriter = None then l.iwriter <- Some (txn.id, t.clock ());
+        if l.iwriter = None then begin
+          l.iwriter <- Some (txn.id, t.clock ());
+          note_acquire t ~obj ~txn:txn.id ~mode:"iwrite"
+        end;
         bump t "op.reserve";
         Ok ()
   end
@@ -121,10 +142,17 @@ let write t txn ~obj data =
   txn.last_op_at <- t.clock ();
   let l = lock_of t obj in
   match (l.commit_holder, l.iwriter) with
-  | Some holder, _ when holder <> txn.id -> Error { holder; vulnerable = false }
-  | _, Some (holder, at) when holder <> txn.id -> Error (denial t ~holder ~acquired_at:at)
+  | Some holder, _ when holder <> txn.id ->
+      note_wait t ~obj ~txn:txn.id ~holder;
+      Error { holder; vulnerable = false }
+  | _, Some (holder, at) when holder <> txn.id ->
+      note_wait t ~obj ~txn:txn.id ~holder;
+      Error (denial t ~holder ~acquired_at:at)
   | _, _ ->
-      if l.iwriter = None then l.iwriter <- Some (txn.id, t.clock ());
+      if l.iwriter = None then begin
+        l.iwriter <- Some (txn.id, t.clock ());
+        note_acquire t ~obj ~txn:txn.id ~mode:"iwrite"
+      end;
       txn.intentions <- (obj, Bytes.copy data) :: txn.intentions;
       bump t "op.write";
       Ok ()
@@ -203,12 +231,13 @@ let commit t txn =
       bump t "txn.committed";
       Ok ()
 
-let prod t ~victim =
+let prod ?(by = 0) ?(obj = 0) t ~victim =
   match Hashtbl.find_opt t.txns victim with
   | None -> true (* Already gone; the lock will clear. *)
   | Some txn ->
       if t.clock () -. txn.last_op_at >= t.vulnerable_after_ms then begin
         abort t txn;
+        tpoint t (Trace.Lock_steal { obj; txn = by; victim });
         bump t "txn.prodded_out";
         true
       end
@@ -225,7 +254,9 @@ type recovery_stats = {
   intentions_replayed : int;
 }
 
-let crash t = t.up <- false
+let crash t =
+  t.up <- false;
+  tpoint t (Trace.Crash { component = "twopl"; what = "crash" })
 
 let crash_mid_commit t txn =
   match upgrade_locks t txn with
@@ -238,6 +269,7 @@ let crash_mid_commit t txn =
       (* The full list was durably logged before application began. *)
       t.interrupted <- intentions;
       t.up <- false;
+      tpoint t (Trace.Crash { component = "twopl"; what = "crash" });
       bump t "txn.crashed_mid_commit";
       Ok ()
 
@@ -260,6 +292,12 @@ let recover t =
   apply_intentions t t.interrupted;
   t.interrupted <- [];
   t.up <- true;
+  (* Rollback/replay events appear only when recovery had real work to
+     undo or redo — the C2 contrast with AFS, whose recovery never does. *)
+  if txns_rolled_back > 0 then tpoint t (Trace.Rollback { txns = txns_rolled_back });
+  if intentions_replayed > 0 then
+    tpoint t (Trace.Intentions_replay { count = intentions_replayed });
+  tpoint t (Trace.Crash { component = "twopl"; what = "recover" });
   bump t "server.recovered";
   { locks_cleared = !locks_cleared; txns_rolled_back; intentions_replayed }
 

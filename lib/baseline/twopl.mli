@@ -30,8 +30,17 @@ type denial = {
 
 type outcome = [ `Ok | `Denied of denial | `Aborted ]
 
-val create : ?vulnerable_after_ms:float -> clock:(unit -> float) -> unit -> t
-(** [clock] supplies the (simulated) time used for lock vulnerability. *)
+val create :
+  ?vulnerable_after_ms:float ->
+  ?trace:Afs_trace.Trace.t ->
+  clock:(unit -> float) ->
+  unit ->
+  t
+(** [clock] supplies the (simulated) time used for lock vulnerability.
+    With a [trace], lock acquisitions, denials and prod-steals emit
+    [lock.acquire]/[lock.wait]/[lock.steal] events, and {!recover} emits
+    [recovery.rollback]/[recovery.replay] events whenever it had real
+    work to undo or redo — the observable contrast with AFS recovery. *)
 
 val begin_ : t -> txn
 val txn_id : txn -> int
@@ -55,11 +64,13 @@ val commit : t -> txn -> (unit, denial) result
 
 val abort : t -> txn -> unit
 
-val prod : t -> victim:int -> bool
+val prod : ?by:int -> ?obj:int -> t -> victim:int -> bool
 (** A waiter prods the holder of a vulnerable lock: if that transaction
     has been idle since the vulnerability threshold it is aborted and the
     prod returns true ("if it is in a state to do so, it releases its
-    lock, otherwise it ignores the prod"). *)
+    lock, otherwise it ignores the prod"). [by] and [obj] label the
+    resulting [lock.steal] trace event with the prodding transaction and
+    the contended object. *)
 
 val value : t -> obj:int -> bytes
 (** Committed state, for checking. *)

@@ -26,6 +26,8 @@ type allocation_policy = Sequential | Randomised of Afs_util.Xrng.t
 (* The server's own CPU/queueing cost per request, on top of disk time. *)
 let request_overhead_ms = 0.1
 
+module Trace = Afs_trace.Trace
+
 type t = {
   disk : Disk.t;
   policy : allocation_policy;
@@ -33,9 +35,10 @@ type t = {
   locks : (int, account) Hashtbl.t;
   mutable free_count : int;
   mutable next_hint : int;
+  mutable trace : Trace.t;
 }
 
-let create ?(policy = Sequential) ~disk () =
+let create ?(policy = Sequential) ?(trace = Trace.null) ~disk () =
   {
     disk;
     policy;
@@ -43,7 +46,12 @@ let create ?(policy = Sequential) ~disk () =
     locks = Hashtbl.create 64;
     free_count = Disk.block_count disk;
     next_hint = 0;
+    trace;
   }
+
+let set_trace t tr =
+  t.trace <- tr;
+  Disk.set_trace t.disk tr
 
 let disk t = t.disk
 let block_size t = Disk.block_size t.disk
@@ -151,14 +159,22 @@ let write t account b data =
           | Error e -> fail ~cost (Disk_error e)))
 
 let lock t account b =
+  let note won =
+    if Trace.enabled t.trace then Trace.point t.trace (Trace.Block_lock { block = b; won })
+  in
   match check_owner t account b with
   | Error e -> fail e
   | Ok () -> (
       match Hashtbl.find_opt t.locks b with
-      | Some holder when holder <> account -> fail (Locked { block = b; holder })
-      | Some _ -> ok () (* Re-entrant for the same account. *)
+      | Some holder when holder <> account ->
+          note false;
+          fail (Locked { block = b; holder })
+      | Some _ ->
+          note true;
+          ok () (* Re-entrant for the same account. *)
       | None ->
           Hashtbl.replace t.locks b account;
+          note true;
           ok ())
 
 let unlock t account b =

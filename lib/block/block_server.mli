@@ -34,7 +34,12 @@ type allocation_policy =
       (** Uniform over free blocks: models independent servers choosing
           addresses, so stable-storage allocate collisions (§4) can occur. *)
 
-val create : ?policy:allocation_policy -> disk:Afs_disk.Disk.t -> unit -> t
+val create :
+  ?policy:allocation_policy -> ?trace:Afs_trace.Trace.t -> disk:Afs_disk.Disk.t -> unit -> t
+
+val set_trace : t -> Afs_trace.Trace.t -> unit
+(** Install a trace handle on the server and its disk. {!lock} emits a
+    [block.lock] event with the contention outcome. *)
 
 val disk : t -> Afs_disk.Disk.t
 val block_size : t -> int

@@ -30,12 +30,27 @@ type validation = {
   pages_examined : int;
 }
 
+let note_validation server ~file ~basis_block (v : validation) =
+  let tr = Server.trace server in
+  if Afs_trace.Trace.enabled tr then
+    Afs_trace.Trace.point tr
+      (Afs_trace.Trace.Cache_validate
+         {
+           file_obj = file.Capability.obj;
+           basis = basis_block;
+           current = v.current_block;
+           invalid = List.length v.invalid;
+         });
+  v
+
 let server_validate ?flag_cache server ~file ~basis_block =
   let ps = Server.pagestore server in
   let* current_block = Server.current_block_of_file server file in
   if current_block = basis_block then
     (* The common unshared-file case: a null operation. *)
-    Ok { current_block; invalid = []; versions_walked = 0; pages_examined = 0 }
+    Ok
+      (note_validation server ~file ~basis_block
+         { current_block; invalid = []; versions_walked = 0; pages_examined = 0 })
   else begin
     let write_set_of vb =
       match flag_cache with
@@ -60,16 +75,19 @@ let server_validate ?flag_cache server ~file ~basis_block =
     | Error _ ->
         (* Basis pruned by the GC: discard everything. *)
         Ok
-          {
-            current_block;
-            invalid = [ Pagepath.root ];
-            versions_walked = 0;
-            pages_examined = 0;
-          }
+          (note_validation server ~file ~basis_block
+             {
+               current_block;
+               invalid = [ Pagepath.root ];
+               versions_walked = 0;
+               pages_examined = 0;
+             })
     | Ok _ ->
         let* invalid, versions_walked, pages_examined = walk basis_block [] 0 0 in
         let invalid = List.sort_uniq Pagepath.compare invalid in
-        Ok { current_block; invalid; versions_walked; pages_examined }
+        Ok
+          (note_validation server ~file ~basis_block
+             { current_block; invalid; versions_walked; pages_examined })
   end
 
 (* {2 Client side}
@@ -135,6 +153,14 @@ let revalidate ?flag_cache t ~file =
       let* v = server_validate ?flag_cache t.server ~file ~basis_block:e.basis_block in
       (* Drop each invalid path together with the subtree beneath it: a
          restructured page invalidates every cached descendant. *)
+      let tr = Server.trace t.server in
+      if Afs_trace.Trace.enabled tr then
+        List.iter
+          (fun p ->
+            Afs_trace.Trace.point tr
+              (Afs_trace.Trace.Cache_drop
+                 { file_obj = file.Capability.obj; path = Pagepath.to_string p }))
+          v.invalid;
       e.pages <- List.fold_left drop_subtree e.pages v.invalid;
       e.basis_block <- v.current_block;
       Ok v

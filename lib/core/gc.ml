@@ -159,6 +159,12 @@ let take_last n l =
 
 let collect ?(policy = default_policy) server =
   if policy.retain_committed < 1 then invalid_arg "Gc.collect: retain_committed must be >= 1";
+  let tr = Server.trace server in
+  let phase name count =
+    if Afs_trace.Trace.enabled tr then
+      Afs_trace.Trace.point tr (Afs_trace.Trace.Gc_phase { phase = name; count })
+  in
+  Afs_trace.Trace.span tr ~kind:"gc" (fun () ->
   let ps = Server.pagestore server in
   let* roots = roots_of_server server in
   (* Reshare pass, newest versions first so parent copies stay valid. *)
@@ -198,9 +204,12 @@ let collect ?(policy = default_policy) server =
         in
         prune (acc + dropped) rest
   in
+  phase "reshare" reshared;
   let* versions_pruned = prune 0 roots in
+  phase "prune" versions_pruned;
   (* Mark from the post-prune roots, then sweep. *)
   let* marked = live_blocks server in
+  phase "mark" (Hashtbl.length marked);
   let* all =
     match (Pagestore.store ps).Store.list_blocks () with
     | Ok l -> Ok l
@@ -214,13 +223,14 @@ let collect ?(policy = default_policy) server =
         incr freed
       end)
     all;
+  phase "sweep" !freed;
   Ok
     {
       versions_pruned;
       pages_reshared = reshared;
       blocks_freed = !freed;
       blocks_live = Hashtbl.length marked;
-    }
+    })
 
 let background ?policy engine server ~period_ms ~until_ms =
   let totals = ref empty_stats in

@@ -2,6 +2,7 @@ module Capability = Afs_util.Capability
 module Pagepath = Afs_util.Pagepath
 module Stats = Afs_util.Stats
 module Det = Afs_util.Det
+module Trace = Afs_trace.Trace
 
 open Errors
 
@@ -43,9 +44,11 @@ type t = {
      them from their still-on-disk pages before the GC sweeps. *)
   destroyed : (int, unit) Hashtbl.t;
   counters : Stats.Counter.t;
+  mutable trace : Trace.t;
 }
 
-let create ?(page_cache = true) ?cache_capacity ?(seed = 0xA40EBA) ?ports store =
+let create ?(page_cache = true) ?cache_capacity ?(seed = 0xA40EBA) ?ports
+    ?(trace = Trace.null) store =
   let port_registry = match ports with Some p -> p | None -> Ports.create () in
   let counters = Stats.Counter.create () in
   {
@@ -59,7 +62,13 @@ let create ?(page_cache = true) ?cache_capacity ?(seed = 0xA40EBA) ?ports store 
     versions = Hashtbl.create 256;
     destroyed = Hashtbl.create 8;
     counters;
+    trace;
   }
+
+let trace t = t.trace
+let set_trace t tr = t.trace <- tr
+
+let tpoint t payload = if Trace.enabled t.trace then Trace.point t.trace payload
 
 let pagestore t = t.ps
 let ports t = t.port_registry
@@ -641,6 +650,7 @@ let finish_commit t v =
 
 let commit t cap =
   let* v = mutable_version t cap ~need:Capability.right_commit in
+  Trace.span t.trace ~kind:"commit" (fun () ->
   (* "First it ascertains that all of V.b's pages are safely on disk." *)
   let* () = Pagestore.flush t.ps in
   let vb = v.vblock in
@@ -663,21 +673,27 @@ let commit t cap =
       | Some successor -> Ok (Some successor)
     in
     Pagestore.unlock t.ps base_block;
+    tpoint t
+      (Trace.Test_and_set
+         { block = base_block; won = (match outcome with Ok None -> true | _ -> false) });
     match outcome with
     | Error e -> Error e
     | Ok None ->
-        if base_block = base0 then bump t "commits.fastpath" else bump t "commits.merged";
+        let outcome_name = if base_block = base0 then "fastpath" else "merged" in
+        bump t (if base_block = base0 then "commits.fastpath" else "commits.merged");
+        tpoint t (Trace.Commit_outcome { vblock = vb; outcome = outcome_name });
         finish_commit t v;
         Ok ()
     | Ok (Some successor) -> (
         bump t "commits.intercepted";
-        let abandon () =
+        let abandon outcome_name =
           (match Hashtbl.find_opt t.files v.file_obj with
           | Some file -> forget_uncommitted file vb
           | None -> ());
           free_private_pages t vb;
           v.status <- Aborted;
           v.wset <- None;
+          tpoint t (Trace.Commit_outcome { vblock = vb; outcome = outcome_name });
           Error Conflict
         in
         (* When both sides carry the incremental administration, the §5.2
@@ -685,6 +701,7 @@ let commit t cap =
            — disjoint (or merely read-shared) updates are told apart
            without reading a single page of either tree. Only the
            no-conflict answer still needs the tree walk, for the merge. *)
+        tpoint t (Trace.Commit_phase { vblock = vb; phase = "pretest" });
         let precheck =
           match v.wset with
           | None -> None
@@ -697,20 +714,22 @@ let commit t cap =
         | Some _ ->
             bump t "commits.shortcircuit";
             bump t "commits.conflict";
-            abandon ()
+            abandon "shortcircuit"
         | None -> (
+            tpoint t (Trace.Commit_phase { vblock = vb; phase = "serialise" });
             match Serialise.test_and_merge t.ps ~candidate:vb ~committed:successor with
             | Error e -> Error e
             | Ok (Serialise.Conflict { stats; _ }) ->
                 bump t ~by:stats.Serialise.pages_visited "serialise.pages_visited";
                 bump t "commits.conflict";
-                abandon ()
+                abandon "conflict"
             | Ok (Serialise.Serialisable stats) ->
                 bump t ~by:stats.Serialise.pages_visited "serialise.pages_visited";
+                tpoint t (Trace.Commit_phase { vblock = vb; phase = "merge" });
                 let* () = Pagestore.flush t.ps in
                 attempt successor))
   in
-  attempt base0
+  attempt base0)
 
 let flush_version t cap =
   let* _ = find_version t cap ~need:Capability.rights_none in
@@ -729,6 +748,7 @@ let crash t =
       end)
     t.versions;
   Det.iter_sorted (fun _ f -> Hashtbl.reset f.uncommitted) t.files;
+  tpoint t (Trace.Crash { component = "server"; what = "crash" });
   bump t "server.crashes"
 
 let recover_from_blocks t blocks =
@@ -773,6 +793,7 @@ let recover_from_blocks t blocks =
           incr recovered)
     by_file;
   bump t ~by:!recovered "files.recovered";
+  tpoint t (Trace.Recovered_files { count = !recovered });
   Ok !recovered
 
 (* {2 Introspection} *)

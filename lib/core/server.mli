@@ -25,11 +25,23 @@ type page_info = {
 }
 
 val create :
-  ?page_cache:bool -> ?cache_capacity:int -> ?seed:int -> ?ports:Ports.t -> Store.t -> t
+  ?page_cache:bool ->
+  ?cache_capacity:int ->
+  ?seed:int ->
+  ?ports:Ports.t ->
+  ?trace:Afs_trace.Trace.t ->
+  Store.t ->
+  t
 (** Servers sharing a store must share [seed] (the capability secret) and
     should share [ports]. [cache_capacity] bounds the write-back page
     cache (default {!Pagestore.default_capacity}); the cache's hit, miss,
-    eviction and write-back counters land in this server's {!counters}. *)
+    eviction and write-back counters land in this server's {!counters}.
+    With a [trace], every commit runs inside a [commit] span that records
+    each test-and-set of a base's commit reference, the pretest /
+    serialise / merge phases and the final outcome. *)
+
+val trace : t -> Afs_trace.Trace.t
+val set_trace : t -> Afs_trace.Trace.t -> unit
 
 val pagestore : t -> Pagestore.t
 val ports : t -> Ports.t

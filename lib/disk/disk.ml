@@ -15,6 +15,8 @@ let pp_error ppf = function
 
 type 'a outcome = { result : ('a, error) result; cost_ms : float }
 
+module Trace = Afs_trace.Trace
+
 type t = {
   media : Media.t;
   block_size : int;
@@ -26,9 +28,10 @@ type t = {
   mutable bytes_written : int;
   mutable busy_ms : float;
   mutable in_use : int;
+  mutable trace : Trace.t;
 }
 
-let create ~media ~blocks ~block_size =
+let create ?(trace = Trace.null) ~media ~blocks ~block_size () =
   if blocks <= 0 then invalid_arg "Disk.create: blocks must be positive";
   if block_size <= 0 then invalid_arg "Disk.create: block_size must be positive";
   {
@@ -42,7 +45,10 @@ let create ~media ~blocks ~block_size =
     bytes_written = 0;
     busy_ms = 0.0;
     in_use = 0;
+    trace;
   }
+
+let set_trace t tr = t.trace <- tr
 
 let media t = t.media
 let block_count t = Array.length t.blocks
@@ -65,6 +71,15 @@ let read t b =
         t.reads <- t.reads + 1;
         t.bytes_read <- t.bytes_read + Bytes.length data;
         charge t cost;
+        if Trace.enabled t.trace then
+          Trace.point t.trace
+            (Trace.Disk_read
+               {
+                 media = Media.kind_name t.media.Media.kind;
+                 block = b;
+                 bytes = Bytes.length data;
+                 cost_ms = cost;
+               });
         { result = Ok (Bytes.copy data); cost_ms = cost }
 
 let write t b data =
@@ -85,6 +100,15 @@ let write t b data =
     t.writes <- t.writes + 1;
     t.bytes_written <- t.bytes_written + Bytes.length data;
     charge t cost;
+    if Trace.enabled t.trace then
+      Trace.point t.trace
+        (Trace.Disk_write
+           {
+             media = Media.kind_name t.media.Media.kind;
+             block = b;
+             bytes = Bytes.length data;
+             cost_ms = cost;
+           });
     { result = Ok (); cost_ms = cost }
   end
 

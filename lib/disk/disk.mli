@@ -24,8 +24,14 @@ val pp_error : error Fmt.t
 
 type 'a outcome = { result : ('a, error) result; cost_ms : float }
 
-val create : media:Media.t -> blocks:int -> block_size:int -> t
-(** Raises [Invalid_argument] on non-positive sizes. *)
+val create :
+  ?trace:Afs_trace.Trace.t -> media:Media.t -> blocks:int -> block_size:int -> unit -> t
+(** Raises [Invalid_argument] on non-positive sizes. Successful reads and
+    writes emit [disk.read]/[disk.write] trace events carrying the media
+    kind, block number and simulated cost. *)
+
+val set_trace : t -> Afs_trace.Trace.t -> unit
+(** Swap the trace handle, for disks created before the sink exists. *)
 
 val media : t -> Media.t
 val block_count : t -> int

@@ -23,10 +23,12 @@ let write_cost t ~bytes =
   let base = t.seek_ms +. (t.transfer_ms_per_kb *. (float_of_int bytes /. 1024.0)) in
   if t.write_once then base *. 2.0 else base
 
-let pp_kind ppf = function
-  | Electronic -> Fmt.string ppf "electronic"
-  | Magnetic -> Fmt.string ppf "magnetic"
-  | Optical -> Fmt.string ppf "optical"
+let kind_name = function
+  | Electronic -> "electronic"
+  | Magnetic -> "magnetic"
+  | Optical -> "optical"
+
+let pp_kind ppf k = Fmt.string ppf (kind_name k)
 
 let pp ppf t =
   Fmt.pf ppf "%a(seek=%.2fms xfer=%.3fms/KB%s)" pp_kind t.kind t.seek_ms t.transfer_ms_per_kb

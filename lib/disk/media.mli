@@ -28,5 +28,8 @@ val read_cost : t -> bytes:int -> float
 
 val write_cost : t -> bytes:int -> float
 
+val kind_name : kind -> string
+(** Lowercase media name, the [media] label in disk trace events. *)
+
 val pp_kind : kind Fmt.t
 val pp : t Fmt.t

@@ -43,10 +43,27 @@ let handle server : request -> response = function
   | Validate_cache { file; basis_block } ->
       Result.map (fun v -> Validation v) (Cache.server_validate server ~file ~basis_block)
 
+let request_kind : request -> string = function
+  | Create_file _ -> "create_file"
+  | Current_version _ -> "current_version"
+  | Create_version _ -> "create_version"
+  | Read_page _ -> "read_page"
+  | Write_page _ -> "write_page"
+  | Insert_page _ -> "insert_page"
+  | Remove_page _ -> "remove_page"
+  | Commit _ -> "commit"
+  | Abort_version _ -> "abort_version"
+  | Validate_cache _ -> "validate_cache"
+
 type host = { rpc : (request, response) Rpc.t; server : Server.t }
 
 let host ?latency_ms ?proc_ms ?disks engine ~name server =
-  { rpc = Rpc.serve ?latency_ms ?proc_ms ?disks engine ~name ~handler:(handle server); server }
+  {
+    rpc =
+      Rpc.serve ?latency_ms ?proc_ms ?disks ~describe:request_kind engine ~name
+        ~handler:(handle server);
+    server;
+  }
 
 let crash_host h =
   Rpc.crash h.rpc;

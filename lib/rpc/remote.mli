@@ -28,6 +28,9 @@ type request =
   | Abort_version of Afs_util.Capability.t
   | Validate_cache of { file : Afs_util.Capability.t; basis_block : int }
 
+val request_kind : request -> string
+(** Short operation name, used as the [op] label in RPC trace events. *)
+
 type value =
   | Cap of Afs_util.Capability.t
   | Data of bytes

@@ -1,6 +1,7 @@
 module Engine = Afs_sim.Engine
 module Ivar = Afs_sim.Ivar
 module Disk = Afs_disk.Disk
+module Trace = Afs_trace.Trace
 
 type call_error = Timeout | Server_crashed
 
@@ -10,12 +11,17 @@ let pp_call_error ppf = function
 
 let timeout_ms = 500.0
 
-type ('req, 'resp) pending = { req : 'req; reply : ('resp, call_error) result Ivar.t }
+type ('req, 'resp) pending = {
+  req : 'req;
+  op : string;
+  reply : ('resp, call_error) result Ivar.t;
+}
 
 type ('req, 'resp) t = {
   engine : Engine.t;
   name : string;
   handler : 'req -> 'resp;
+  describe : 'req -> string;
   latency_ms : float;
   proc_ms : float;
   disks : Disk.t list;
@@ -25,6 +31,8 @@ type ('req, 'resp) t = {
   mutable served : int;
 }
 
+let trace t = Engine.trace t.engine
+
 let disks_busy t = List.fold_left (fun acc d -> acc +. (Disk.stats d).Disk.busy_ms) 0.0 t.disks
 
 (* Serve queued requests one at a time, charging processing and storage
@@ -33,7 +41,7 @@ let rec pump t =
   if t.up && not t.busy then
     match Queue.take_opt t.queue with
     | None -> ()
-    | Some { req; reply } ->
+    | Some { req; op; reply } ->
         t.busy <- true;
         let before = disks_busy t in
         let resp = t.handler req in
@@ -42,15 +50,20 @@ let rec pump t =
         Engine.at t.engine
           (t.proc_ms +. storage +. t.latency_ms)
           (fun () ->
+            let tr = trace t in
+            if Trace.enabled tr then
+              Trace.point tr (Trace.Rpc_recv { server = t.name; op });
             ignore (Ivar.try_fill reply (Ok resp));
             t.busy <- false;
             pump t)
 
-let serve ?(latency_ms = 2.0) ?(proc_ms = 0.2) ?(disks = []) engine ~name ~handler =
+let serve ?(latency_ms = 2.0) ?(proc_ms = 0.2) ?(disks = []) ?(describe = fun _ -> "request")
+    engine ~name ~handler =
   {
     engine;
     name;
     handler;
+    describe;
     latency_ms;
     proc_ms;
     disks;
@@ -62,35 +75,49 @@ let serve ?(latency_ms = 2.0) ?(proc_ms = 0.2) ?(disks = []) engine ~name ~handl
 
 let call t req =
   let reply = Ivar.create () in
+  let tr = trace t in
+  let op = if Trace.enabled tr then t.describe req else "" in
+  if Trace.enabled tr then Trace.point tr (Trace.Rpc_send { server = t.name; op });
+  let fail_after delay err =
+    Engine.at t.engine delay (fun () ->
+        if Ivar.try_fill reply (Error err) && Trace.enabled tr then
+          Trace.point tr (Trace.Rpc_timeout { server = t.name; op }))
+  in
   if not t.up then begin
     (* Nothing is listening: the transaction times out. *)
-    Engine.at t.engine timeout_ms (fun () -> ignore (Ivar.try_fill reply (Error Timeout)));
+    fail_after timeout_ms Timeout;
     Ivar.read reply
   end
   else begin
     Engine.at t.engine t.latency_ms (fun () ->
         if t.up then begin
-          Queue.add { req; reply } t.queue;
+          Queue.add { req; op; reply } t.queue;
           pump t
         end
-        else
-          Engine.at t.engine timeout_ms (fun () ->
-              ignore (Ivar.try_fill reply (Error Server_crashed))));
+        else fail_after timeout_ms Server_crashed);
     Ivar.read reply
   end
 
 let crash t =
   t.up <- false;
   t.busy <- false;
+  let tr = trace t in
+  if Trace.enabled tr then
+    Trace.point tr (Trace.Crash { component = t.name; what = "crash" });
   let doomed = Queue.to_seq t.queue |> List.of_seq in
   Queue.clear t.queue;
   List.iter
-    (fun { reply; _ } ->
+    (fun { op; reply; _ } ->
       Engine.at t.engine timeout_ms (fun () ->
-          ignore (Ivar.try_fill reply (Error Server_crashed))))
+          if Ivar.try_fill reply (Error Server_crashed) && Trace.enabled tr then
+            Trace.point tr (Trace.Rpc_timeout { server = t.name; op })))
     doomed
 
-let restart t = t.up <- true
+let restart t =
+  t.up <- true;
+  let tr = trace t in
+  if Trace.enabled tr then
+    Trace.point tr (Trace.Crash { component = t.name; what = "restart" })
 
 let name t = t.name
 

@@ -21,6 +21,7 @@ val serve :
   ?latency_ms:float ->
   ?proc_ms:float ->
   ?disks:Afs_disk.Disk.t list ->
+  ?describe:('req -> string) ->
   Afs_sim.Engine.t ->
   name:string ->
   handler:('req -> 'resp) ->
@@ -28,7 +29,8 @@ val serve :
 (** [latency_ms] is charged each way per message; [proc_ms] per request of
     server CPU; if [disks] are given, the growth of their busy time during
     the handler is charged as well, so storage latency shows up in client
-    round trips. *)
+    round trips. [describe] labels requests in trace events (only called
+    when the engine's trace is enabled). *)
 
 val call : ('req, 'resp) t -> 'req -> ('resp, call_error) result
 (** Must run inside a {!Afs_sim.Proc} process. Blocks for the reply. *)

@@ -9,14 +9,24 @@ type t = {
   mutable clock : float;
   mutable next_seq : int;
   mutable executed : int;
+  mutable trace : Afs_trace.Trace.t;
 }
 
 let dummy = { time = 0.0; seq = -1; thunk = ignore }
 
 let create () =
-  { heap = Array.make 64 dummy; size = 0; clock = 0.0; next_seq = 0; executed = 0 }
+  {
+    heap = Array.make 64 dummy;
+    size = 0;
+    clock = 0.0;
+    next_seq = 0;
+    executed = 0;
+    trace = Afs_trace.Trace.null;
+  }
 
 let now t = t.clock
+let trace t = t.trace
+let set_trace t tr = t.trace <- tr
 
 let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 

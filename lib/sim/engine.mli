@@ -27,6 +27,15 @@ val run : ?until:float -> t -> unit
 val step : t -> bool
 (** Execute the single next event; false when the queue is empty. *)
 
+val trace : t -> Afs_trace.Trace.t
+(** The engine's trace handle; {!Afs_trace.Trace.null} by default.
+    Components built over the engine emit their events here, so
+    installing one sink instruments the whole simulation. *)
+
+val set_trace : t -> Afs_trace.Trace.t -> unit
+(** Install a trace handle (typically a ring or stream whose [now] is
+    [now t], keeping every timestamp on the virtual clock). *)
+
 val events_executed : t -> int
 (** Total events executed so far; a cheap work metric for experiments. *)
 

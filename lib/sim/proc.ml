@@ -48,12 +48,18 @@ let rec execute : type a. Engine.t -> handle -> (a -> unit) -> (unit -> a) -> un
 and resume : type b. Engine.t -> handle -> (b, unit) Effect.Deep.continuation -> b -> unit
     =
  fun engine handle k v ->
+  let tr = Engine.trace engine in
+  if Afs_trace.Trace.enabled tr then
+    Afs_trace.Trace.point tr (Afs_trace.Trace.Proc_resume { proc = handle.name });
   with_current engine handle (fun () ->
       if handle.dead then Effect.Deep.discontinue k Killed
       else Effect.Deep.continue k v)
 
 let spawn ?(name = "anon") engine body =
   let handle = { dead = false; finished = false; name } in
+  let tr = Engine.trace engine in
+  if Afs_trace.Trace.enabled tr then
+    Afs_trace.Trace.point tr (Afs_trace.Trace.Proc_spawn { proc = name });
   Engine.at engine 0.0 (fun () ->
       with_current engine handle (fun () ->
           if not handle.dead then

@@ -42,11 +42,19 @@ type server = {
   mutable seq : int64;
 }
 
-type t = { servers : server array; rng : Xrng.t; block_size : int; blocks : int }
+module Trace = Afs_trace.Trace
 
-let make_server ~media ~blocks ~block_size =
+type t = {
+  servers : server array;
+  rng : Xrng.t;
+  block_size : int;
+  blocks : int;
+  mutable trace : Trace.t;
+}
+
+let make_server ~trace ~media ~blocks ~block_size =
   {
-    disk = Disk.create ~media ~blocks ~block_size;
+    disk = Disk.create ~trace ~media ~blocks ~block_size ();
     allocated = Hashtbl.create 256;
     tentative = Hashtbl.create 16;
     intentions = Hashtbl.create 16;
@@ -57,11 +65,20 @@ let make_server ~media ~blocks ~block_size =
 
 let envelope_overhead = 32 (* magic + seq + crc + varints, rounded up *)
 
-let create ?(seed = 0x57AB1E) ?(media = Media.magnetic) ~blocks ~block_size () =
+let create ?(seed = 0x57AB1E) ?(media = Media.magnetic) ?(trace = Trace.null) ~blocks
+    ~block_size () =
   if blocks <= 0 || block_size <= 0 then invalid_arg "Stable_pair.create: sizes";
   let disk_block_size = block_size + envelope_overhead in
-  let server () = make_server ~media ~blocks ~block_size:disk_block_size in
-  { servers = [| server (); server () |]; rng = Xrng.create seed; block_size; blocks }
+  let server () = make_server ~trace ~media ~blocks ~block_size:disk_block_size in
+  { servers = [| server (); server () |]; rng = Xrng.create seed; block_size; blocks; trace }
+
+let set_trace t tr =
+  t.trace <- tr;
+  Array.iter (fun s -> Disk.set_trace s.disk tr) t.servers
+
+let leg t ~leg ~server ~block ~cost_ms =
+  if Trace.enabled t.trace then
+    Trace.point t.trace (Trace.Stable_leg { leg; server; block; cost_ms })
 
 let block_size t = t.block_size
 let address_space t = t.blocks
@@ -159,6 +176,7 @@ let shadow_write t ~primary ~fresh b payload =
         | Error e -> fail ~cost (Disk_error e)
         | Ok () ->
             Hashtbl.replace s.allocated b ();
+            leg t ~leg:"shadow" ~server:q ~block:b ~cost_ms:cost;
             ok ~cost seq
       end
 
@@ -174,6 +192,7 @@ let raw_local_write t i b payload seq =
   | Ok () ->
       Hashtbl.remove s.tentative b;
       Hashtbl.replace s.allocated b ();
+      leg t ~leg:"local" ~server:i ~block:b ~cost_ms;
       ok ~cost:cost_ms ()
 
 let local_write_seq t i b payload seq =
@@ -259,7 +278,10 @@ let read t i b =
             else begin
               match read_raw t.servers.(q) b with
               | Ok (seq, payload), remote_cost ->
+                  leg t ~leg:"companion_read" ~server:q ~block:b
+                    ~cost_ms:(hop_ms +. remote_cost);
                   let repair = local_write_seq t i b payload seq in
+                  leg t ~leg:"repair" ~server:i ~block:b ~cost_ms:repair.cost_ms;
                   let cost = local_cost +. hop_ms +. remote_cost +. repair.cost_ms in
                   ok ~cost payload
               | Error _, remote_cost ->
@@ -289,10 +311,14 @@ let free t i b =
 
 (* {2 Crashes and recovery} *)
 
+let component_name i = Printf.sprintf "stable:%d" i
+
 let crash t i =
   let s = t.servers.(i) in
   s.up <- false;
   s.recovered <- false;
+  if Trace.enabled t.trace then
+    Trace.point t.trace (Trace.Crash { component = component_name i; what = "crash" });
   Hashtbl.reset s.tentative
 
 let wipe_and_crash t i =
@@ -304,6 +330,8 @@ let wipe_and_crash t i =
 let restart t i =
   let s = t.servers.(i) in
   s.up <- true;
+  if Trace.enabled t.trace then
+    Trace.point t.trace (Trace.Crash { component = component_name i; what = "restart" });
   let q_id = companion i in
   let q = t.servers.(q_id) in
   if not (q.up && q.recovered) then begin
@@ -363,6 +391,8 @@ let restart t i =
     Hashtbl.reset q.intentions;
     Hashtbl.reset s.intentions;
     s.recovered <- true;
+    if Trace.enabled t.trace then
+      Trace.point t.trace (Trace.Crash { component = component_name i; what = "recover" });
     ok ~cost:!cost !repaired
   end
 

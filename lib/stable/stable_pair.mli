@@ -41,12 +41,19 @@ type 'a outcome = { result : ('a, error) result; cost_ms : float }
 val create :
   ?seed:int ->
   ?media:Afs_disk.Media.t ->
+  ?trace:Afs_trace.Trace.t ->
   blocks:int ->
   block_size:int ->
   unit ->
   t
 (** Two fresh online servers over two fresh disks. [seed] drives the
-    randomised block choice (which is what makes collisions possible). *)
+    randomised block choice (which is what makes collisions possible).
+    With a trace, each write leg emits a [stable.leg] event — ["shadow"]
+    (A→B), ["local"] (back to A), ["companion_read"] and ["repair"] on
+    fallback reads — making the A→B→A pattern of §4 visible. *)
+
+val set_trace : t -> Afs_trace.Trace.t -> unit
+(** Install a trace handle on the pair and both underlying disks. *)
 
 val block_size : t -> int
 val address_space : t -> int

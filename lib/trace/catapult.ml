@@ -1,0 +1,144 @@
+(* Chrome trace-event ("catapult") JSON export and import.
+
+   Rendering is manual Printf with a fixed field order and fixed float
+   formats ("%.3f" for timestamps and float args), so two runs with the
+   same seed produce byte-identical files — the property the trace
+   determinism test pins down. Timestamps are virtual milliseconds
+   scaled to the format's microseconds. *)
+
+let render_value buf v =
+  match v with
+  | Trace.Int i -> Buffer.add_string buf (string_of_int i)
+  | Trace.Float f -> Buffer.add_string buf (Printf.sprintf "%.3f" f)
+  | Trace.Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (Tjson.escape s);
+      Buffer.add_char buf '"'
+  | Trace.Bool b -> Buffer.add_string buf (if b then "true" else "false")
+
+let ts_of_ms at_ms = Printf.sprintf "%.3f" (at_ms *. 1000.0)
+
+let render_event ev =
+  let buf = Buffer.create 160 in
+  (match ev with
+  | Trace.Span_open { seq; at_ms; id; parent; kind; label } ->
+      let name = if label = "" then kind else label in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"B\",\"ts\":%s,\"pid\":1,\"tid\":1,\"args\":{\"id\":%d,\"parent\":%d,\"seq\":%d}}"
+           (Tjson.escape name) (Tjson.escape kind) (ts_of_ms at_ms) id parent seq)
+  | Trace.Span_close { seq; at_ms; id } ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"ph\":\"E\",\"ts\":%s,\"pid\":1,\"tid\":1,\"args\":{\"id\":%d,\"seq\":%d}}"
+           (ts_of_ms at_ms) id seq)
+  | Trace.Point { seq; at_ms; span; payload } ->
+      let kind = Trace.kind_of_payload payload in
+      Buffer.add_string buf
+        (Printf.sprintf "{\"name\":\"%s\",\"ph\":\"i\",\"ts\":%s,\"pid\":1,\"tid\":1,\"s\":\"t\",\"args\":{"
+           (Tjson.escape kind) (ts_of_ms at_ms));
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_string buf (Printf.sprintf "\"%s\":" (Tjson.escape k));
+          render_value buf v;
+          Buffer.add_char buf ',')
+        (Trace.fields_of_payload payload);
+      Buffer.add_string buf (Printf.sprintf "\"span\":%d,\"seq\":%d}}" span seq));
+  Buffer.contents buf
+
+type writer = { write : string -> unit; mutable count : int }
+
+let writer write =
+  write "[\n";
+  { write; count = 0 }
+
+let emit w ev =
+  if w.count > 0 then w.write ",\n";
+  w.write (render_event ev);
+  w.count <- w.count + 1
+
+let finish w = w.write "\n]\n"
+
+let to_string events =
+  let buf = Buffer.create 4096 in
+  let w = writer (Buffer.add_string buf) in
+  List.iter (emit w) events;
+  finish w;
+  Buffer.contents buf
+
+(* Import: map parsed JSON back to events. Spans round-trip exactly;
+   points come back as [Generic] payloads carrying the same kind and
+   fields, which is all {!Query} needs. *)
+
+let value_of_json = function
+  | Tjson.Int i -> Some (Trace.Int i)
+  | Tjson.Float f -> Some (Trace.Float f)
+  | Tjson.Str s -> Some (Trace.Str s)
+  | Tjson.Bool b -> Some (Trace.Bool b)
+  | Tjson.Null | Tjson.Arr _ | Tjson.Obj _ -> None
+
+let int_arg args key = Option.bind (Tjson.member key args) Tjson.to_int
+
+let event_of_json idx json =
+  let args = Option.value ~default:(Tjson.Obj []) (Tjson.member "args" json) in
+  let seq = Option.value ~default:idx (int_arg args "seq") in
+  let at_ms =
+    match Option.bind (Tjson.member "ts" json) Tjson.to_float with
+    | Some us -> us /. 1000.0
+    | None -> 0.0
+  in
+  match Option.bind (Tjson.member "ph" json) Tjson.to_string with
+  | Some "B" ->
+      let kind =
+        Option.value ~default:"" (Option.bind (Tjson.member "cat" json) Tjson.to_string)
+      in
+      let name =
+        Option.value ~default:kind (Option.bind (Tjson.member "name" json) Tjson.to_string)
+      in
+      let label = if name = kind then "" else name in
+      Some
+        (Trace.Span_open
+           {
+             seq;
+             at_ms;
+             id = Option.value ~default:0 (int_arg args "id");
+             parent = Option.value ~default:0 (int_arg args "parent");
+             kind;
+             label;
+           })
+  | Some "E" ->
+      Some (Trace.Span_close { seq; at_ms; id = Option.value ~default:0 (int_arg args "id") })
+  | Some "i" ->
+      let kind =
+        Option.value ~default:"event" (Option.bind (Tjson.member "name" json) Tjson.to_string)
+      in
+      let fields =
+        match args with
+        | Tjson.Obj kvs ->
+            List.filter_map
+              (fun (k, v) ->
+                if k = "seq" || k = "span" then None
+                else Option.map (fun v -> (k, v)) (value_of_json v))
+              kvs
+        | _ -> []
+      in
+      Some
+        (Trace.Point
+           {
+             seq;
+             at_ms;
+             span = Option.value ~default:0 (int_arg args "span");
+             payload = Trace.Generic { kind; fields };
+           })
+  | _ -> None
+
+let parse src =
+  match Tjson.parse src with
+  | Error _ as e -> e
+  | Ok (Tjson.Arr items) ->
+      let mapped = List.mapi event_of_json items in
+      Ok
+        (List.sort
+           (fun a b -> compare (Trace.event_seq a) (Trace.event_seq b))
+           (List.filter_map Fun.id mapped))
+  | Ok _ -> Error "catapult: expected a top-level array of trace events"

@@ -1,0 +1,104 @@
+(* Structural queries over a recorded event stream. Traces are
+   deterministic, so these results are test oracles: "the fast path did
+   exactly one test-and-set" is [count events "commit.test_and_set" = 1].
+
+   Everything here is pure list processing in event order — no hash
+   tables, so query results can never leak iteration order. *)
+
+type span = {
+  id : int;
+  parent : int;
+  kind : string;
+  label : string;
+  start_ms : float;
+  stop_ms : float option;  (** [None] for spans never closed. *)
+}
+
+let duration s = match s.stop_ms with Some stop -> stop -. s.start_ms | None -> 0.0
+
+(* Spans in open order. Quadratic in the number of spans only when every
+   span stays open; the common close-soon case is near-linear because the
+   open list stays short. *)
+let spans events =
+  let rec go opened closed = function
+    | [] -> List.rev_append closed (List.rev opened)
+    | Trace.Point _ :: rest -> go opened closed rest
+    | Trace.Span_open { at_ms; id; parent; kind; label; _ } :: rest ->
+        go ({ id; parent; kind; label; start_ms = at_ms; stop_ms = None } :: opened) closed rest
+    | Trace.Span_close { at_ms; id; _ } :: rest ->
+        (match List.partition (fun s -> s.id = id) opened with
+        | [ s ], opened -> go opened ({ s with stop_ms = Some at_ms } :: closed) rest
+        | _ -> go opened closed rest (* Open event fell out of the ring: drop the close. *))
+  in
+  List.sort (fun a b -> compare a.id b.id) (go [] [] events)
+
+let spans_of_kind events kind = List.filter (fun s -> s.kind = kind) (spans events)
+
+let points events =
+  List.filter_map (function Trace.Point { payload; _ } -> Some payload | _ -> None) events
+
+let points_of_kind events kind =
+  List.filter (fun p -> Trace.kind_of_payload p = kind) (points events)
+
+let count events kind = List.length (points_of_kind events kind)
+
+(* Per-kind totals over points and spans alike, sorted by kind. *)
+let kind_counts events =
+  let add acc kind =
+    match List.assoc_opt kind acc with
+    | Some n -> (kind, n + 1) :: List.remove_assoc kind acc
+    | None -> (kind, 1) :: acc
+  in
+  let totals =
+    List.fold_left
+      (fun acc ev ->
+        match ev with
+        | Trace.Point { payload; _ } -> add acc (Trace.kind_of_payload payload)
+        | Trace.Span_open { kind; _ } -> add acc kind
+        | Trace.Span_close _ -> acc)
+      [] events
+  in
+  List.sort compare totals
+
+let slowest events n =
+  let closed = List.filter (fun s -> s.stop_ms <> None) (spans events) in
+  let by_duration =
+    List.sort
+      (fun a b ->
+        match compare (duration b) (duration a) with 0 -> compare a.id b.id | c -> c)
+      closed
+  in
+  List.filteri (fun i _ -> i < n) by_duration
+
+(* Time inside [s] not covered by its direct children: the span's own
+   critical-path contribution. Children are clipped to the parent's
+   window; direct children of a span cannot overlap each other in this
+   single-threaded simulation (they are opened and closed in stack or
+   queue order within one parent), so summing clipped child durations is
+   exact. *)
+let self_ms events s =
+  match s.stop_ms with
+  | None -> 0.0
+  | Some stop ->
+      let children = List.filter (fun c -> c.parent = s.id && c.id <> s.id) (spans events) in
+      let covered =
+        List.fold_left
+          (fun acc c ->
+            match c.stop_ms with
+            | None -> acc
+            | Some cstop ->
+                let lo = Float.max c.start_ms s.start_ms and hi = Float.min cstop stop in
+                if hi > lo then acc +. (hi -. lo) else acc)
+          0.0 children
+      in
+      Float.max 0.0 (stop -. s.start_ms -. covered)
+
+(* Total duration of a span tree's deepest chain: the critical path from
+   the root span through its slowest descendant chain. *)
+let critical_path_ms events root =
+  let all = spans events in
+  let rec depth s =
+    let children = List.filter (fun c -> c.parent = s.id && c.id <> s.id) all in
+    List.fold_left (fun acc c -> Float.max acc (depth c)) (duration s) children
+  in
+  depth root

@@ -1,0 +1,208 @@
+(* A minimal self-contained JSON reader for trace import. Writing is done
+   directly by {!Catapult} (fixed field order, fixed float formats) so the
+   exported bytes are canonical; this module only needs to read them — and
+   any other well-formed JSON document — back. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+type state = { src : string; mutable pos : int }
+
+let error st msg = Error (Printf.sprintf "json: %s at offset %d" msg st.pos)
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      skip_ws st
+  | _ -> ()
+
+let expect st c =
+  match peek st with
+  | Some d when d = c ->
+      advance st;
+      Ok ()
+  | _ -> error st (Printf.sprintf "expected %C" c)
+
+let literal st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word then begin
+    st.pos <- st.pos + n;
+    Ok value
+  end
+  else error st (Printf.sprintf "expected %s" word)
+
+let parse_string_body st =
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error st "unterminated string"
+    | Some '"' ->
+        advance st;
+        Ok (Buffer.contents buf)
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | None -> error st "unterminated escape"
+        | Some c ->
+            advance st;
+            (match c with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'u' ->
+                (* Trace output is ASCII; decode BMP escapes bytewise. *)
+                if st.pos + 4 <= String.length st.src then begin
+                  let hex = String.sub st.src st.pos 4 in
+                  st.pos <- st.pos + 4;
+                  match int_of_string_opt ("0x" ^ hex) with
+                  | Some code when code < 128 -> Buffer.add_char buf (Char.chr code)
+                  | Some _ -> Buffer.add_char buf '?'
+                  | None -> Buffer.add_char buf '?'
+                end
+                else Buffer.add_char buf '?'
+            | other -> Buffer.add_char buf other);
+            go ())
+    | Some c ->
+        advance st;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ()
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let rec run () =
+    match peek st with
+    | Some c when is_num_char c ->
+        advance st;
+        run ()
+    | _ -> ()
+  in
+  run ();
+  let text = String.sub st.src start (st.pos - start) in
+  let is_float = String.exists (fun c -> c = '.' || c = 'e' || c = 'E') text in
+  if is_float then
+    match float_of_string_opt text with
+    | Some f -> Ok (Float f)
+    | None -> error st (Printf.sprintf "bad number %S" text)
+  else
+    match int_of_string_opt text with
+    | Some i -> Ok (Int i)
+    | None -> error st (Printf.sprintf "bad number %S" text)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> error st "unexpected end of input"
+  | Some '"' ->
+      advance st;
+      Result.map (fun s -> Str s) (parse_string_body st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some '[' ->
+      advance st;
+      parse_array st []
+  | Some '{' ->
+      advance st;
+      parse_object st []
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> error st (Printf.sprintf "unexpected %C" c)
+
+and parse_array st acc =
+  skip_ws st;
+  match peek st with
+  | Some ']' ->
+      advance st;
+      Ok (Arr (List.rev acc))
+  | _ -> (
+      match parse_value st with
+      | Error _ as e -> e
+      | Ok v -> (
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              parse_array st (v :: acc)
+          | Some ']' ->
+              advance st;
+              Ok (Arr (List.rev (v :: acc)))
+          | _ -> error st "expected ',' or ']'"))
+
+and parse_object st acc =
+  skip_ws st;
+  match peek st with
+  | Some '}' ->
+      advance st;
+      Ok (Obj (List.rev acc))
+  | Some '"' -> (
+      advance st;
+      match parse_string_body st with
+      | Error _ as e -> e
+      | Ok key -> (
+          skip_ws st;
+          match expect st ':' with
+          | Error _ as e -> e
+          | Ok () -> (
+              match parse_value st with
+              | Error _ as e -> e
+              | Ok v -> (
+                  skip_ws st;
+                  match peek st with
+                  | Some ',' ->
+                      advance st;
+                      parse_object st ((key, v) :: acc)
+                  | Some '}' ->
+                      advance st;
+                      Ok (Obj (List.rev ((key, v) :: acc)))
+                  | _ -> error st "expected ',' or '}'"))))
+  | _ -> error st "expected '\"' or '}'"
+
+let parse src =
+  let st = { src; pos = 0 } in
+  match parse_value st with
+  | Error _ as e -> e
+  | Ok v ->
+      skip_ws st;
+      if st.pos = String.length src then Ok v else error st "trailing garbage"
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
+let to_float = function Int i -> Some (float_of_int i) | Float f -> Some f | _ -> None
+
+let to_int = function Int i -> Some i | _ -> None
+
+let to_string = function Str s -> Some s | _ -> None
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf

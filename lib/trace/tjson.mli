@@ -1,0 +1,27 @@
+(** Minimal JSON reader for trace import (plus the string escaper the
+    exporter shares). Numbers without a fraction or exponent parse as
+    [Int]; everything else as [Float]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse a complete document; trailing non-whitespace is an error. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on other shapes. *)
+
+val to_float : t -> float option
+(** Numeric coercion: both [Int] and [Float] succeed. *)
+
+val to_int : t -> int option
+val to_string : t -> string option
+
+val escape : string -> string
+(** JSON string-body escaping (no surrounding quotes). *)

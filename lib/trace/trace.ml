@@ -1,0 +1,207 @@
+(* Deterministic structured tracing keyed on virtual time.
+
+   The trace never consults a wall clock: [now] is supplied by the owner
+   (invariably [Engine.now]), so two runs from the same seed produce the
+   same event stream byte for byte. Emission costs no simulated time —
+   tracing is pure observation and cannot perturb what it observes. *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type payload =
+  | Proc_spawn of { proc : string }
+  | Proc_resume of { proc : string }
+  | Crash of { component : string; what : string }
+  | Rpc_send of { server : string; op : string }
+  | Rpc_recv of { server : string; op : string }
+  | Rpc_timeout of { server : string; op : string }
+  | Disk_read of { media : string; block : int; bytes : int; cost_ms : float }
+  | Disk_write of { media : string; block : int; bytes : int; cost_ms : float }
+  | Block_lock of { block : int; won : bool }
+  | Test_and_set of { block : int; won : bool }
+  | Commit_phase of { vblock : int; phase : string }
+  | Commit_outcome of { vblock : int; outcome : string }
+  | Cache_validate of { file_obj : int; basis : int; current : int; invalid : int }
+  | Cache_drop of { file_obj : int; path : string }
+  | Stable_leg of { leg : string; server : int; block : int; cost_ms : float }
+  | Lock_acquire of { obj : int; txn : int; mode : string }
+  | Lock_wait of { obj : int; txn : int; holder : int }
+  | Lock_steal of { obj : int; txn : int; victim : int }
+  | Rollback of { txns : int }
+  | Intentions_replay of { count : int }
+  | Recovered_files of { count : int }
+  | Gc_phase of { phase : string; count : int }
+  | Generic of { kind : string; fields : (string * value) list }
+
+let kind_of_payload = function
+  | Proc_spawn _ -> "proc.spawn"
+  | Proc_resume _ -> "proc.resume"
+  | Crash _ -> "crash"
+  | Rpc_send _ -> "rpc.send"
+  | Rpc_recv _ -> "rpc.recv"
+  | Rpc_timeout _ -> "rpc.timeout"
+  | Disk_read _ -> "disk.read"
+  | Disk_write _ -> "disk.write"
+  | Block_lock _ -> "block.lock"
+  | Test_and_set _ -> "commit.test_and_set"
+  | Commit_phase _ -> "commit.phase"
+  | Commit_outcome _ -> "commit.outcome"
+  | Cache_validate _ -> "cache.validate"
+  | Cache_drop _ -> "cache.drop"
+  | Stable_leg _ -> "stable.leg"
+  | Lock_acquire _ -> "lock.acquire"
+  | Lock_wait _ -> "lock.wait"
+  | Lock_steal _ -> "lock.steal"
+  | Rollback _ -> "recovery.rollback"
+  | Intentions_replay _ -> "recovery.replay"
+  | Recovered_files _ -> "recovery.files"
+  | Gc_phase _ -> "gc.phase"
+  | Generic { kind; _ } -> kind
+
+let fields_of_payload = function
+  | Proc_spawn { proc } | Proc_resume { proc } -> [ ("proc", Str proc) ]
+  | Crash { component; what } -> [ ("component", Str component); ("what", Str what) ]
+  | Rpc_send { server; op } | Rpc_recv { server; op } | Rpc_timeout { server; op } ->
+      [ ("server", Str server); ("op", Str op) ]
+  | Disk_read { media; block; bytes; cost_ms } | Disk_write { media; block; bytes; cost_ms } ->
+      [ ("media", Str media); ("block", Int block); ("bytes", Int bytes);
+        ("cost_ms", Float cost_ms) ]
+  | Block_lock { block; won } | Test_and_set { block; won } ->
+      [ ("block", Int block); ("won", Bool won) ]
+  | Commit_phase { vblock; phase } -> [ ("vblock", Int vblock); ("phase", Str phase) ]
+  | Commit_outcome { vblock; outcome } -> [ ("vblock", Int vblock); ("outcome", Str outcome) ]
+  | Cache_validate { file_obj; basis; current; invalid } ->
+      [ ("file_obj", Int file_obj); ("basis", Int basis); ("current", Int current);
+        ("invalid", Int invalid) ]
+  | Cache_drop { file_obj; path } -> [ ("file_obj", Int file_obj); ("path", Str path) ]
+  | Stable_leg { leg; server; block; cost_ms } ->
+      [ ("leg", Str leg); ("server", Int server); ("block", Int block);
+        ("cost_ms", Float cost_ms) ]
+  | Lock_acquire { obj; txn; mode } ->
+      [ ("obj", Int obj); ("txn", Int txn); ("mode", Str mode) ]
+  | Lock_wait { obj; txn; holder } ->
+      [ ("obj", Int obj); ("txn", Int txn); ("holder", Int holder) ]
+  | Lock_steal { obj; txn; victim } ->
+      [ ("obj", Int obj); ("txn", Int txn); ("victim", Int victim) ]
+  | Rollback { txns } -> [ ("txns", Int txns) ]
+  | Intentions_replay { count } | Recovered_files { count } -> [ ("count", Int count) ]
+  | Gc_phase { phase; count } -> [ ("phase", Str phase); ("count", Int count) ]
+  | Generic { fields; _ } -> fields
+
+type event =
+  | Point of { seq : int; at_ms : float; span : int; payload : payload }
+  | Span_open of { seq : int; at_ms : float; id : int; parent : int; kind : string; label : string }
+  | Span_close of { seq : int; at_ms : float; id : int }
+
+let event_seq = function
+  | Point { seq; _ } | Span_open { seq; _ } | Span_close { seq; _ } -> seq
+
+let event_time = function
+  | Point { at_ms; _ } | Span_open { at_ms; _ } | Span_close { at_ms; _ } -> at_ms
+
+type ring = {
+  cap : int;
+  buf : event option array;
+  mutable len : int;  (** Stored events, <= cap. *)
+  mutable head : int;  (** Index of the oldest stored event. *)
+  mutable ring_dropped : int;
+}
+
+type sink = Null | Ring of ring | Stream of (event -> unit)
+
+type t = {
+  now : unit -> float;
+  sink : sink;
+  mutable next_seq : int;
+  mutable next_span : int;
+  mutable stack : int list;  (** Ambient span stack for synchronous sections. *)
+  mutable emitted : int;
+}
+
+let null = { now = (fun () -> 0.0); sink = Null; next_seq = 0; next_span = 1; stack = []; emitted = 0 }
+
+let default_capacity = 65536
+
+let ring ?(capacity = default_capacity) ~now () =
+  if capacity < 1 then invalid_arg "Trace.ring: capacity must be positive";
+  let r = { cap = capacity; buf = Array.make capacity None; len = 0; head = 0; ring_dropped = 0 } in
+  { now; sink = Ring r; next_seq = 0; next_span = 1; stack = []; emitted = 0 }
+
+let stream ~now emit = { now; sink = Stream emit; next_seq = 0; next_span = 1; stack = []; emitted = 0 }
+
+let enabled t = match t.sink with Null -> false | Ring _ | Stream _ -> true
+
+let now_ms t = t.now ()
+
+let events_emitted t = t.emitted
+
+let push t ev =
+  t.emitted <- t.emitted + 1;
+  match t.sink with
+  | Null -> ()
+  | Stream emit -> emit ev
+  | Ring r ->
+      if r.len < r.cap then begin
+        r.buf.((r.head + r.len) mod r.cap) <- Some ev;
+        r.len <- r.len + 1
+      end
+      else begin
+        (* Full: overwrite the oldest (the ring keeps the newest window). *)
+        r.buf.(r.head) <- Some ev;
+        r.head <- (r.head + 1) mod r.cap;
+        r.ring_dropped <- r.ring_dropped + 1
+      end
+
+let fresh_seq t =
+  let s = t.next_seq in
+  t.next_seq <- s + 1;
+  s
+
+let current_span t = match t.stack with [] -> 0 | id :: _ -> id
+
+let point t payload =
+  match t.sink with
+  | Null -> ()
+  | Ring _ | Stream _ ->
+      push t (Point { seq = fresh_seq t; at_ms = t.now (); span = current_span t; payload })
+
+let open_span t ?parent ~kind ?(label = "") () =
+  match t.sink with
+  | Null -> 0
+  | Ring _ | Stream _ ->
+      let parent = match parent with Some p -> p | None -> current_span t in
+      let id = t.next_span in
+      t.next_span <- id + 1;
+      push t (Span_open { seq = fresh_seq t; at_ms = t.now (); id; parent; kind; label });
+      id
+
+let close_span t id =
+  match t.sink with
+  | Null -> ()
+  | Ring _ | Stream _ ->
+      if id <> 0 then push t (Span_close { seq = fresh_seq t; at_ms = t.now (); id })
+
+let span t ~kind ?label f =
+  match t.sink with
+  | Null -> f ()
+  | Ring _ | Stream _ ->
+      let id = open_span t ~kind ?label () in
+      t.stack <- id :: t.stack;
+      let finish () =
+        (match t.stack with s :: rest when s = id -> t.stack <- rest | _ -> ());
+        close_span t id
+      in
+      Fun.protect ~finally:finish f
+
+let events t =
+  match t.sink with
+  | Null | Stream _ -> []
+  | Ring r ->
+      let out = ref [] in
+      for i = r.len - 1 downto 0 do
+        match r.buf.((r.head + i) mod r.cap) with
+        | Some ev -> out := ev :: !out
+        | None -> ()
+      done;
+      !out
+
+let dropped t = match t.sink with Ring r -> r.ring_dropped | Null | Stream _ -> 0

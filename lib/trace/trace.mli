@@ -1,0 +1,108 @@
+(** Deterministic structured tracing keyed on virtual time.
+
+    A trace records typed point events and nested spans against the
+    simulation clock ([now] is invariably [Engine.now]), never a wall
+    clock, so same-seed runs yield byte-identical traces — the property
+    that lets trace output double as a test oracle. Emission charges no
+    simulated time: tracing observes a run without perturbing it.
+
+    Three sinks: {!null} (disabled; one branch per emission site),
+    {!ring} (bounded in-memory buffer keeping the newest window) and
+    {!stream} (a callback per event, e.g. for incremental JSON export). *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+(** Typed event payloads, one constructor per instrumented mechanism. *)
+type payload =
+  | Proc_spawn of { proc : string }
+  | Proc_resume of { proc : string }
+  | Crash of { component : string; what : string }
+      (** [what] is ["crash"], ["restart"] or ["recover"]. *)
+  | Rpc_send of { server : string; op : string }
+  | Rpc_recv of { server : string; op : string }
+  | Rpc_timeout of { server : string; op : string }
+  | Disk_read of { media : string; block : int; bytes : int; cost_ms : float }
+  | Disk_write of { media : string; block : int; bytes : int; cost_ms : float }
+  | Block_lock of { block : int; won : bool }
+  | Test_and_set of { block : int; won : bool }
+      (** One commit-time test-and-set of a base version's commit
+          reference; [won] iff the reference was clear and is now set. *)
+  | Commit_phase of { vblock : int; phase : string }
+      (** [phase] is ["pretest"], ["serialise"] or ["merge"]. *)
+  | Commit_outcome of { vblock : int; outcome : string }
+      (** [outcome] is ["fastpath"], ["merged"], ["conflict"] or
+          ["shortcircuit"]. *)
+  | Cache_validate of { file_obj : int; basis : int; current : int; invalid : int }
+  | Cache_drop of { file_obj : int; path : string }
+  | Stable_leg of { leg : string; server : int; block : int; cost_ms : float }
+      (** One leg of a stable-pair operation: ["shadow"] (A→B), ["local"]
+          (back to A), ["repair"], ["companion_read"]. *)
+  | Lock_acquire of { obj : int; txn : int; mode : string }
+  | Lock_wait of { obj : int; txn : int; holder : int }
+  | Lock_steal of { obj : int; txn : int; victim : int }
+  | Rollback of { txns : int }
+  | Intentions_replay of { count : int }
+  | Recovered_files of { count : int }
+  | Gc_phase of { phase : string; count : int }
+  | Generic of { kind : string; fields : (string * value) list }
+      (** Escape hatch; also the representation of imported events. *)
+
+val kind_of_payload : payload -> string
+(** Stable dotted kind, e.g. ["commit.test_and_set"]; the key used by
+    {!Query} and the exporters. *)
+
+val fields_of_payload : payload -> (string * value) list
+(** The payload's arguments as ordered key/value pairs. *)
+
+type event =
+  | Point of { seq : int; at_ms : float; span : int; payload : payload }
+  | Span_open of { seq : int; at_ms : float; id : int; parent : int; kind : string; label : string }
+  | Span_close of { seq : int; at_ms : float; id : int }
+
+val event_seq : event -> int
+val event_time : event -> float
+
+type t
+
+val null : t
+(** The disabled trace: every operation is a no-op, {!enabled} is false.
+    Instrumented modules default to it, so an untraced run pays one
+    branch per emission site and allocates nothing. *)
+
+val ring : ?capacity:int -> now:(unit -> float) -> unit -> t
+(** Bounded in-memory sink: once [capacity] (default 65536) events are
+    held, each new event overwrites the oldest ({!dropped} counts them). *)
+
+val stream : now:(unit -> float) -> (event -> unit) -> t
+(** Streaming sink: the callback receives each event as it is emitted. *)
+
+val enabled : t -> bool
+(** Guard for hot paths: skip payload construction entirely when false. *)
+
+val now_ms : t -> float
+
+val point : t -> payload -> unit
+(** Record an instantaneous event under the current ambient span. *)
+
+val open_span : t -> ?parent:int -> kind:string -> ?label:string -> unit -> int
+(** Begin a span and return its id (0 on a disabled trace). [parent]
+    defaults to the ambient span. Use the explicit form for sections
+    that suspend (RPC round trips, driver transactions): the ambient
+    stack must not be held across a process switch. *)
+
+val close_span : t -> int -> unit
+
+val span : t -> kind:string -> ?label:string -> (unit -> 'a) -> 'a
+(** [span t ~kind f] runs [f] inside a fresh ambient span. Only for
+    synchronous sections (no [Proc.delay]/[suspend] inside), otherwise
+    interleaved processes would inherit the wrong parent. *)
+
+val events : t -> event list
+(** Ring-sink contents, oldest first; [[]] for null and stream sinks. *)
+
+val dropped : t -> int
+(** Events overwritten by ring wrap-around. *)
+
+val events_emitted : t -> int
+(** Total events emitted to this trace (including ones the ring has
+    since dropped); the bench overhead metric. *)

@@ -41,9 +41,17 @@ module Histogram = struct
   let offset = 512 (* allow values down to growth^-512 *)
   let nbuckets = 1024
 
-  type t = { buckets : int array; mutable count : int }
+  type t = {
+    buckets : int array;
+    mutable count : int;
+    (* Exact extremes, so p=0 and p=1 answer with observed values rather
+       than bucket bounds (which overestimate by up to one bucket width). *)
+    mutable vmin : float;
+    mutable vmax : float;
+  }
 
-  let create () = { buckets = Array.make nbuckets 0; count = 0 }
+  let create () =
+    { buckets = Array.make nbuckets 0; count = 0; vmin = infinity; vmax = neg_infinity }
 
   let bucket_of x =
     if x <= 0.0 then 0
@@ -56,13 +64,17 @@ module Histogram = struct
   let add t x =
     let b = bucket_of x in
     t.buckets.(b) <- t.buckets.(b) + 1;
-    t.count <- t.count + 1
+    t.count <- t.count + 1;
+    if x < t.vmin then t.vmin <- x;
+    if x > t.vmax then t.vmax <- x
 
   let count t = t.count
 
   let percentile t p =
-    if p < 0.0 || p > 1.0 then invalid_arg "Histogram.percentile";
+    if Float.is_nan p || p < 0.0 || p > 1.0 then invalid_arg "Histogram.percentile";
     if t.count = 0 then 0.0
+    else if p = 0.0 then t.vmin
+    else if p = 1.0 then t.vmax
     else
       let target = int_of_float (Float.ceil (p *. float_of_int t.count)) in
       let target = Stdlib.max 1 target in
@@ -80,6 +92,8 @@ module Histogram = struct
       merged.buckets.(i) <- a.buckets.(i) + b.buckets.(i)
     done;
     merged.count <- a.count + b.count;
+    merged.vmin <- Float.min a.vmin b.vmin;
+    merged.vmax <- Float.max a.vmax b.vmax;
     merged
 end
 

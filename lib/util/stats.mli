@@ -29,9 +29,14 @@ module Histogram : sig
   val count : t -> int
   val percentile : t -> float -> float
   (** [percentile t 0.99] is an upper bound on the p99 value; 0 when
-      empty. [p] must be in [0, 1]. *)
+      empty. [p] must be in [0, 1] (NaN is rejected); the endpoints are
+      exact: [percentile t 0.0] and [percentile t 1.0] return the
+      smallest and largest value ever added. *)
 
   val merge : t -> t -> t
+  (** [merge a b] equals the histogram of both input streams combined:
+      per-bucket counts add, extremes take the min/max. Neither input is
+      modified. *)
 end
 
 module Counter : sig

@@ -2,6 +2,7 @@ module Engine = Afs_sim.Engine
 module Proc = Afs_sim.Proc
 module Xrng = Afs_util.Xrng
 module Stats = Afs_util.Stats
+module Trace = Afs_trace.Trace
 
 type config = {
   clients : int;
@@ -45,9 +46,10 @@ let run engine config sut ~gen =
   let latency = Stats.Histogram.create () in
   let latency_sum = Stats.Summary.create () in
   let master_rng = Xrng.create config.seed in
+  let tr = Engine.trace engine in
   let client id =
     let rng = Xrng.split master_rng in
-    ignore id;
+    let label = Printf.sprintf "client-%d" id in
     fun () ->
       (* Desynchronise client start-up. *)
       Proc.delay (Xrng.float rng config.think_ms);
@@ -57,7 +59,12 @@ let run engine config sut ~gen =
           if Engine.now engine < config.duration_ms then begin
             let spec = gen rng in
             let t0 = Engine.now engine in
+            (* Explicit open/close (not [Trace.span]): the transaction
+               suspends inside [exec], so the ambient stack would leak
+               across client interleavings. *)
+            let span = Trace.open_span tr ~kind:"txn" ~label () in
             let result = sut.Sut.exec spec ~max_retries:config.max_retries in
+            Trace.close_span tr span;
             let dt = Engine.now engine -. t0 in
             attempts := !attempts + result.Sut.attempts;
             if result.Sut.committed then begin

@@ -1,0 +1,7 @@
+(* Fixture: a whole directory listed in hashtbl_strict_units (the shape
+   used for lib/trace, whose event streams must be byte-stable). The
+   directory-prefix scope puts every file under it in strict mode. *)
+
+let bad_order t = Hashtbl.fold (fun k _ acc -> k :: acc) t []
+
+let fine t = List.sort compare (bad_order t)

@@ -7,7 +7,7 @@ let quick = Helpers.quick
 let bytes = Helpers.bytes
 
 let fresh ?policy ?(blocks = 64) () =
-  let disk = Disk.create ~media:Media.electronic ~blocks ~block_size:1024 in
+  let disk = Disk.create ~media:Media.electronic ~blocks ~block_size:1024 () in
   B.create ?policy ~disk ()
 
 let ok (o : 'a B.outcome) =
@@ -139,7 +139,7 @@ let test_disk_error_surfaces () =
     (B.read s alice b)
 
 let test_cost_includes_disk_time () =
-  let disk = Disk.create ~media:Media.magnetic ~blocks:8 ~block_size:1024 in
+  let disk = Disk.create ~media:Media.magnetic ~blocks:8 ~block_size:1024 () in
   let s = B.create ~disk () in
   let b = ok (B.allocate s alice) in
   let w = B.write s alice b (bytes "payload") in

@@ -4,7 +4,7 @@ let quick = Helpers.quick
 let bytes = Helpers.bytes
 
 let fresh ?(media = Media.magnetic) ?(blocks = 64) ?(block_size = 1024) () =
-  Disk.create ~media ~blocks ~block_size
+  Disk.create ~media ~blocks ~block_size ()
 
 let ok_outcome (o : 'a Disk.outcome) =
   match o.Disk.result with
@@ -148,9 +148,9 @@ let test_cost_reported_per_op () =
 
 let test_create_rejects_bad_sizes () =
   Alcotest.check_raises "blocks" (Invalid_argument "Disk.create: blocks must be positive")
-    (fun () -> ignore (Disk.create ~media:Media.magnetic ~blocks:0 ~block_size:1));
+    (fun () -> ignore (Disk.create ~media:Media.magnetic ~blocks:0 ~block_size:1 ()));
   Alcotest.check_raises "size" (Invalid_argument "Disk.create: block_size must be positive")
-    (fun () -> ignore (Disk.create ~media:Media.magnetic ~blocks:1 ~block_size:0))
+    (fun () -> ignore (Disk.create ~media:Media.magnetic ~blocks:1 ~block_size:0 ()))
 
 let () =
   Alcotest.run "disk"

@@ -7,7 +7,7 @@ let fixture_config =
     Lint_types.rng_exempt = [ "lint_fixtures/d1_exempt.ml" ];
     protocol_dirs = [ "lint_fixtures" ];
     hashtbl_dirs = [ "lint_fixtures" ];
-    hashtbl_strict_units = [ "lint_fixtures/d1_strict_lru.ml" ];
+    hashtbl_strict_units = [ "lint_fixtures/d1_strict_lru.ml"; "lint_fixtures/d1_strict_trace" ];
     e1_dirs = [ "lint_fixtures" ];
     e1_exempt = [];
     mli_dirs = [];
@@ -30,7 +30,7 @@ let scan = lazy (run [ "lint_fixtures" ])
 let test_parses_everything () =
   let r = Lazy.force scan in
   Alcotest.(check (list (pair string string))) "no unparseable fixtures" [] r.broken;
-  Alcotest.(check int) "all fixtures scanned" 10 r.files_scanned
+  Alcotest.(check int) "all fixtures scanned" 11 r.files_scanned
 
 let test_d1_ambient () =
   check_keys "one finding per ambient source, none in the exempt file"
@@ -58,6 +58,17 @@ let test_d1_strict_unit () =
   check_keys "silent once delisted"
     []
     (in_file "lint_fixtures/d1_strict_lru.ml" (run ~config [ "lint_fixtures" ]))
+
+let test_d1_strict_directory () =
+  (* A directory prefix in the strict-unit list (the lib/trace shape)
+     covers every file beneath it; sorted traversals stay silent. *)
+  check_keys "unordered fold fires under a strict directory"
+    [ ("D1", "lint_fixtures/d1_strict_trace/exporter.ml", "Hashtbl.fold") ]
+    (in_file "lint_fixtures/d1_strict_trace/exporter.ml" (Lazy.force scan));
+  let config = { fixture_config with Lint_types.hashtbl_strict_units = [] } in
+  check_keys "silent once the directory is delisted"
+    []
+    (in_file "lint_fixtures/d1_strict_trace/exporter.ml" (run ~config [ "lint_fixtures" ]))
 
 let test_p1 () =
   check_keys "each partial idiom fires once"
@@ -140,6 +151,7 @@ let () =
           Alcotest.test_case "D1 ambient sources" `Quick test_d1_ambient;
           Alcotest.test_case "D1 unordered hashtbl" `Quick test_d1_hashtbl;
           Alcotest.test_case "D1 strict units" `Quick test_d1_strict_unit;
+          Alcotest.test_case "D1 strict directories" `Quick test_d1_strict_directory;
           Alcotest.test_case "P1 partial idioms" `Quick test_p1;
           Alcotest.test_case "E1 effect safety" `Quick test_e1;
           Alcotest.test_case "E1 severities" `Quick test_e1_severity;

@@ -93,7 +93,7 @@ let test_no_recovery_needed_for_reads () =
 (* {2 Over a real block server} *)
 
 let test_recovery_via_block_server_account_listing () =
-  let disk = Disk.create ~media:Media.electronic ~blocks:256 ~block_size:32768 in
+  let disk = Disk.create ~media:Media.electronic ~blocks:256 ~block_size:32768 () in
   let bs = Block_server.create ~disk () in
   let account = 42 in
   let store = Store.of_block_server bs ~account in

@@ -317,14 +317,77 @@ let test_histogram_percentiles () =
 
 let test_histogram_empty () =
   let h = Stats.Histogram.create () in
-  Alcotest.(check bool) "0 on empty" true (Stats.Histogram.percentile h 0.99 = 0.0)
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "0 on empty at p=%g" p)
+        true
+        (Stats.Histogram.percentile h p = 0.0))
+    [ 0.0; 0.5; 0.99; 1.0 ]
+
+let test_histogram_endpoints_exact () =
+  let h = Stats.Histogram.create () in
+  List.iter (Stats.Histogram.add h) [ 3.7; 120.0; 0.25; 41.5 ];
+  (* p=0/p=1 return the observed extremes, not bucket upper bounds. *)
+  Alcotest.(check (float 0.0)) "p0 is the min" 0.25 (Stats.Histogram.percentile h 0.0);
+  Alcotest.(check (float 0.0)) "p100 is the max" 120.0 (Stats.Histogram.percentile h 1.0)
+
+let test_histogram_rejects_bad_p () =
+  let h = Stats.Histogram.create () in
+  Stats.Histogram.add h 1.0;
+  List.iter
+    (fun p ->
+      Alcotest.check_raises
+        (Printf.sprintf "p=%g" p)
+        (Invalid_argument "Histogram.percentile")
+        (fun () -> ignore (Stats.Histogram.percentile h p)))
+    [ -0.1; 1.1; Float.nan ]
 
 let test_histogram_merge () =
   let a = Stats.Histogram.create () and b = Stats.Histogram.create () in
   Stats.Histogram.add a 1.0;
   Stats.Histogram.add b 100.0;
   let m = Stats.Histogram.merge a b in
-  Alcotest.(check int) "count" 2 (Stats.Histogram.count m)
+  Alcotest.(check int) "count" 2 (Stats.Histogram.count m);
+  Alcotest.(check (float 0.0)) "min crosses inputs" 1.0 (Stats.Histogram.percentile m 0.0);
+  Alcotest.(check (float 0.0)) "max crosses inputs" 100.0 (Stats.Histogram.percentile m 1.0);
+  Alcotest.(check int) "inputs untouched" 1 (Stats.Histogram.count a)
+
+(* merge ≡ adding both streams: every percentile of the merged histogram
+   matches the histogram built from the concatenated samples. *)
+let prop_histogram_merge_is_stream_union =
+  let sample = QCheck.(list_of_size (Gen.int_range 0 40) (float_range 0.001 50_000.0)) in
+  QCheck.Test.make ~name:"histogram merge equals adding both streams" ~count:200
+    QCheck.(pair sample sample)
+    (fun (xs, ys) ->
+      let of_list l =
+        let h = Stats.Histogram.create () in
+        List.iter (Stats.Histogram.add h) l;
+        h
+      in
+      let merged = Stats.Histogram.merge (of_list xs) (of_list ys) in
+      let union = of_list (xs @ ys) in
+      Stats.Histogram.count merged = Stats.Histogram.count union
+      && List.for_all
+           (fun p ->
+             Stats.Histogram.percentile merged p = Stats.Histogram.percentile union p)
+           [ 0.0; 0.01; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ])
+
+let test_counter_incr_get_missing () =
+  let c = Stats.Counter.create () in
+  Alcotest.(check int) "missing is 0" 0 (Stats.Counter.get c "never");
+  Stats.Counter.incr c "x";
+  Stats.Counter.incr ~by:0 c "zero";
+  Alcotest.(check int) "by:0 still creates" 0 (Stats.Counter.get c "zero");
+  Stats.Counter.incr ~by:(-1) c "x";
+  Alcotest.(check int) "negative by decrements" 0 (Stats.Counter.get c "x");
+  Alcotest.(check (list (pair string int)))
+    "to_list keeps zeroed names" [ ("x", 0); ("zero", 0) ] (Stats.Counter.to_list c)
+
+let test_counter_independent_instances () =
+  let a = Stats.Counter.create () and b = Stats.Counter.create () in
+  Stats.Counter.incr a "shared";
+  Alcotest.(check int) "no cross-talk" 0 (Stats.Counter.get b "shared")
 
 let test_counter () =
   let c = Stats.Counter.create () in
@@ -401,8 +464,13 @@ let () =
           quick "summary empty" test_summary_empty;
           quick "histogram percentiles" test_histogram_percentiles;
           quick "histogram empty" test_histogram_empty;
+          quick "histogram endpoints exact" test_histogram_endpoints_exact;
+          quick "histogram rejects bad p" test_histogram_rejects_bad_p;
           quick "histogram merge" test_histogram_merge;
+          QCheck_alcotest.to_alcotest prop_histogram_merge_is_stream_union;
           quick "counter" test_counter;
+          quick "counter incr/get/missing" test_counter_incr_get_missing;
+          quick "counter instances independent" test_counter_independent_instances;
           quick "ratio" test_ratio;
         ] );
     ]

@@ -45,10 +45,12 @@ type config = {
       (** D1 unordered-iteration scope (always further gated on the unit
           referencing Wire/Serialise/Engine). *)
   hashtbl_strict_units : string list;
-      (** Files where the D1 unordered-iteration check applies
-          unconditionally — their traversal order leaks into replicated
-          state even though they never mention a wire-like module
-          (e.g. the LRU index and the write-set representation). *)
+      (** Files (or directory prefixes) where the D1 unordered-iteration
+          check applies unconditionally — their traversal order leaks into
+          replicated or exported state even though they never mention a
+          wire-like module (e.g. the LRU index, the write-set
+          representation, and the trace library, whose event streams must
+          be byte-stable across same-seed runs). *)
   e1_dirs : string list;  (** E1 scope. *)
   e1_exempt : string list;
       (** Subtrees exempt from E1 (the sim engine implements the
@@ -61,7 +63,7 @@ let default_config =
     rng_exempt = [ "lib/util/xrng.ml" ];
     protocol_dirs = [ "lib" ];
     hashtbl_dirs = [ "lib"; "bin"; "bench"; "examples" ];
-    hashtbl_strict_units = [ "lib/util/lru.ml"; "lib/core/writeset.ml" ];
+    hashtbl_strict_units = [ "lib/util/lru.ml"; "lib/core/writeset.ml"; "lib/trace" ];
     e1_dirs = [ "lib" ];
     e1_exempt = [ "lib/sim" ];
     mli_dirs = [ "lib" ];
