@@ -31,6 +31,7 @@ let experiments =
     ("a3-write-back", Ablations.a3);
     ("a4-trace-overhead", Ablations.a4);
     ("m1-validate-after-n", Ablations.m1);
+    ("s1-shard-scaling", Scaling.s1);
   ]
 
 (* Wall-clock is machine-dependent: recorded only under --timed, published

@@ -1,0 +1,82 @@
+(* Shard-scaling experiments for the cluster layer. *)
+
+open Exp_util
+module Engine = Afs_sim.Engine
+module Server = Afs_core.Server
+module Store = Afs_core.Store
+module Remote = Afs_rpc.Remote
+module Cluster = Afs_cluster.Cluster
+
+(* S1 — throughput vs shard count at fixed offered load, plus the
+   equivalence anchor: a one-shard cluster must report bit-identically to
+   the bare remote server, because the cluster layer adds only a local
+   routing lookup and a zero-cost location check in front of the same RPC
+   sequence. Each server serialises its requests (one simulated CPU), so
+   with enough concurrent clients the single server is the bottleneck and
+   committed throughput must rise with the shard count. *)
+let s1 () =
+  banner "s1-shard-scaling" "Committed throughput vs shard count, fixed 32 clients"
+    "§2: growth of the system's capacity by adding servers";
+  let open Afs_workload in
+  let shape = { Workload.small_updates with nfiles = 64; pages_per_file = 8 } in
+  let config =
+    { Driver.default_config with clients = 32; duration_ms = 4_000.0; think_ms = 5.0 }
+  in
+  let gen = Workload.make shape in
+  let run_cluster shards =
+    let engine = Engine.create () in
+    let cluster = Cluster.create ~latency_ms:2.0 engine ~shards in
+    let files = ok (Workload.setup_cluster cluster shape ~initial:(bytes "0")) in
+    let sut = Sut.afs_cluster (Afs_cluster.Cluster_client.connect cluster) ~files in
+    Driver.run engine config sut ~gen
+  in
+  let run_bare () =
+    let engine = Engine.create () in
+    let store = Store.memory () in
+    let srv = Server.create store in
+    let files = ok (Workload.setup_pages srv shape ~initial:(bytes "0")) in
+    let host = Remote.host ~latency_ms:2.0 engine ~name:"afs" srv in
+    let sut = Sut.afs_remote (Remote.connect [ host ]) ~fallback:srv ~files in
+    Driver.run engine config sut ~gen
+  in
+  let bare = run_bare () in
+  let shard_counts = [ 1; 2; 4 ] in
+  let reports = List.map (fun n -> (n, run_cluster n)) shard_counts in
+  let row label (r : Driver.report) =
+    [
+      label;
+      string_of_int r.Driver.committed;
+      string_of_int r.Driver.attempts;
+      f1 r.Driver.throughput_per_s;
+      f2 r.Driver.mean_latency_ms;
+      f2 r.Driver.p95_ms;
+    ]
+  in
+  table
+    [ "configuration"; "committed"; "attempts"; "thru/s"; "mean-ms"; "p95-ms" ]
+    (row "bare server (no cluster layer)" bare
+    :: List.map (fun (n, r) -> row (Printf.sprintf "%d shard(s)" n) r) reports);
+  let committed n = (List.assoc n reports).Driver.committed in
+  let one = List.assoc 1 reports in
+  let identical =
+    one.Driver.committed = bare.Driver.committed
+    && one.Driver.given_up = bare.Driver.given_up
+    && one.Driver.attempts = bare.Driver.attempts
+    && one.Driver.mean_latency_ms = bare.Driver.mean_latency_ms
+    && one.Driver.p50_ms = bare.Driver.p50_ms
+    && one.Driver.p95_ms = bare.Driver.p95_ms
+    && one.Driver.p99_ms = bare.Driver.p99_ms
+    && one.Driver.retry_histogram = bare.Driver.retry_histogram
+  in
+  let monotonic = committed 1 < committed 2 && committed 2 < committed 4 in
+  List.iter
+    (fun (n, (r : Driver.report)) ->
+      metric_i "s1-shard-scaling" (Printf.sprintf "shards%d.committed" n) r.Driver.committed;
+      metric_i "s1-shard-scaling" (Printf.sprintf "shards%d.attempts" n) r.Driver.attempts)
+    reports;
+  metric "s1-shard-scaling" "speedup_4shards"
+    (Afs_util.Stats.ratio (committed 4) (committed 1));
+  metric_i "s1-shard-scaling" "monotonic" (if monotonic then 1 else 0);
+  metric_i "s1-shard-scaling" "oneshard_identical_to_bare" (if identical then 1 else 0);
+  note "one shard == bare server field for field: the cluster layer is free until sharded;";
+  note "throughput then scales with shards because each server serialises its requests"

@@ -107,7 +107,31 @@ let walkthrough () =
 
 (* {2 simulate} *)
 
-let simulate system clients duration_s think_ms nfiles pages theta cache_capacity trace_file =
+(* With [--trace FILE] every event streams straight to a catapult JSON
+   document; nothing is buffered beyond the open channel. *)
+let open_trace_sink engine trace_file =
+  match trace_file with
+  | None -> None
+  | Some path ->
+      let oc = open_out path in
+      let w = Afs_trace.Catapult.writer (output_string oc) in
+      let tr =
+        Afs_trace.Trace.stream
+          ~now:(fun () -> Afs_sim.Engine.now engine)
+          (Afs_trace.Catapult.emit w)
+      in
+      Afs_sim.Engine.set_trace engine tr;
+      Some (path, oc, w, tr)
+
+let close_trace_sink = function
+  | None -> ()
+  | Some (path, oc, w, tr) ->
+      Afs_trace.Catapult.finish w;
+      close_out oc;
+      Printf.printf "trace: %d events -> %s\n" (Afs_trace.Trace.events_emitted tr) path
+
+let simulate system shards clients duration_s think_ms nfiles pages theta cache_capacity
+    trace_file =
   let open Afs_workload in
   let shape =
     {
@@ -119,22 +143,7 @@ let simulate system clients duration_s think_ms nfiles pages theta cache_capacit
     }
   in
   let engine = Afs_sim.Engine.create () in
-  (* With [--trace FILE] every event streams straight to a catapult JSON
-     document; nothing is buffered beyond the open channel. *)
-  let trace_sink =
-    match trace_file with
-    | None -> None
-    | Some path ->
-        let oc = open_out path in
-        let w = Afs_trace.Catapult.writer (output_string oc) in
-        let tr =
-          Afs_trace.Trace.stream
-            ~now:(fun () -> Afs_sim.Engine.now engine)
-            (Afs_trace.Catapult.emit w)
-        in
-        Afs_sim.Engine.set_trace engine tr;
-        Some (path, oc, w, tr)
-  in
+  let trace_sink = open_trace_sink engine trace_file in
   let trace = Afs_sim.Engine.trace engine in
   let config =
     {
@@ -146,6 +155,12 @@ let simulate system clients duration_s think_ms nfiles pages theta cache_capacit
   in
   let sut =
     match system with
+    | "afs" when shards > 1 ->
+        let cluster =
+          Afs_cluster.Cluster.create ~latency_ms:2.0 ?cache_capacity ~trace engine ~shards
+        in
+        let files = ok (Workload.setup_cluster cluster shape ~initial:(bytes "0")) in
+        Sut.afs_cluster (Afs_cluster.Cluster_client.connect cluster) ~files
     | "afs" ->
         let store = Store.memory () in
         let srv = Server.create ?cache_capacity ~trace store in
@@ -168,12 +183,60 @@ let simulate system clients duration_s think_ms nfiles pages theta cache_capacit
   let report = Driver.run engine config sut ~gen:(Workload.make shape) in
   print_endline Driver.header_row;
   print_endline (Driver.report_row report);
-  match trace_sink with
-  | None -> ()
-  | Some (path, oc, w, tr) ->
-      Afs_trace.Catapult.finish w;
-      close_out oc;
-      Printf.printf "trace: %d events -> %s\n" (Afs_trace.Trace.events_emitted tr) path
+  Printf.printf "retries: %s\n" (Driver.retry_histogram_row report);
+  close_trace_sink trace_sink
+
+(* {2 cluster} *)
+
+let cluster_demo shards clients duration_s think_ms nfiles theta rebalance_ms trace_file =
+  let open Afs_workload in
+  let module Cluster = Afs_cluster.Cluster in
+  let module Shard = Afs_cluster.Shard in
+  let shape =
+    { Workload.small_updates with nfiles; file_theta = theta; page_theta = theta }
+  in
+  let engine = Afs_sim.Engine.create () in
+  let trace_sink = open_trace_sink engine trace_file in
+  let trace = Afs_sim.Engine.trace engine in
+  let cluster = Cluster.create ~latency_ms:2.0 ~trace engine ~shards in
+  let files = ok (Workload.setup_cluster cluster shape ~initial:(bytes "0")) in
+  let sut = Sut.afs_cluster (Afs_cluster.Cluster_client.connect cluster) ~files in
+  let duration_ms = duration_s *. 1000.0 in
+  let rebalancer = Afs_cluster.Rebalancer.create ~threshold:1.5 ~max_moves:4 cluster in
+  ignore
+    (Afs_sim.Proc.spawn ~name:"rebalancer" engine (fun () ->
+         let rec loop () =
+           Afs_sim.Proc.delay rebalance_ms;
+           if Afs_sim.Engine.now engine < duration_ms then begin
+             ignore (Afs_cluster.Rebalancer.step rebalancer);
+             loop ()
+           end
+         in
+         loop ()));
+  let config =
+    { Driver.default_config with clients; duration_ms; think_ms }
+  in
+  let report = Driver.run engine config sut ~gen:(Workload.make shape) in
+  print_endline Driver.header_row;
+  print_endline (Driver.report_row report);
+  Printf.printf "retries: %s\n" (Driver.retry_histogram_row report);
+  let counters = Cluster.counters cluster in
+  let get = Afs_util.Stats.Counter.get counters in
+  Printf.printf "\n%-10s %8s %10s %9s %10s\n" "shard" "files" "commits" "migr-in" "migr-out";
+  List.iter
+    (fun shard ->
+      let i = Shard.id shard in
+      Printf.printf "%-10s %8d %10d %9d %10d\n" (Shard.name shard)
+        (List.length (Shard.resident_files shard))
+        (get (Printf.sprintf "shard%d.commits" i))
+        (get (Printf.sprintf "shard%d.migrations_in" i))
+        (get (Printf.sprintf "shard%d.migrations_out" i)))
+    (Cluster.shards cluster);
+  Printf.printf
+    "\nmigrations: %d done, %d lost races; rebalancer moves: %d; forwards learned: %d\n"
+    (get "migrations") (get "migrations.conflict") (get "rebalancer.moves")
+    (get "client.forwarded");
+  close_trace_sink trace_sink
 
 (* {2 trace} *)
 
@@ -238,14 +301,31 @@ let walkthrough_cmd =
   Cmd.v (Cmd.info "walkthrough" ~doc:"Annotated trace of the §5 mechanisms")
     Term.(const walkthrough $ const ())
 
+let clients_arg = Arg.(value & opt int 16 & info [ "clients" ] ~doc:"Concurrent clients")
+
+let duration_arg =
+  Arg.(value & opt float 10.0 & info [ "duration" ] ~doc:"Simulated seconds")
+
+let think_arg = Arg.(value & opt float 20.0 & info [ "think" ] ~doc:"Mean think time (ms)")
+let nfiles_arg = Arg.(value & opt int 32 & info [ "files" ] ~doc:"Number of files")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Stream a Chrome trace-event (catapult) JSON trace of the run to $(docv)")
+
 let simulate_cmd =
   let system =
     Arg.(value & opt string "afs" & info [ "system" ] ~docv:"afs|2pl|tso" ~doc:"System under test")
   in
-  let clients = Arg.(value & opt int 16 & info [ "clients" ] ~doc:"Concurrent clients") in
-  let duration = Arg.(value & opt float 10.0 & info [ "duration" ] ~doc:"Simulated seconds") in
-  let think = Arg.(value & opt float 20.0 & info [ "think" ] ~doc:"Mean think time (ms)") in
-  let nfiles = Arg.(value & opt int 32 & info [ "files" ] ~doc:"Number of files") in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Shard the afs service across N servers (afs only; 1 = single bare server)")
+  in
   let pages = Arg.(value & opt int 16 & info [ "pages" ] ~doc:"Pages per file") in
   let theta = Arg.(value & opt float 0.0 & info [ "theta" ] ~doc:"Zipf skew (0 = uniform)") in
   let cache_capacity =
@@ -255,17 +335,32 @@ let simulate_cmd =
       & info [ "cache-capacity" ] ~docv:"BLOCKS"
           ~doc:"Server page-cache capacity in blocks (afs only; default 4096)")
   in
-  let trace_file =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "trace" ] ~docv:"FILE"
-          ~doc:"Stream a Chrome trace-event (catapult) JSON trace of the run to $(docv)")
-  in
   Cmd.v (Cmd.info "simulate" ~doc:"Run the multi-client workload driver")
     Term.(
-      const simulate $ system $ clients $ duration $ think $ nfiles $ pages $ theta
-      $ cache_capacity $ trace_file)
+      const simulate $ system $ shards $ clients_arg $ duration_arg $ think_arg $ nfiles_arg
+      $ pages $ theta $ cache_capacity $ trace_arg)
+
+let cluster_cmd =
+  let shards =
+    Arg.(value & opt int 4 & info [ "shards" ] ~docv:"N" ~doc:"Number of shard servers")
+  in
+  let theta =
+    Arg.(
+      value & opt float 0.9
+      & info [ "theta" ] ~docv:"SKEW"
+          ~doc:"Zipf skew over files (skew is what gives the rebalancer work)")
+  in
+  let rebalance =
+    Arg.(
+      value & opt float 250.0
+      & info [ "rebalance-every" ] ~docv:"MS" ~doc:"Rebalancer period (simulated ms)")
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:"Run a skewed workload on a shard cluster with online rebalancing")
+    Term.(
+      const cluster_demo $ shards $ clients_arg $ duration_arg $ think_arg $ nfiles_arg
+      $ theta $ rebalance $ trace_arg)
 
 let trace_cmd =
   let file =
@@ -290,4 +385,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "afs_cli" ~doc)
-          [ walkthrough_cmd; simulate_cmd; conflict_cmd; trace_cmd ]))
+          [ walkthrough_cmd; simulate_cmd; cluster_cmd; conflict_cmd; trace_cmd ]))

@@ -1,0 +1,79 @@
+module Capability = Afs_util.Capability
+module Stats = Afs_util.Stats
+module Det = Afs_util.Det
+module Engine = Afs_sim.Engine
+module Server = Afs_core.Server
+module Errors = Afs_core.Errors
+module Remote = Afs_rpc.Remote
+
+let default_base_seed = 0xA40EBA
+
+(* Seeds a full 2^32 apart keep the derived 48-bit ports distinct for any
+   realistic shard count while shard 0 keeps the default seed — so a
+   one-shard cluster mints bit-identical capabilities to a bare server. *)
+let seed_stride = 0x1_0000_0000
+
+type load = { cap : Capability.t; mutable count : int }
+
+type t = {
+  engine : Engine.t;
+  shards : Shard.t array;
+  conns : Remote.conn array;
+  router : Router.t;
+  counters : Stats.Counter.t;
+  loads : (int * int, load) Hashtbl.t;
+}
+
+let create ?latency_ms ?proc_ms ?cache_capacity ?(base_seed = default_base_seed) ?trace
+    engine ~shards:n =
+  if n <= 0 then invalid_arg "Cluster.create: need at least one shard";
+  let shards =
+    Array.init n (fun i ->
+        Shard.create ?latency_ms ?proc_ms ?cache_capacity ?trace engine ~id:i
+          ~seed:(base_seed + (i * seed_stride)))
+  in
+  let router = Router.create ~ports:(Array.to_list (Array.map Shard.port shards)) in
+  {
+    engine;
+    shards;
+    conns = Array.map (fun s -> Remote.connect [ Shard.host s ]) shards;
+    router;
+    counters = Stats.Counter.create ();
+    loads = Hashtbl.create 64;
+  }
+
+let engine t = t.engine
+let nshards t = Array.length t.shards
+let shard t i = t.shards.(i)
+let shards t = Array.to_list t.shards
+let conn t i = t.conns.(i)
+let router t = t.router
+let counters t = t.counters
+
+let resolve t cap = Router.resolve t.router cap
+
+let shard_of_cap t cap =
+  let cap = Router.resolve t.router cap in
+  match Router.shard_of_port t.router cap.Capability.port with
+  | Some i -> Ok (cap, t.shards.(i))
+  | None -> Error Errors.Invalid_capability
+
+let place t = t.shards.(Router.place t.router)
+
+let create_file_direct t ?(data = Bytes.empty) () =
+  Server.create_file (Shard.server (place t)) ~data ()
+
+let note_load t ~shard file =
+  Stats.Counter.incr t.counters (Printf.sprintf "shard%d.commits" (Shard.id shard));
+  let key = (Capability.port_to_int file.Capability.port, file.Capability.obj) in
+  match Hashtbl.find_opt t.loads key with
+  | Some l -> l.count <- l.count + 1
+  | None -> Hashtbl.replace t.loads key { cap = file; count = 1 }
+
+let drain_loads t =
+  let entries = Det.fold_sorted (fun _ l acc -> (l.cap, l.count) :: acc) t.loads [] in
+  Hashtbl.reset t.loads;
+  List.rev entries
+
+let shard_commits t i = Stats.Counter.get t.counters (Printf.sprintf "shard%d.commits" i)
+let migrations t = Stats.Counter.get t.counters "migrations"

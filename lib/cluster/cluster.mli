@@ -1,0 +1,72 @@
+(** A sharded file service: N independent {!Shard}s (each its own server,
+    store and RPC host) plus the client-side {!Router} and the shared
+    bookkeeping the {!Rebalancer} feeds on.
+
+    There is no coordinator and no cross-shard protocol: every file lives
+    entirely on one shard, capabilities route by port, and the only
+    cross-shard operation — {!Migration.migrate} — is built from ordinary
+    single-shard optimistic commits. *)
+
+type t
+
+val default_base_seed : int
+(** Equal to the bare {!Afs_core.Server} default seed, so shard 0 of any
+    cluster mints the same capabilities a bare server would. *)
+
+val create :
+  ?latency_ms:float ->
+  ?proc_ms:float ->
+  ?cache_capacity:int ->
+  ?base_seed:int ->
+  ?trace:Afs_trace.Trace.t ->
+  Afs_sim.Engine.t ->
+  shards:int ->
+  t
+(** [shards] ≥ 1 servers with well-separated seeds (shard [i] gets
+    [base_seed + i·2^32]), all sharing [trace] — their spans stay
+    separable through each server's ["shard-<i>"] name label. *)
+
+val engine : t -> Afs_sim.Engine.t
+val nshards : t -> int
+val shard : t -> int -> Shard.t
+val shards : t -> Shard.t list
+
+val conn : t -> int -> Afs_rpc.Remote.conn
+(** The cluster's own administrative connection to shard [i] (used by
+    migration and the rebalancer; clients hold their own). *)
+
+val router : t -> Router.t
+val counters : t -> Afs_util.Stats.Counter.t
+
+val resolve : t -> Afs_util.Capability.t -> Afs_util.Capability.t
+
+val shard_of_cap :
+  t -> Afs_util.Capability.t -> (Afs_util.Capability.t * Shard.t) Afs_core.Errors.r
+(** Resolve forwards, then route by port: the capability as currently
+    believed plus its owning shard. [Invalid_capability] for a port no
+    shard owns. *)
+
+val place : t -> Shard.t
+(** Round-robin placement for a new file. *)
+
+val create_file_direct : t -> ?data:bytes -> unit -> Afs_util.Capability.t Afs_core.Errors.r
+(** Direct (non-RPC) file creation on the next placement shard — for
+    workload setup outside the simulation, mirroring how bare-server
+    harnesses call {!Afs_core.Server.create_file} directly. *)
+
+(** {2 Load accounting}
+
+    Committed-update counts, kept cluster-side because commits from every
+    client must aggregate somewhere the {!Rebalancer} can see. Per-shard
+    totals live in {!counters} under ["shard<i>.commits"]; per-file counts
+    accumulate in a window drained by each rebalancer step. *)
+
+val note_load : t -> shard:Shard.t -> Afs_util.Capability.t -> unit
+(** Record one committed update of [file] on [shard]. *)
+
+val drain_loads : t -> (Afs_util.Capability.t * int) list
+(** Per-file committed-update counts since the last drain, in a
+    deterministic (port, obj) order; resets the window. *)
+
+val shard_commits : t -> int -> int
+val migrations : t -> int

@@ -1,0 +1,73 @@
+(** Location-transparent client over a {!Cluster}: the {!Afs_core.Client}
+    surface, but every operation first routes by port, chases cached
+    forwards, and learns new ones from [Moved] answers — so callers keep
+    using a migrated file's old capability indefinitely.
+
+    Must run inside a simulation process (all operations are RPCs). *)
+
+type t
+
+val connect : Cluster.t -> t
+(** A client with its own connection to every shard (so per-client RPC
+    failover state stays per-client, as with bare {!Afs_rpc.Remote}). *)
+
+val cluster : t -> Cluster.t
+
+module Txn : sig
+  (** Operations bound to one uncommitted version on its owning shard. *)
+
+  type t
+
+  val version : t -> Afs_util.Capability.t
+
+  val attempt : t -> int
+  (** 1 on the first try, incremented per conflict redo (via {!update}). *)
+
+  val read : t -> Afs_util.Pagepath.t -> bytes Afs_core.Errors.r
+  val write : t -> Afs_util.Pagepath.t -> bytes -> unit Afs_core.Errors.r
+
+  val insert :
+    t -> parent:Afs_util.Pagepath.t -> index:int -> ?data:bytes -> unit ->
+    Afs_util.Pagepath.t Afs_core.Errors.r
+
+  val remove : t -> parent:Afs_util.Pagepath.t -> index:int -> unit Afs_core.Errors.r
+end
+
+type handle = { file : Afs_util.Capability.t; shard : Shard.t; txn : Txn.t }
+(** An open transaction: the capability as resolved (post-forwarding) and
+    the shard it landed on. *)
+
+val begin_txn :
+  ?respect_hints:bool -> ?updater_port:int -> ?attempt:int -> t ->
+  Afs_util.Capability.t -> handle Afs_core.Errors.r
+(** Route, chase forwards (learning each hop), and open a version on the
+    owning shard. Errors other than [Moved] propagate ([Locked_out]
+    back-off policy is the caller's, as in the bare-server harnesses). *)
+
+val commit : t -> handle -> unit Afs_core.Errors.r
+(** Commit on the owning shard; on success records the file's load for
+    the {!Rebalancer}. *)
+
+val abort : handle -> unit Afs_core.Errors.r
+
+exception Give_up of Afs_core.Errors.t
+(** Raise inside an {!update} body to abort without retrying. *)
+
+val update :
+  ?retries:int -> ?respect_hints:bool -> ?updater_port:int -> t ->
+  Afs_util.Capability.t -> (Txn.t -> 'a Afs_core.Errors.r) -> 'a Afs_core.Errors.r
+(** {!Afs_core.Client.update}'s redo loop, cluster-wide: on [Conflict]
+    (from the body or from commit) the whole body re-runs against a fresh
+    version — which may land on a {e different} shard if the file migrated
+    between attempts. Other errors abort the version and propagate. *)
+
+val current_version :
+  t -> Afs_util.Capability.t ->
+  (Afs_util.Capability.t * Shard.t * Afs_util.Capability.t) Afs_core.Errors.r
+(** [(resolved_file, owning_shard, version_cap)] after forward-chasing. *)
+
+val read_current :
+  t -> Afs_util.Capability.t -> Afs_util.Pagepath.t -> bytes Afs_core.Errors.r
+
+val create_file : ?data:bytes -> t -> Afs_util.Capability.t Afs_core.Errors.r
+(** New file on the round-robin placement shard. *)

@@ -1,0 +1,37 @@
+module Capability = Afs_util.Capability
+
+let prefix = "afs-moved!"
+
+let encode (cap : Capability.t) =
+  Bytes.of_string
+    (Printf.sprintf "%s%d:%d:%d:%d" prefix
+       (Capability.port_to_int cap.Capability.port)
+       cap.Capability.obj
+       (Capability.rights_to_int cap.Capability.rights)
+       cap.Capability.check)
+
+let decode data =
+  let s = Bytes.to_string data in
+  let plen = String.length prefix in
+  if String.length s <= plen || not (String.equal (String.sub s 0 plen) prefix) then None
+  else
+    match String.split_on_char ':' (String.sub s plen (String.length s - plen)) with
+    | [ p; o; r; c ] -> (
+        match
+          ( int_of_string_opt p,
+            int_of_string_opt o,
+            int_of_string_opt r,
+            int_of_string_opt c )
+        with
+        | Some p, Some o, Some r, Some c when p >= 0 && o >= 0 && r >= 0 ->
+            Some
+              {
+                Capability.port = Capability.port_of_int p;
+                obj = o;
+                rights = Capability.rights_of_int r;
+                check = c;
+              }
+        | _ -> None)
+    | _ -> None
+
+let is_marker data = Option.is_some (decode data)

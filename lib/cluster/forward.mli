@@ -1,0 +1,23 @@
+(** Forward-marker codec.
+
+    When a shard migration commits, the old home keeps the file as a
+    {e tombstone}: a final committed version whose root data is a marker
+    encoding the file's new capability. Any later attempt to open the file
+    there decodes the marker and answers {!Afs_core.Errors.Moved}, so
+    clients chase the forward pointer with no central directory on the hot
+    path. The marker is ordinary page data — committing it is an ordinary
+    optimistic commit, which is what makes the flip safe (see
+    {!Migration}). *)
+
+val prefix : string
+(** Printable sentinel the marker starts with; ordinary file data that
+    happens to start with it would shadow the file (the same caveat as any
+    in-band signalling), so the prefix is chosen to be improbable. *)
+
+val encode : Afs_util.Capability.t -> bytes
+(** Root-page data naming the file's new home. *)
+
+val decode : bytes -> Afs_util.Capability.t option
+(** [Some cap] iff the bytes are a well-formed marker. *)
+
+val is_marker : bytes -> bool

@@ -1,0 +1,59 @@
+module Capability = Afs_util.Capability
+module Stats = Afs_util.Stats
+
+type t = { cluster : Cluster.t; threshold : float; max_moves : int }
+
+let create ?(threshold = 2.0) ?(max_moves = 2) cluster = { cluster; threshold; max_moves }
+
+let hottest_coldest per_shard =
+  let hot = ref 0 and cold = ref 0 in
+  Array.iteri
+    (fun i load ->
+      if load > per_shard.(!hot) then hot := i;
+      if load < per_shard.(!cold) then cold := i)
+    per_shard;
+  (!hot, !cold)
+
+let step t =
+  let n = Cluster.nshards t.cluster in
+  let loads = Cluster.drain_loads t.cluster in
+  let per_shard = Array.make n 0 in
+  let by_shard = Array.make n [] in
+  List.iter
+    (fun ((cap : Capability.t), count) ->
+      match Router.shard_of_port (Cluster.router t.cluster) cap.Capability.port with
+      | Some i ->
+          per_shard.(i) <- per_shard.(i) + count;
+          by_shard.(i) <- (cap, count) :: by_shard.(i)
+      | None -> ())
+    loads;
+  let hot, cold = hottest_coldest per_shard in
+  let skewed =
+    n >= 2
+    && float_of_int per_shard.(hot)
+       > t.threshold *. float_of_int (max 1 per_shard.(cold))
+  in
+  if not skewed then 0
+  else begin
+    (* Hottest files first; capability order breaks count ties, so the
+       plan is a pure function of the drained window. *)
+    let candidates =
+      List.sort
+        (fun (a, ca) (b, cb) ->
+          if ca <> cb then compare cb ca else Capability.compare a b)
+        by_shard.(hot)
+    in
+    let gap = per_shard.(hot) - per_shard.(cold) in
+    let rec move moved shifted = function
+      | [] -> moved
+      | _ when moved >= t.max_moves -> moved
+      | _ when 2 * shifted >= gap -> moved (* enough to level the pair *)
+      | (cap, count) :: rest -> (
+          match Migration.migrate t.cluster ~file:cap ~dst:cold with
+          | Ok _ ->
+              Stats.Counter.incr (Cluster.counters t.cluster) "rebalancer.moves";
+              move (moved + 1) (shifted + count) rest
+          | Error _ -> move moved shifted rest)
+    in
+    move 0 0 candidates
+  end

@@ -1,0 +1,21 @@
+(** Load-driven placement: watch the per-file committed-update counters
+    the cluster accumulates ({!Cluster.note_load}) and migrate hot files
+    off overloaded shards.
+
+    Policy, deliberately simple and deterministic: each {!step} drains the
+    load window; if the busiest shard's committed-update count exceeds
+    [threshold] × the idlest's, it moves that shard's hottest files (count
+    descending, capability order breaking ties) to the idlest shard —
+    stopping after [max_moves], or sooner once the shifted load is enough
+    to level the pair. Files that refuse to move (live writers winning
+    every flip race) are skipped; they stay correct where they are and
+    remain candidates for the next step. *)
+
+type t
+
+val create : ?threshold:float -> ?max_moves:int -> Cluster.t -> t
+(** Defaults: [threshold] 2.0, [max_moves] 2 per step. *)
+
+val step : t -> int
+(** One rebalancing pass; returns the number of files migrated. Must run
+    inside a simulation process (migrations are RPC conversations). *)

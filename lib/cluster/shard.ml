@@ -1,0 +1,70 @@
+module Capability = Afs_util.Capability
+module Pagepath = Afs_util.Pagepath
+module Store = Afs_core.Store
+module Server = Afs_core.Server
+module Errors = Afs_core.Errors
+module Remote = Afs_rpc.Remote
+
+type t = { id : int; store : Store.t; server : Server.t; host : Remote.host }
+
+let moved_target server file =
+  match Server.current_version server file with
+  | Error _ -> None
+  | Ok version -> (
+      match Server.read_page server version Pagepath.root with
+      | Ok data -> Forward.decode data
+      | Error _ -> None)
+
+(* The wrapper runs atomically inside the host's single simulated event,
+   so the marker check, the version creation and the root touch are
+   indivisible: no commit (in particular no migration flip) can slip
+   between them. *)
+let location_check server base (req : Remote.request) : Remote.response =
+  match req with
+  | Remote.Current_version file -> (
+      match moved_target server file with
+      | Some target -> Error (Errors.Moved target)
+      | None -> base req)
+  | Remote.Create_version { file; _ } -> (
+      match moved_target server file with
+      | Some target -> Error (Errors.Moved target)
+      | None -> (
+          match base req with
+          | Ok (Remote.Cap version) as ok ->
+              (* Record R on the fresh version's root: the location check
+                 becomes part of every cluster transaction's read set, so a
+                 committed migration flip (which writes the root) conflicts
+                 with every version opened before it. *)
+              ignore (Server.read_page server version Pagepath.root);
+              ok
+          | other -> other))
+  | _ -> base req
+
+let create ?latency_ms ?proc_ms ?cache_capacity ?trace engine ~id ~seed =
+  let store = Store.memory () in
+  let name = Printf.sprintf "shard-%d" id in
+  let server = Server.create ?cache_capacity ~seed ~name ?trace store in
+  let host =
+    Remote.host ?latency_ms ?proc_ms ~wrap:(location_check server) engine ~name server
+  in
+  { id; store; server; host }
+
+let id t = t.id
+let store t = t.store
+let server t = t.server
+let host t = t.host
+let name t = Server.name t.server
+let port t = Server.port t.server
+let up t = Remote.host_up t.host
+let crash t = Remote.crash_host t.host
+
+let recover t =
+  Remote.restart_host t.host;
+  match (t.store.Store.list_blocks) () with
+  | Error e -> Error (Errors.Store_failure e)
+  | Ok blocks -> Server.recover_from_blocks t.server blocks
+
+let resident_files t =
+  List.filter
+    (fun f -> Option.is_none (moved_target t.server f))
+    (List.sort Capability.compare (Server.list_files t.server))

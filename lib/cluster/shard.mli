@@ -1,0 +1,57 @@
+(** One cluster member: a {!Afs_core.Server} over its own private store,
+    exposed through an {!Afs_rpc.Remote} host whose handler is wrapped
+    with the cluster's location check.
+
+    The wrap does two things, both inside the host's single simulated
+    event (so they are indivisible from the request they decorate):
+
+    - [Current_version] / [Create_version] on a file whose current root
+      is a forward marker answer [Moved target] instead of serving the
+      tombstone;
+    - after a successful [Create_version] it reads the new version's root,
+      recording [R] there. That makes the location check part of every
+      cluster transaction's read set: a migration flip writes the root, so
+      its commit conflicts with every version opened before the flip — the
+      invariant {!Migration} relies on.
+
+    Every other request passes through untouched, which is why a
+    single-shard cluster is outcome-identical to a bare server for
+    child-page workloads (the extra [R] on the root only matters when
+    somebody writes the root, and only migrations do). *)
+
+type t
+
+val create :
+  ?latency_ms:float ->
+  ?proc_ms:float ->
+  ?cache_capacity:int ->
+  ?trace:Afs_trace.Trace.t ->
+  Afs_sim.Engine.t ->
+  id:int ->
+  seed:int ->
+  t
+(** A shard named ["shard-<id>"] with its own memory store and capability
+    [seed] (distinct seeds give distinct ports — the routing key). *)
+
+val id : t -> int
+val store : t -> Afs_core.Store.t
+val server : t -> Afs_core.Server.t
+val host : t -> Afs_rpc.Remote.host
+val name : t -> string
+val port : t -> Afs_util.Capability.port
+val up : t -> bool
+
+val crash : t -> unit
+(** Kill the RPC endpoint and lose the server's volatile state. *)
+
+val recover : t -> int Afs_core.Errors.r
+(** Restart the endpoint and rebuild the file table from the store's
+    blocks (paper §4 recovery); returns the number of files recovered. *)
+
+val moved_target : Afs_core.Server.t -> Afs_util.Capability.t -> Afs_util.Capability.t option
+(** [Some cap] iff the file's current committed root is a forward marker
+    — i.e. the file has migrated away and [cap] is its new home. *)
+
+val resident_files : t -> Afs_util.Capability.t list
+(** Files whose current version actually lives here (tombstones of
+    migrated-away files excluded), in capability order. *)

@@ -9,6 +9,7 @@ type t =
   | Page_too_large of { bytes : int; limit : int }
   | Locked_out of { port : int }
   | Not_superfile
+  | Moved of Afs_util.Capability.t
   | Store_failure of string
 
 let pp ppf = function
@@ -24,6 +25,7 @@ let pp ppf = function
   | Page_too_large { bytes; limit } -> Fmt.pf ppf "page of %d bytes exceeds %d" bytes limit
   | Locked_out { port } -> Fmt.pf ppf "locked by update holding port %d" port
   | Not_superfile -> Fmt.string ppf "file is not a super-file"
+  | Moved cap -> Fmt.pf ppf "file migrated to %a" Afs_util.Capability.pp cap
   | Store_failure msg -> Fmt.pf ppf "store failure: %s" msg
 
 let to_string = Fmt.str "%a" pp

@@ -18,6 +18,11 @@ type t =
       (** A super-file top/inner lock held by a live updater blocks this
           operation (§5.3). *)
   | Not_superfile
+  | Moved of Afs_util.Capability.t
+      (** The file's chain now lives on another server; retry against the
+          capability carried in the error (cluster forwarding). Only the
+          cluster layer's location check raises this — a bare server never
+          does. *)
   | Store_failure of string
       (** The underlying block/stable layer failed. *)
 

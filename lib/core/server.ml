@@ -44,10 +44,11 @@ type t = {
      them from their still-on-disk pages before the GC sweeps. *)
   destroyed : (int, unit) Hashtbl.t;
   counters : Stats.Counter.t;
+  name : string;
   mutable trace : Trace.t;
 }
 
-let create ?(page_cache = true) ?cache_capacity ?(seed = 0xA40EBA) ?ports
+let create ?(page_cache = true) ?cache_capacity ?(seed = 0xA40EBA) ?ports ?(name = "")
     ?(trace = Trace.null) store =
   let port_registry = match ports with Some p -> p | None -> Ports.create () in
   let counters = Stats.Counter.create () in
@@ -62,8 +63,11 @@ let create ?(page_cache = true) ?cache_capacity ?(seed = 0xA40EBA) ?ports
     versions = Hashtbl.create 256;
     destroyed = Hashtbl.create 8;
     counters;
+    name;
     trace;
   }
+
+let name t = t.name
 
 let trace t = t.trace
 let set_trace t tr = t.trace <- tr
@@ -650,7 +654,7 @@ let finish_commit t v =
 
 let commit t cap =
   let* v = mutable_version t cap ~need:Capability.right_commit in
-  Trace.span t.trace ~kind:"commit" (fun () ->
+  Trace.span t.trace ~kind:"commit" ~label:t.name (fun () ->
   (* "First it ascertains that all of V.b's pages are safely on disk." *)
   let* () = Pagestore.flush t.ps in
   let vb = v.vblock in

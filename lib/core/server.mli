@@ -29,6 +29,7 @@ val create :
   ?cache_capacity:int ->
   ?seed:int ->
   ?ports:Ports.t ->
+  ?name:string ->
   ?trace:Afs_trace.Trace.t ->
   Store.t ->
   t
@@ -38,7 +39,11 @@ val create :
     eviction and write-back counters land in this server's {!counters}.
     With a [trace], every commit runs inside a [commit] span that records
     each test-and-set of a base's commit reference, the pretest /
-    serialise / merge phases and the final outcome. *)
+    serialise / merge phases and the final outcome; [name] (e.g. the
+    owning cluster shard's id) becomes the span's label, so per-shard
+    commit traffic is separable in a cluster trace. *)
+
+val name : t -> string
 
 val trace : t -> Afs_trace.Trace.t
 val set_trace : t -> Afs_trace.Trace.t -> unit

@@ -2,11 +2,66 @@ module Capability = Afs_util.Capability
 module Pagepath = Afs_util.Pagepath
 module Wire = Afs_util.Wire
 module Client = Afs_core.Client
+module Cluster_client = Afs_cluster.Cluster_client
 module Errors = Afs_core.Errors
 
 open Errors
 
-type t = { client : Client.t; dir : Capability.t; buckets : int }
+(* {2 The storage access a directory needs}
+
+   A first-class record rather than a functor: the polymorphic [a_update]
+   field is the whole interface burden, and a record value can be built
+   from anything — a bare client, a cluster client, a test double. *)
+
+type txn_ops = {
+  t_read : Pagepath.t -> bytes Errors.r;
+  t_write : Pagepath.t -> bytes -> unit Errors.r;
+  t_insert : parent:Pagepath.t -> index:int -> Pagepath.t Errors.r;
+}
+
+type access = {
+  a_create_file : bytes -> Capability.t Errors.r;
+  a_update : 'a. Capability.t -> (txn_ops -> 'a Errors.r) -> 'a Errors.r;
+  a_read_current : Capability.t -> Pagepath.t -> bytes Errors.r;
+  a_read_cached : Capability.t -> Pagepath.t -> bytes Errors.r;
+}
+
+let client_access client =
+  {
+    a_create_file = (fun data -> Client.create_file client ~data ());
+    a_update =
+      (fun dir body ->
+        Client.update client dir (fun txn ->
+            body
+              {
+                t_read = Client.Txn.read txn;
+                t_write = Client.Txn.write txn;
+                t_insert = (fun ~parent ~index -> Client.Txn.insert txn ~parent ~index ());
+              }));
+    a_read_current = Client.read_current client;
+    a_read_cached = Client.read_cached client;
+  }
+
+(* No per-client page cache on the cluster path (yet): cached reads are
+   current reads. Correct, just one validation round trip dearer. *)
+let cluster_access client =
+  {
+    a_create_file = (fun data -> Cluster_client.create_file ~data client);
+    a_update =
+      (fun dir body ->
+        Cluster_client.update client dir (fun txn ->
+            body
+              {
+                t_read = Cluster_client.Txn.read txn;
+                t_write = Cluster_client.Txn.write txn;
+                t_insert =
+                  (fun ~parent ~index -> Cluster_client.Txn.insert txn ~parent ~index ());
+              }));
+    a_read_current = Cluster_client.read_current client;
+    a_read_cached = Cluster_client.read_current client;
+  }
+
+type t = { access : access; dir : Capability.t; buckets : int }
 
 (* {2 Entry encoding} *)
 
@@ -66,37 +121,40 @@ let bucket_path t name = Pagepath.of_list [ bucket_of t name ]
 
 (* {2 Operations} *)
 
-let create client ?(buckets = 16) () =
-  let* dir = Client.create_file client ~data:(encode_meta buckets) () in
+let create_with access ?(buckets = 16) () =
+  let* dir = access.a_create_file (encode_meta buckets) in
   let* () =
-    Client.update client dir (fun txn ->
+    access.a_update dir (fun txn ->
         let rec add i =
           if i >= buckets then Ok ()
           else
-            let* _ = Client.Txn.insert txn ~parent:Pagepath.root ~index:i () in
+            let* _ = txn.t_insert ~parent:Pagepath.root ~index:i in
             add (i + 1)
         in
         add 0)
   in
-  Ok { client; dir; buckets }
+  Ok { access; dir; buckets }
 
-let of_capability client dir =
-  let* meta = Client.read_current client dir Pagepath.root in
+let of_capability_with access dir =
+  let* meta = access.a_read_current dir Pagepath.root in
   let* buckets = decode_meta meta in
-  Ok { client; dir; buckets }
+  Ok { access; dir; buckets }
+
+let create client ?buckets () = create_with (client_access client) ?buckets ()
+let of_capability client dir = of_capability_with (client_access client) dir
 
 let capability t = t.dir
 let buckets t = t.buckets
 
 let update_bucket t name f =
-  Client.update t.client t.dir (fun txn ->
+  t.access.a_update t.dir (fun txn ->
       let path = bucket_path t name in
-      let* data = Client.Txn.read txn path in
+      let* data = txn.t_read path in
       let* entries = decode_entries data in
       match f entries with
       | None -> Ok false (* No change needed. *)
       | Some entries' ->
-          let* () = Client.Txn.write txn path (encode_entries entries') in
+          let* () = txn.t_write path (encode_entries entries') in
           Ok true)
 
 let enter t name cap =
@@ -107,7 +165,7 @@ let enter t name cap =
   Ok ()
 
 let lookup t name =
-  let* data = Client.read_cached t.client t.dir (bucket_path t name) in
+  let* data = t.access.a_read_cached t.dir (bucket_path t name) in
   let* entries = decode_entries data in
   Ok (List.assoc_opt name entries)
 
@@ -119,7 +177,7 @@ let list_names t =
   let rec go i acc =
     if i >= t.buckets then Ok (List.sort String.compare acc)
     else
-      let* data = Client.read_cached t.client t.dir (Pagepath.of_list [ i ]) in
+      let* data = t.access.a_read_cached t.dir (Pagepath.of_list [ i ]) in
       let* entries = decode_entries data in
       go (i + 1) (List.rev_append (List.map fst entries) acc)
   in

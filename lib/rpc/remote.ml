@@ -12,8 +12,10 @@ type request =
   | Write_page of Capability.t * Pagepath.t * bytes
   | Insert_page of { version : Capability.t; parent : Pagepath.t; index : int; data : bytes }
   | Remove_page of { version : Capability.t; parent : Pagepath.t; index : int }
+  | Page_info of Capability.t * Pagepath.t
   | Commit of Capability.t
   | Abort_version of Capability.t
+  | Destroy_file of Capability.t
   | Validate_cache of { file : Capability.t; basis_block : int }
 
 type value =
@@ -21,6 +23,7 @@ type value =
   | Data of bytes
   | Unit
   | Path of Pagepath.t
+  | Info of { nrefs : int; dsize : int }
   | Validation of Cache.validation
 
 type response = (value, Errors.t) result
@@ -38,8 +41,13 @@ let handle server : request -> response = function
       Result.map (fun p -> Path p) (Server.insert_page server version ~parent ~index ~data ())
   | Remove_page { version; parent; index } ->
       Result.map (fun () -> Unit) (Server.remove_page server version ~parent ~index)
+  | Page_info (version, path) ->
+      Result.map
+        (fun (i : Server.page_info) -> Info { nrefs = i.Server.nrefs; dsize = i.Server.dsize })
+        (Server.page_info server version path)
   | Commit version -> Result.map (fun () -> Unit) (Server.commit server version)
   | Abort_version version -> Result.map (fun () -> Unit) (Server.abort_version server version)
+  | Destroy_file file -> Result.map (fun () -> Unit) (Server.destroy_file server file)
   | Validate_cache { file; basis_block } ->
       Result.map (fun v -> Validation v) (Cache.server_validate server ~file ~basis_block)
 
@@ -51,17 +59,20 @@ let request_kind : request -> string = function
   | Write_page _ -> "write_page"
   | Insert_page _ -> "insert_page"
   | Remove_page _ -> "remove_page"
+  | Page_info _ -> "page_info"
   | Commit _ -> "commit"
   | Abort_version _ -> "abort_version"
+  | Destroy_file _ -> "destroy_file"
   | Validate_cache _ -> "validate_cache"
 
 type host = { rpc : (request, response) Rpc.t; server : Server.t }
 
-let host ?latency_ms ?proc_ms ?disks engine ~name server =
+let host ?latency_ms ?proc_ms ?disks ?wrap engine ~name server =
+  let handler =
+    match wrap with None -> handle server | Some w -> w (handle server)
+  in
   {
-    rpc =
-      Rpc.serve ?latency_ms ?proc_ms ?disks ~describe:request_kind engine ~name
-        ~handler:(handle server);
+    rpc = Rpc.serve ?latency_ms ?proc_ms ?disks ~describe:request_kind engine ~name ~handler;
     server;
   }
 
@@ -89,8 +100,8 @@ let connect ?(balance = false) hosts =
    flush. *)
 let rotates_boundary = function
   | Create_file _ | Create_version _ | Current_version _ -> true
-  | Read_page _ | Write_page _ | Insert_page _ | Remove_page _ | Commit _ | Abort_version _
-  | Validate_cache _ ->
+  | Read_page _ | Write_page _ | Insert_page _ | Remove_page _ | Page_info _ | Commit _
+  | Abort_version _ | Destroy_file _ | Validate_cache _ ->
       false
 
 let call conn req =
@@ -142,8 +153,15 @@ let insert_page conn version ~parent ~index ~data =
 let remove_page conn version ~parent ~index =
   as_unit (call conn (Remove_page { version; parent; index }))
 
+let page_info conn version path =
+  match call conn (Page_info (version, path)) with
+  | Ok (Info { nrefs; dsize }) -> Ok (nrefs, dsize)
+  | Ok _ -> type_error
+  | Error e -> Error e
+
 let commit conn version = as_unit (call conn (Commit version))
 let abort_version conn version = as_unit (call conn (Abort_version version))
+let destroy_file conn file = as_unit (call conn (Destroy_file file))
 
 let validate_cache conn ~file ~basis_block =
   as_validation (call conn (Validate_cache { file; basis_block }))

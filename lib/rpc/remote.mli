@@ -24,8 +24,10 @@ type request =
       data : bytes;
     }
   | Remove_page of { version : Afs_util.Capability.t; parent : Afs_util.Pagepath.t; index : int }
+  | Page_info of Afs_util.Capability.t * Afs_util.Pagepath.t
   | Commit of Afs_util.Capability.t
   | Abort_version of Afs_util.Capability.t
+  | Destroy_file of Afs_util.Capability.t
   | Validate_cache of { file : Afs_util.Capability.t; basis_block : int }
 
 val request_kind : request -> string
@@ -36,9 +38,14 @@ type value =
   | Data of bytes
   | Unit
   | Path of Afs_util.Pagepath.t
+  | Info of { nrefs : int; dsize : int }
   | Validation of Afs_core.Cache.validation
 
 type response = (value, Afs_core.Errors.t) result
+
+val handle : Afs_core.Server.t -> request -> response
+(** The host-side dispatch, exposed so layers above (the cluster) can wrap
+    it with their own checks while reusing the request vocabulary. *)
 
 type host
 
@@ -46,10 +53,16 @@ val host :
   ?latency_ms:float ->
   ?proc_ms:float ->
   ?disks:Afs_disk.Disk.t list ->
+  ?wrap:((request -> response) -> request -> response) ->
   Afs_sim.Engine.t ->
   name:string ->
   Afs_core.Server.t ->
   host
+(** [wrap] interposes on the host's handler (it receives the base
+    {!handle} applied to the server). The whole wrapped handler still runs
+    atomically within one simulated event, so a wrapper's pre/post work is
+    indivisible from the request it decorates — the property the cluster's
+    location check depends on. *)
 
 val crash_host : host -> unit
 (** RPC endpoint dies and the server loses its volatile state (page cache,
@@ -90,8 +103,14 @@ val remove_page :
   conn -> Afs_util.Capability.t -> parent:Afs_util.Pagepath.t -> index:int ->
   unit Afs_core.Errors.r
 
+val page_info :
+  conn -> Afs_util.Capability.t -> Afs_util.Pagepath.t -> (int * int) Afs_core.Errors.r
+(** [(nrefs, dsize)] of the page — structure discovery without recording
+    any access flags (the migration copy walk uses it). *)
+
 val commit : conn -> Afs_util.Capability.t -> unit Afs_core.Errors.r
 val abort_version : conn -> Afs_util.Capability.t -> unit Afs_core.Errors.r
+val destroy_file : conn -> Afs_util.Capability.t -> unit Afs_core.Errors.r
 
 val validate_cache :
   conn -> file:Afs_util.Capability.t -> basis_block:int ->

@@ -24,7 +24,9 @@ type report = {
   throughput_per_s : float;
   mean_latency_ms : float;
   p50_ms : float;
+  p95_ms : float;
   p99_ms : float;
+  retry_histogram : (int * int) list;
 }
 
 let pp_report ppf r =
@@ -32,17 +34,26 @@ let pp_report ppf r =
     r.sut_name r.committed r.throughput_per_s r.given_up r.attempts r.mean_latency_ms r.p99_ms
 
 let header_row =
-  Printf.sprintf "%-14s %10s %9s %9s %10s %10s %10s %10s" "system" "committed" "given-up"
-    "attempts" "thru/s" "mean-ms" "p50-ms" "p99-ms"
+  Printf.sprintf "%-14s %10s %9s %9s %10s %10s %10s %10s %10s" "system" "committed"
+    "given-up" "attempts" "thru/s" "mean-ms" "p50-ms" "p95-ms" "p99-ms"
 
 let report_row r =
-  Printf.sprintf "%-14s %10d %9d %9d %10.1f %10.2f %10.2f %10.2f" r.sut_name r.committed
-    r.given_up r.attempts r.throughput_per_s r.mean_latency_ms r.p50_ms r.p99_ms
+  Printf.sprintf "%-14s %10d %9d %9d %10.1f %10.2f %10.2f %10.2f %10.2f" r.sut_name
+    r.committed r.given_up r.attempts r.throughput_per_s r.mean_latency_ms r.p50_ms r.p95_ms
+    r.p99_ms
+
+let retry_histogram_row r =
+  let cell (attempts, count) = Printf.sprintf "%dx:%d" attempts count in
+  String.concat " " (List.map cell r.retry_histogram)
 
 let run engine config sut ~gen =
   let committed = ref 0 in
   let given_up = ref 0 in
   let attempts = ref 0 in
+  (* Per-transaction attempt counts; slot [max_retries + 1] absorbs any
+     overshoot so the array is total (an array, not a Hashtbl: the report
+     must not depend on hash order). *)
+  let retry_counts = Array.make (config.max_retries + 2) 0 in
   let latency = Stats.Histogram.create () in
   let latency_sum = Stats.Summary.create () in
   let master_rng = Xrng.create config.seed in
@@ -67,6 +78,8 @@ let run engine config sut ~gen =
             Trace.close_span tr span;
             let dt = Engine.now engine -. t0 in
             attempts := !attempts + result.Sut.attempts;
+            let slot = min result.Sut.attempts (config.max_retries + 1) in
+            retry_counts.(slot) <- retry_counts.(slot) + 1;
             if result.Sut.committed then begin
               incr committed;
               Stats.Histogram.add latency dt;
@@ -93,5 +106,10 @@ let run engine config sut ~gen =
     throughput_per_s = float_of_int !committed /. (elapsed_ms /. 1000.0);
     mean_latency_ms = Stats.Summary.mean latency_sum;
     p50_ms = Stats.Histogram.percentile latency 0.50;
+    p95_ms = Stats.Histogram.percentile latency 0.95;
     p99_ms = Stats.Histogram.percentile latency 0.99;
+    retry_histogram =
+      List.filter
+        (fun (_, count) -> count > 0)
+        (List.mapi (fun i count -> (i, count)) (Array.to_list retry_counts));
   }

@@ -25,7 +25,13 @@ type report = {
   throughput_per_s : float;  (** Committed transactions per simulated second. *)
   mean_latency_ms : float;
   p50_ms : float;
+  p95_ms : float;
   p99_ms : float;
+  retry_histogram : (int * int) list;
+      (** [(attempts, transactions)] pairs, ascending, zero counts
+          omitted: how many transactions finished (either way) after
+          exactly that many executions. The final slot
+          [max_retries + 1] absorbs any overshoot. *)
 }
 
 val pp_report : report Fmt.t
@@ -34,6 +40,9 @@ val report_row : report -> string
 (** Fixed-width table row (see {!header_row}). *)
 
 val header_row : string
+
+val retry_histogram_row : report -> string
+(** The retry histogram as ["1x:412 2x:31 3x:2"]-style cells. *)
 
 val run :
   Afs_sim.Engine.t -> config -> Sut.t -> gen:Workload.generator -> report

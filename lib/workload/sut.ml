@@ -152,6 +152,92 @@ let afs_remote ?(name = "afs-occ-rpc") ?(respect_hints = false) conn ~fallback ~
     read_page;
   }
 
+(* {2 Amoeba file service over a shard cluster}
+
+   The exec loop mirrors [afs_remote] step for step — same RPC sequence,
+   same Locked_out back-off, same attempt accounting — with routing (a
+   pure local port lookup, no simulated time) in front of each
+   create_version. That structural identity is what makes a one-shard
+   cluster's driver report bit-identical to the bare remote SUT's. *)
+
+let afs_cluster ?(name = "afs-occ-cluster") ?(respect_hints = false) client ~files =
+  let module CC = Afs_cluster.Cluster_client in
+  let cluster = CC.cluster client in
+  let run_ops txn ops =
+    let rec go = function
+      | [] -> Ok ()
+      | Read i :: rest -> (
+          match CC.Txn.read txn (page_path i) with
+          | Ok _ -> go rest
+          | Error _ as e -> Result.map (fun _ -> ()) e)
+      | Write (i, data) :: rest -> (
+          match CC.Txn.write txn (page_path i) data with
+          | Ok () -> go rest
+          | Error _ as e -> e)
+      | Rmw (i, f) :: rest -> (
+          match CC.Txn.read txn (page_path i) with
+          | Error _ as e -> Result.map (fun _ -> ()) e
+          | Ok v -> (
+              match CC.Txn.write txn (page_path i) (f v) with
+              | Ok () -> go rest
+              | Error _ as e -> e))
+    in
+    go ops
+  in
+  let exec spec ~max_retries =
+    let file = files.(spec.file) in
+    let rec attempt n =
+      match CC.begin_txn ~respect_hints ~attempt:n client file with
+      | Error (Errors.Locked_out _) ->
+          if n < max_retries then begin
+            Proc.delay 5.0;
+            attempt (n + 1)
+          end
+          else { committed = false; attempts = n }
+      | Error e -> fatal_error "afs_cluster create_version" e
+      | Ok h -> (
+          match run_ops h.CC.txn spec.ops with
+          | Error e ->
+              ignore (CC.abort h);
+              fatal_error "afs_cluster ops" e
+          | Ok () -> (
+              match CC.commit client h with
+              | Ok () -> { committed = true; attempts = n }
+              | Error Errors.Conflict ->
+                  if n < max_retries then attempt (n + 1)
+                  else { committed = false; attempts = n }
+              | Error e -> fatal_error "afs_cluster commit" e))
+    in
+    attempt 1
+  in
+  (* Checker-side reads go straight to the owning server, chasing any
+     tombstones the router has not learned about. *)
+  let read_page file page =
+    let rec locate cap hops =
+      match Afs_cluster.Cluster.shard_of_cap cluster cap with
+      | Error e -> fatal_error "afs_cluster locate" e
+      | Ok (cap, shard) -> (
+          let server = Afs_cluster.Shard.server shard in
+          match Afs_cluster.Shard.moved_target server cap with
+          | Some target when hops < 16 -> locate target (hops + 1)
+          | Some _ | None -> (server, cap))
+    in
+    let server, cap = locate files.(file) 0 in
+    let vcap = fatal "current_version" (Server.current_version server cap) in
+    fatal "read_page" (Server.read_page server vcap (page_path page))
+  in
+  let stats () =
+    Afs_util.Stats.Counter.to_list (Afs_cluster.Cluster.counters cluster)
+    @ List.concat_map
+        (fun s ->
+          let prefix = Afs_cluster.Shard.name s ^ "." in
+          List.map
+            (fun (k, v) -> (prefix ^ k, v))
+            (Afs_util.Stats.Counter.to_list (Server.counters (Afs_cluster.Shard.server s))))
+        (Afs_cluster.Cluster.shards cluster)
+  in
+  { name; exec; stats; read_page }
+
 (* {2 Remote execution of baseline operations}
 
    When an engine is supplied, each backend operation becomes one request

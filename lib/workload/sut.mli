@@ -55,6 +55,19 @@ val afs_remote :
     [respect_hints] enables the §5.3 soft-lock scheme on version
     creation. *)
 
+val afs_cluster :
+  ?name:string ->
+  ?respect_hints:bool ->
+  Afs_cluster.Cluster_client.t ->
+  files:Afs_util.Capability.t array ->
+  t
+(** Over a shard cluster, location-transparently: the exec loop is
+    [afs_remote]'s step for step, with a local port-routing lookup in
+    front of each version creation — so a one-shard cluster reports
+    bit-identically to {!afs_remote} on the same engine and seed.
+    Tolerates concurrent migrations: [Moved] answers are chased inside
+    version creation, and invariant reads follow tombstones. *)
+
 val twopl :
   ?remote:Afs_sim.Engine.t ->
   Afs_baseline.Twopl.t -> pages_per_file:int -> retry_wait_ms:float -> t

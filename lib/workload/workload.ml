@@ -72,23 +72,39 @@ let make shape =
     in
     { Sut.file; ops }
 
+let setup_file server shape ~initial =
+  let open Afs_core.Errors in
+  let* cap = Server.create_file server () in
+  let* version = Server.create_version server cap in
+  let rec add_pages p =
+    if p >= shape.pages_per_file then Ok ()
+    else
+      let* _ =
+        Server.insert_page server version ~parent:Pagepath.root ~index:p ~data:initial ()
+      in
+      add_pages (p + 1)
+  in
+  let* () = add_pages 0 in
+  let* () = Server.commit server version in
+  Ok cap
+
 let setup_pages server shape ~initial =
   let open Afs_core.Errors in
   let rec make_files i acc =
     if i >= shape.nfiles then Ok (Array.of_list (List.rev acc))
     else
-      let* cap = Server.create_file server () in
-      let* version = Server.create_version server cap in
-      let rec add_pages p =
-        if p >= shape.pages_per_file then Ok ()
-        else
-          let* _ =
-            Server.insert_page server version ~parent:Pagepath.root ~index:p ~data:initial ()
-          in
-          add_pages (p + 1)
-      in
-      let* () = add_pages 0 in
-      let* () = Server.commit server version in
+      let* cap = setup_file server shape ~initial in
+      make_files (i + 1) (cap :: acc)
+  in
+  make_files 0 []
+
+let setup_cluster cluster shape ~initial =
+  let open Afs_core.Errors in
+  let rec make_files i acc =
+    if i >= shape.nfiles then Ok (Array.of_list (List.rev acc))
+    else
+      let shard = Afs_cluster.Cluster.place cluster in
+      let* cap = setup_file (Afs_cluster.Shard.server shard) shape ~initial in
       make_files (i + 1) (cap :: acc)
   in
   make_files 0 []

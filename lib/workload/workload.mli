@@ -33,5 +33,12 @@ val setup_pages :
 (** Create [nfiles] files, each with [pages_per_file] children of the root
     holding [initial] — the layout every {!Sut} adapter assumes. *)
 
+val setup_cluster :
+  Afs_cluster.Cluster.t -> shape -> initial:bytes ->
+  Afs_util.Capability.t array Afs_core.Errors.r
+(** {!setup_pages} over a cluster: file [i] lands on the round-robin
+    placement shard, built by the same direct-call sequence (so a
+    one-shard cluster ends up in the same state as a bare server). *)
+
 val payload : Afs_util.Xrng.t -> int -> bytes
 (** Random printable payload of the given size. *)

@@ -1,0 +1,7 @@
+(* Fixture: the lib/cluster shape — routing and load tables are Hashtbls,
+   and the rebalancer's migration plan must not depend on their iteration
+   order, so the whole directory sits in hashtbl_strict_units. *)
+
+let plan t = Hashtbl.iter (fun _ cap -> ignore cap) t
+
+let fine t = Hashtbl.find_opt t 42

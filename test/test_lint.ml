@@ -7,7 +7,12 @@ let fixture_config =
     Lint_types.rng_exempt = [ "lint_fixtures/d1_exempt.ml" ];
     protocol_dirs = [ "lint_fixtures" ];
     hashtbl_dirs = [ "lint_fixtures" ];
-    hashtbl_strict_units = [ "lint_fixtures/d1_strict_lru.ml"; "lint_fixtures/d1_strict_trace" ];
+    hashtbl_strict_units =
+      [
+        "lint_fixtures/d1_strict_lru.ml";
+        "lint_fixtures/d1_strict_trace";
+        "lint_fixtures/d1_strict_cluster";
+      ];
     e1_dirs = [ "lint_fixtures" ];
     e1_exempt = [];
     mli_dirs = [];
@@ -30,7 +35,7 @@ let scan = lazy (run [ "lint_fixtures" ])
 let test_parses_everything () =
   let r = Lazy.force scan in
   Alcotest.(check (list (pair string string))) "no unparseable fixtures" [] r.broken;
-  Alcotest.(check int) "all fixtures scanned" 11 r.files_scanned
+  Alcotest.(check int) "all fixtures scanned" 12 r.files_scanned
 
 let test_d1_ambient () =
   check_keys "one finding per ambient source, none in the exempt file"
@@ -65,10 +70,14 @@ let test_d1_strict_directory () =
   check_keys "unordered fold fires under a strict directory"
     [ ("D1", "lint_fixtures/d1_strict_trace/exporter.ml", "Hashtbl.fold") ]
     (in_file "lint_fixtures/d1_strict_trace/exporter.ml" (Lazy.force scan));
+  check_keys "the cluster registry fixture is covered the same way"
+    [ ("D1", "lint_fixtures/d1_strict_cluster/registry.ml", "Hashtbl.iter") ]
+    (in_file "lint_fixtures/d1_strict_cluster/registry.ml" (Lazy.force scan));
   let config = { fixture_config with Lint_types.hashtbl_strict_units = [] } in
   check_keys "silent once the directory is delisted"
     []
-    (in_file "lint_fixtures/d1_strict_trace/exporter.ml" (run ~config [ "lint_fixtures" ]))
+    (in_file "lint_fixtures/d1_strict_trace/exporter.ml" (run ~config [ "lint_fixtures" ])
+    @ in_file "lint_fixtures/d1_strict_cluster/registry.ml" (run ~config [ "lint_fixtures" ]))
 
 let test_p1 () =
   check_keys "each partial idiom fires once"

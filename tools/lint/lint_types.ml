@@ -63,7 +63,8 @@ let default_config =
     rng_exempt = [ "lib/util/xrng.ml" ];
     protocol_dirs = [ "lib" ];
     hashtbl_dirs = [ "lib"; "bin"; "bench"; "examples" ];
-    hashtbl_strict_units = [ "lib/util/lru.ml"; "lib/core/writeset.ml"; "lib/trace" ];
+    hashtbl_strict_units =
+      [ "lib/util/lru.ml"; "lib/core/writeset.ml"; "lib/trace"; "lib/cluster" ];
     e1_dirs = [ "lib" ];
     e1_exempt = [ "lib/sim" ];
     mli_dirs = [ "lib" ];
