@@ -1,5 +1,6 @@
 module Capability = Afs_util.Capability
 module Stats = Afs_util.Stats
+module Det = Afs_util.Det
 
 type t = { cluster : Cluster.t; threshold : float; max_moves : int }
 
@@ -14,14 +15,35 @@ let hottest_coldest per_shard =
     per_shard;
   (!hot, !cold)
 
+(* Attribute each drained entry to the file's *current* residency.
+   Clients learn a move only when a stale capability bounces with Moved,
+   so the drained window routinely carries old-cap entries for files that
+   already migrated; without resolving, their traffic keeps counting
+   against the old shard (inflating its apparent heat) and the stale caps
+   themselves become "already home" migration candidates that count as
+   moves without moving anything. Old- and new-cap entries for the same
+   file merge into one candidate under the resolved capability. *)
+let resolve_loads router loads =
+  let merged = Hashtbl.create 32 in
+  List.iter
+    (fun ((cap : Capability.t), count) ->
+      let cap = Router.resolve router cap in
+      let key = (Capability.port_to_int cap.Capability.port, cap.Capability.obj) in
+      match Hashtbl.find_opt merged key with
+      | Some (c, n) -> Hashtbl.replace merged key (c, n + count)
+      | None -> Hashtbl.replace merged key (cap, count))
+    loads;
+  Det.fold_sorted (fun _ entry acc -> entry :: acc) merged [] |> List.rev
+
 let step t =
   let n = Cluster.nshards t.cluster in
-  let loads = Cluster.drain_loads t.cluster in
+  let router = Cluster.router t.cluster in
+  let loads = resolve_loads router (Cluster.drain_loads t.cluster) in
   let per_shard = Array.make n 0 in
   let by_shard = Array.make n [] in
   List.iter
     (fun ((cap : Capability.t), count) ->
-      match Router.shard_of_port (Cluster.router t.cluster) cap.Capability.port with
+      match Router.shard_of_port router cap.Capability.port with
       | Some i ->
           per_shard.(i) <- per_shard.(i) + count;
           by_shard.(i) <- (cap, count) :: by_shard.(i)
@@ -49,11 +71,19 @@ let step t =
       | _ when moved >= t.max_moves -> moved
       | _ when 2 * shifted >= gap -> moved (* enough to level the pair *)
       | (cap, count) :: rest -> (
-          match Migration.migrate t.cluster ~file:cap ~dst:cold with
-          | Ok _ ->
-              Stats.Counter.incr (Cluster.counters t.cluster) "rebalancer.moves";
-              move (moved + 1) (shifted + count) rest
-          | Error _ -> move moved shifted rest)
+          (* Re-check residency at migration time: migrate yields into
+             RPC, so a concurrent migration may have moved the file since
+             the drain; migrate would report the no-op as Ok and we must
+             not count it as a move. *)
+          match Cluster.shard_of_cap t.cluster cap with
+          | Error _ -> move moved shifted rest
+          | Ok (_, s) when Shard.id s = cold -> move moved shifted rest
+          | Ok (cap, _) -> (
+              match Migration.migrate t.cluster ~file:cap ~dst:cold with
+              | Ok _ ->
+                  Stats.Counter.incr (Cluster.counters t.cluster) "rebalancer.moves";
+                  move (moved + 1) (shifted + count) rest
+              | Error _ -> move moved shifted rest))
     in
     move 0 0 candidates
   end

@@ -1,0 +1,2 @@
+(* C1 positive: the critical section reads the wall clock. *)
+let commit_stamped st v = st := (v, Unix.gettimeofday ())

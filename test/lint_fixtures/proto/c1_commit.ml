@@ -1,0 +1,10 @@
+(* C1 positive: the configured critical section reaches a yield two call
+   hops away (commit -> Pause.brief -> Proc.delay). *)
+let publish st v = st := v
+
+let commit st v =
+  match Store.validate v with
+  | true ->
+      Pause.brief ();
+      publish st v
+  | false -> ()

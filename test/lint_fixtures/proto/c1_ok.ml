@@ -1,0 +1,3 @@
+(* C1 negative: validate and publish with no yield and no ambient source
+   anywhere in the transitive closure. *)
+let commit st v = match Store.validate v with true -> st := v | false -> ()

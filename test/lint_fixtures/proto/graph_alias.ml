@@ -1,0 +1,6 @@
+(* Call-graph fixture: a module alias must resolve to the real module, so
+   [P.brief] meets [Pause.brief] in the same graph node and [nap] is
+   classified as yielding. *)
+module P = Pause
+
+let nap () = P.brief ()

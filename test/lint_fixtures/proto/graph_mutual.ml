@@ -1,0 +1,10 @@
+(* Call-graph fixture: mutual recursion. [ping] yields directly; [pong]
+   only through the cycle — the fixpoint must converge and classify both
+   as yielding. *)
+let rec ping n =
+  if n > 0 then begin
+    Proc.delay 1;
+    pong (n - 1)
+  end
+
+and pong n = if n > 0 then ping (n - 1)

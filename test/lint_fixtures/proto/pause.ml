@@ -1,0 +1,3 @@
+(* Yield helper: one hop between a caller and the scheduler primitive, so
+   transitive yield detection has something to chain through. *)
+let brief () = Proc.delay 1

@@ -1,0 +1,8 @@
+(* The remote surface the proto fixtures talk to. [Store.validate] is a
+   configured validator and [Store.fetch_remote] a configured Moved source
+   in the fixture config; [fetch_local] is neither. *)
+let validate _v = true
+
+let fetch_remote _c = Ok 0
+
+let fetch_local _c = Ok 1

@@ -1,0 +1,13 @@
+(* X1 positives: Moved-capable results silently dropped. *)
+
+(* No [Moved] handler here, so the capability propagates to callers. *)
+let relay c = Store.fetch_remote c
+
+let drop_direct c = ignore (Store.fetch_remote c)
+
+(* The fixpoint carries Moved-capability through [relay]. *)
+let drop_wrapped c = ignore (relay c)
+
+let drop_binding c =
+  let _ = Store.fetch_remote c in
+  ()

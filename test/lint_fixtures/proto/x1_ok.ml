@@ -1,0 +1,13 @@
+(* X1 negatives: handling, propagating, and dropping a non-Moved result. *)
+
+let handled c =
+  match Store.fetch_remote c with
+  | Ok v -> v
+  | Error (Errors.Moved _target) -> 0
+  | Error _ -> -1
+
+(* Returning the result to the caller is propagation, not a drop. *)
+let propagated c = X1_drop.relay c
+
+(* [fetch_local] is not a Moved source; dropping it is fine. *)
+let drop_harmless c = ignore (Store.fetch_local c)

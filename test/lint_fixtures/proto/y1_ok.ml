@@ -1,0 +1,25 @@
+(* Y1 negatives: every blessed shape around a shared-state write. *)
+type t = { mutable counter : int }
+
+(* Revalidated between the yield and the write. *)
+let validated t =
+  let seen = t.counter in
+  Proc.delay 1;
+  match Store.validate seen with
+  | true -> t.counter <- seen + 1
+  | false -> ()
+
+(* The write precedes the yield: nothing stale flows into it. *)
+let write_then_yield t =
+  t.counter <- t.counter + 1;
+  Proc.delay 1
+
+(* A write inside a [Moved] match case is acting on a versioned statement
+   about current residency, not on the pre-yield frame. *)
+let moved_branch t r =
+  let seen = t.counter in
+  Proc.delay 1;
+  match r with
+  | Error (Errors.Moved target) -> t.counter <- seen + target
+  | Ok _ -> ()
+  | Error _ -> ()

@@ -1,0 +1,20 @@
+(* Y1 positives: shared-state read, park in the scheduler, write from the
+   stale frame. One direct yield, one through a callee summary. *)
+type t = { mutable counter : int }
+
+let bump t =
+  let seen = t.counter in
+  Proc.delay 1;
+  t.counter <- seen + 1
+
+let bump_via_helper t =
+  let seen = t.counter in
+  Pause.brief ();
+  t.counter <- seen + 1
+
+(* Applying a configured function-valued field is a dynamic call the
+   lexical graph cannot resolve; it is assumed to yield. *)
+let bump_dyn t ops =
+  let seen = t.counter in
+  ops.o_sync ();
+  t.counter <- seen + 1

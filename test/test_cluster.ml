@@ -403,6 +403,51 @@ let test_rebalancer_moves_hot_files () =
       Alcotest.(check int) "no file lost" 6 (r0 + r1);
       Alcotest.(check bool) "shard 0 shed files" true (r0 < 3))
 
+(* Regression: the drained load window routinely spans a migration, so
+   entries recorded under a file's old capability must be attributed to
+   its *current* shard. Before the fix, the hot file's traffic kept
+   counting against its old shard and the stale capability became an
+   "already home" migration candidate — step reported moves that moved
+   nothing, while the real hot shard kept its load. *)
+let test_rebalancer_resolves_stale_loads () =
+  in_cluster ~shards:2 (fun cluster client ->
+      (* Round-robin: f0,f2 on shard 0; f1,f3 on shard 1. *)
+      let files =
+        List.init 4 (fun i ->
+            ok (Cluster_client.create_file ~data:(bytes (Printf.sprintf "f%d" i)) client))
+      in
+      let f0 = List.nth files 0 in
+      (* Hammer f0 while it still lives on shard 0; light traffic elsewhere. *)
+      List.iteri
+        (fun i f ->
+          let hits = if i = 0 then 9 else 1 in
+          for _ = 1 to hits do
+            ok
+              (Cluster_client.update client f (fun txn ->
+                   Cluster_client.Txn.write txn P.root (bytes "hit")))
+          done)
+        files;
+      (* A migration lands inside the load window: f0 moves to shard 1,
+         but its 9 loads are recorded under the old capability. *)
+      let f0' = ok (Migration.migrate cluster ~file:f0 ~dst:1) in
+      let migrations_before = Cluster.migrations cluster in
+      let reb = Rebalancer.create ~threshold:1.5 ~max_moves:2 cluster in
+      let moved = Rebalancer.step reb in
+      let migrations_delta = Cluster.migrations cluster - migrations_before in
+      (* Stale-cap loads follow the file: shard 1 is the hot one now, so
+         the step migrates f0 back — a real migration, not a phantom. *)
+      Alcotest.(check int) "every counted move is a real migration" moved migrations_delta;
+      Alcotest.(check int) "counter agrees" moved
+        (Stats.Counter.get (Cluster.counters cluster) "rebalancer.moves");
+      Alcotest.(check bool) "the hot file actually moved" true (moved >= 1);
+      let home cap =
+        match Cluster.shard_of_cap cluster cap with
+        | Ok (_, s) -> Shard.id s
+        | Error e -> Alcotest.failf "routing failed: %s" (Errors.to_string e)
+      in
+      Alcotest.(check int) "hot file followed its traffic home" 0 (home f0');
+      Alcotest.(check int) "old capability resolves to the same place" 0 (home f0))
+
 let () =
   Alcotest.run "cluster"
     [
@@ -430,5 +475,8 @@ let () =
           quick "racing commits never lost" test_migration_race_never_loses_commits;
         ] );
       ( "rebalancer",
-        [ quick "moves hot files off the hot shard" test_rebalancer_moves_hot_files ] );
+        [
+          quick "moves hot files off the hot shard" test_rebalancer_moves_hot_files;
+          quick "stale loads follow the file" test_rebalancer_resolves_stale_loads;
+        ] );
     ]

@@ -1,6 +1,7 @@
 (* The lint engine against known-violation fixtures: each rule family must
    fire exactly where expected, stay silent on the blessed shapes, and be
-   suppressible through the allowlist. *)
+   suppressible through the allowlist. The proto/ fixtures exercise the
+   interprocedural families (Y1/C1/X1) and the call-graph fixpoint. *)
 
 let fixture_config =
   {
@@ -16,6 +17,15 @@ let fixture_config =
     e1_dirs = [ "lint_fixtures" ];
     e1_exempt = [];
     mli_dirs = [];
+    yield_primitives =
+      [ "Proc.delay"; "Proc.suspend"; "Ivar.read"; "Channel.send"; "Channel.recv"; "Rpc.call" ];
+    yielding_fields = [ "o_sync" ];
+    validators = [ "Store.validate" ];
+    shared_state_fields = [ "counter" ];
+    critical_sections = [ "C1_commit.commit"; "C1_ambient.commit_stamped"; "C1_ok.commit" ];
+    moved_sources = [ "Store.fetch_remote" ];
+    y1_dirs = [ "lint_fixtures" ];
+    x1_dirs = [ "lint_fixtures" ];
   }
 
 let run ?(config = fixture_config) ?(allowlist = []) dirs =
@@ -35,7 +45,7 @@ let scan = lazy (run [ "lint_fixtures" ])
 let test_parses_everything () =
   let r = Lazy.force scan in
   Alcotest.(check (list (pair string string))) "no unparseable fixtures" [] r.broken;
-  Alcotest.(check int) "all fixtures scanned" 12 r.files_scanned
+  Alcotest.(check int) "all fixtures scanned" 23 r.files_scanned
 
 let test_d1_ambient () =
   check_keys "one finding per ambient source, none in the exempt file"
@@ -115,17 +125,159 @@ let test_e1_severity () =
   Alcotest.(check string) "orphan read is only a warning" "warning" (sev "Ivar.read")
 
 let test_m1 () =
-  let config = { fixture_config with Lint_types.mli_dirs = [ "lint_fixtures/m1" ] } in
+  let config =
+    {
+      fixture_config with
+      Lint_types.mli_dirs = [ "lint_fixtures/m1" ];
+      (* This run scans only m1/, so the proto critical sections are out
+         of scope — clear them or they report as missing. *)
+      critical_sections = [];
+    }
+  in
   let r = run ~config [ "lint_fixtures/m1" ] in
   check_keys "only the uncovered module fires"
     [ ("M1", "lint_fixtures/m1/orphan.ml", "missing-mli") ]
     (keys r)
 
+(* {2 Interprocedural families} *)
+
+let test_y1 () =
+  check_keys "direct, summary-propagated, and dynamic-field yields all fire"
+    [
+      ("Y1", "lint_fixtures/proto/y1_race.ml", "Y1_race.bump/counter");
+      ("Y1", "lint_fixtures/proto/y1_race.ml", "Y1_race.bump_via_helper/counter");
+      ("Y1", "lint_fixtures/proto/y1_race.ml", "Y1_race.bump_dyn/counter");
+    ]
+    (in_file "lint_fixtures/proto/y1_race.ml" (Lazy.force scan));
+  check_keys "revalidation, write-before-yield and Moved-branch writes are silent" []
+    (in_file "lint_fixtures/proto/y1_ok.ml" (Lazy.force scan))
+
+let test_c1 () =
+  check_keys "transitive yield in a critical section fires at the section"
+    [ ("C1", "lint_fixtures/proto/c1_commit.ml", "C1_commit.commit") ]
+    (in_file "lint_fixtures/proto/c1_commit.ml" (Lazy.force scan));
+  check_keys "ambient source fires C1 (and D1 at the call site)"
+    [
+      ("C1", "lint_fixtures/proto/c1_ambient.ml", "C1_ambient.commit_stamped");
+      ("D1", "lint_fixtures/proto/c1_ambient.ml", "Unix.gettimeofday");
+    ]
+    (in_file "lint_fixtures/proto/c1_ambient.ml" (Lazy.force scan));
+  check_keys "a clean section is silent" []
+    (in_file "lint_fixtures/proto/c1_ok.ml" (Lazy.force scan));
+  (* The C1 yield report carries the shortest call chain to the primitive. *)
+  let witness =
+    List.find_opt
+      (fun (f : Lint_types.finding) -> f.file = "lint_fixtures/proto/c1_commit.ml")
+      (Lazy.force scan).findings
+  in
+  match witness with
+  | Some f ->
+      Alcotest.(check bool) "witness chain names the hop and the primitive" true
+        (let contains sub =
+           let n = String.length sub and m = String.length f.message in
+           let rec at i = i + n <= m && (String.sub f.message i n = sub || at (i + 1)) in
+           at 0
+         in
+         contains "Pause.brief" && contains "Proc.delay")
+  | None -> Alcotest.fail "no C1 finding for c1_commit.ml"
+
+let test_c1_missing_section () =
+  let config = { fixture_config with Lint_types.critical_sections = [ "Nowhere.commit" ] } in
+  let r = run ~config [ "lint_fixtures" ] in
+  Alcotest.(check bool) "unknown critical section reported against <config>" true
+    (List.mem ("C1", "<config>", "Nowhere.commit") (keys r));
+  match
+    List.find_opt (fun (f : Lint_types.finding) -> f.file = "<config>") r.findings
+  with
+  | Some f -> Alcotest.(check string) "as a warning" "warning" (Lint_types.severity_id f.severity)
+  | None -> Alcotest.fail "missing-section finding not found"
+
+let test_x1 () =
+  check_keys "direct drop, fixpoint-propagated drop, and let _ drop all fire"
+    [
+      ("X1", "lint_fixtures/proto/x1_drop.ml", "Store.fetch_remote");
+      ("X1", "lint_fixtures/proto/x1_drop.ml", "X1_drop.relay");
+      ("X1", "lint_fixtures/proto/x1_drop.ml", "Store.fetch_remote");
+    ]
+    (in_file "lint_fixtures/proto/x1_drop.ml" (Lazy.force scan));
+  check_keys "handling, propagating, and non-Moved drops are silent" []
+    (in_file "lint_fixtures/proto/x1_ok.ml" (Lazy.force scan))
+
+(* {2 Call graph} *)
+
+let proto_parsed =
+  lazy
+    (let files = Lint_engine.ml_files ~root:"." [ "lint_fixtures" ] in
+     let parsed, broken = Lint_engine.parse_all ~root:"." files in
+     Alcotest.(check (list (pair string string))) "fixtures parse" [] broken;
+     parsed)
+
+let test_callgraph () =
+  let g = Lint_callgraph.build fixture_config (Lazy.force proto_parsed) in
+  let flag key f =
+    match Lint_callgraph.summary g key with
+    | Some s -> f s
+    | None -> Alcotest.failf "no summary for %s" key
+  in
+  Alcotest.(check bool) "module alias resolves to the real module" true
+    (flag "Graph_alias.nap" (fun s -> s.Lint_callgraph.yields));
+  Alcotest.(check bool) "direct arm of the mutual recursion yields" true
+    (flag "Graph_mutual.ping" (fun s -> s.Lint_callgraph.yields));
+  Alcotest.(check bool) "mutual recursion reaches the fixpoint" true
+    (flag "Graph_mutual.pong" (fun s -> s.Lint_callgraph.yields));
+  Alcotest.(check bool) "Moved-capability propagates through relay" true
+    (flag "X1_drop.relay" (fun s -> s.Lint_callgraph.moved));
+  Alcotest.(check bool) "a Moved handler stops propagation" false
+    (flag "X1_ok.handled" (fun s -> s.Lint_callgraph.moved));
+  Alcotest.(check bool) "returning the result keeps the capability" true
+    (flag "X1_ok.propagated" (fun s -> s.Lint_callgraph.moved));
+  Alcotest.(check bool) "validator calls classify as validating" true
+    (flag "C1_ok.commit" (fun s -> s.Lint_callgraph.validates));
+  Alcotest.(check bool) "the clean section does not yield" false
+    (flag "C1_ok.commit" (fun s -> s.Lint_callgraph.yields));
+  match
+    Lint_callgraph.witness_chain g ~key:"C1_commit.commit"
+      ~has:(fun d -> d.Lint_callgraph.direct_yield)
+  with
+  | Some chain ->
+      Alcotest.(check (list string))
+        "shortest chain from section to primitive"
+        [ "C1_commit.commit"; "Pause.brief"; "Proc.delay" ]
+        chain
+  | None -> Alcotest.fail "no witness chain for C1_commit.commit"
+
+(* Finding order must be a pure function of the file *set*: permuting the
+   parse order must not reorder or change the interprocedural report. *)
+let prop_shuffle_stable =
+  let shuffle seed xs =
+    let arr = Array.of_list xs in
+    let state = ref (1 + (seed land 0x3FFFFFFF)) in
+    let next m =
+      state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+      !state mod m
+    in
+    for i = Array.length arr - 1 downto 1 do
+      let j = next (i + 1) in
+      let tmp = arr.(i) in
+      arr.(i) <- arr.(j);
+      arr.(j) <- tmp
+    done;
+    Array.to_list arr
+  in
+  QCheck2.Test.make ~name:"interprocedural findings stable under file shuffle" ~count:50
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let parsed = Lazy.force proto_parsed in
+      let baseline = Lint_proto.analyse fixture_config parsed in
+      Lint_proto.analyse fixture_config (shuffle seed parsed) = baseline)
+
+(* {2 Allowlist} *)
+
 let test_allowlist_suppresses () =
   let allowlist =
     Lint_allow.of_string
       "# comment lines and blanks are ignored\n\n\
-       P1 lint_fixtures/p1_partial.ml failwith\n\
+       P1 lint_fixtures/p1_partial.ml failwith  # fixture exercises the partial idiom\n\
        D1 lint_fixtures/d1_hashtbl.ml *   # wildcard symbol\n"
   in
   let r = run ~allowlist [ "lint_fixtures" ] in
@@ -139,17 +291,37 @@ let test_allowlist_suppresses () =
     (List.length r.suppressed);
   Alcotest.(check int) "no unused entries" 0 (List.length (Lint_allow.unused allowlist))
 
+let test_allowlist_y1 () =
+  let allowlist =
+    Lint_allow.of_string
+      "Y1 lint_fixtures/proto/y1_race.ml Y1_race.bump/counter  # seeded fixture\n"
+  in
+  let r = run ~allowlist [ "lint_fixtures" ] in
+  check_keys "only the allowlisted Y1 site is suppressed"
+    [
+      ("Y1", "lint_fixtures/proto/y1_race.ml", "Y1_race.bump_via_helper/counter");
+      ("Y1", "lint_fixtures/proto/y1_race.ml", "Y1_race.bump_dyn/counter");
+    ]
+    (in_file "lint_fixtures/proto/y1_race.ml" r)
+
 let test_allowlist_unused_and_errors () =
-  let allowlist = Lint_allow.of_string "E1 lint_fixtures/never.ml Ivar.read\n" in
-  let (_ : Lint_engine.result) = run ~allowlist [ "lint_fixtures" ] in
+  let allowlist = Lint_allow.of_string "E1 lint_fixtures/never.ml Ivar.read  # obsolete\n" in
+  let r = run ~allowlist [ "lint_fixtures" ] in
   Alcotest.(check int) "entry that matches nothing is unused" 1
     (List.length (Lint_allow.unused allowlist));
+  Alcotest.(check bool) "stale entry surfaces as a finding" true
+    (List.mem ("E1", "lint_fixtures/never.ml", "stale-allow:Ivar.read") (keys r));
   Alcotest.check_raises "malformed line rejected"
-    (Lint_allow.Parse_error "line 1: want 'RULE file symbol', got \"only-two fields\"")
+    (Lint_allow.Parse_error
+       "line 1: want 'RULE file symbol  # justification', got \"only-two fields\"")
     (fun () -> ignore (Lint_allow.of_string "only-two fields\n"));
   Alcotest.check_raises "unknown rule rejected"
-    (Lint_allow.Parse_error "line 1: unknown rule \"Z9\" (want D1|P1|E1|M1)") (fun () ->
-      ignore (Lint_allow.of_string "Z9 some/file.ml sym\n"))
+    (Lint_allow.Parse_error "line 1: unknown rule \"Z9\" (want D1|P1|E1|M1|Y1|C1|X1)") (fun () ->
+      ignore (Lint_allow.of_string "Z9 some/file.ml sym\n"));
+  Alcotest.check_raises "entry without justification rejected"
+    (Lint_allow.Parse_error
+       "line 1: entry has no justification — append '# why this exception is sound'")
+    (fun () -> ignore (Lint_allow.of_string "P1 some/file.ml failwith\n"))
 
 let () =
   Alcotest.run "lint"
@@ -166,9 +338,19 @@ let () =
           Alcotest.test_case "E1 severities" `Quick test_e1_severity;
           Alcotest.test_case "M1 interface coverage" `Quick test_m1;
         ] );
+      ( "interprocedural",
+        [
+          Alcotest.test_case "Y1 yield atomicity" `Quick test_y1;
+          Alcotest.test_case "C1 commit phase" `Quick test_c1;
+          Alcotest.test_case "C1 missing section" `Quick test_c1_missing_section;
+          Alcotest.test_case "X1 Moved exhaustiveness" `Quick test_x1;
+          Alcotest.test_case "call graph fixpoint" `Quick test_callgraph;
+          QCheck_alcotest.to_alcotest prop_shuffle_stable;
+        ] );
       ( "allowlist",
         [
           Alcotest.test_case "suppression" `Quick test_allowlist_suppresses;
+          Alcotest.test_case "Y1 suppression is per-symbol" `Quick test_allowlist_y1;
           Alcotest.test_case "unused & malformed" `Quick test_allowlist_unused_and_errors;
         ] );
     ]

@@ -233,6 +233,59 @@ let test_balanced_conn_spreads_and_stays_correct () =
       Alcotest.(check bool) "host1 served" true (served host1 > 0);
       Alcotest.(check bool) "host2 served" true (served host2 > 0))
 
+(* Regression for the Y1-allowlisted site in Remote.call (lint.allow):
+   [conn.preferred] is written after the RPC yield, from a frame that read
+   it before yielding — formally a yield-atomicity race. This test pins
+   down why the site is safe: the hint is purely advisory. Two processes
+   racing on one connection scribble it concurrently for the whole run,
+   yet every request lands on a live host and every update commits,
+   because each call re-walks the host ring from whatever the hint says —
+   and a hint parked on a dead host only costs one failover hop. *)
+let test_preferred_hint_is_advisory () =
+  in_sim (fun engine ->
+      let store = Store.memory () in
+      let ports = Afs_core.Ports.create () in
+      let srv1 = Server.create ~seed:7 ~ports store in
+      let srv2 = Server.create ~seed:7 ~ports store in
+      let host1 = Remote.host engine ~name:"afs-1" srv1 in
+      let host2 = Remote.host engine ~name:"afs-2" srv2 in
+      let conn = Remote.connect [ host1; host2 ] in
+      let fa = ok (Remote.create_file conn (bytes "0")) in
+      let fb = ok (Remote.create_file conn (bytes "0")) in
+      let rmw file =
+        let v = ok (Remote.create_version conn file) in
+        let n = int_of_string (Helpers.str (ok (Remote.read_page conn v P.root))) in
+        ok (Remote.write_page conn v P.root (bytes (string_of_int (n + 1))));
+        ok (Remote.commit conn v)
+      in
+      let done1 = ref false and done2 = ref false in
+      let _ =
+        Proc.spawn engine (fun () ->
+            for _ = 1 to 10 do rmw fa done;
+            done1 := true)
+      in
+      let _ =
+        Proc.spawn engine (fun () ->
+            for _ = 1 to 10 do rmw fb done;
+            done2 := true)
+      in
+      while not (!done1 && !done2) do
+        Proc.delay 1.0
+      done;
+      let read_counter f =
+        let cur = ok (Remote.current_version conn f) in
+        Helpers.str (ok (Remote.read_page conn cur P.root))
+      in
+      Alcotest.(check string) "all of A's updates landed" "10" (read_counter fa);
+      Alcotest.(check string) "all of B's updates landed" "10" (read_counter fb);
+      (* Whatever the races left in the hint, a crash of either host only
+         costs a failover hop — a stale hint can never fail a request. *)
+      Remote.crash_host host1;
+      Alcotest.(check string) "served with host1 down" "10" (read_counter fa);
+      Remote.restart_host host1;
+      Remote.crash_host host2;
+      Alcotest.(check string) "served with host2 down" "10" (read_counter fb))
+
 let test_no_hosts_rejected () =
   Alcotest.check_raises "empty host list" (Invalid_argument "Remote.connect: no hosts")
     (fun () -> ignore (Remote.connect []))
@@ -257,6 +310,7 @@ let () =
           quick "failover" test_failover_to_second_host;
           quick "crash semantics" test_crash_loses_uncommitted_but_not_committed;
           quick "balanced connection" test_balanced_conn_spreads_and_stays_correct;
+          quick "preferred hint is advisory" test_preferred_hint_is_advisory;
           quick "no hosts rejected" test_no_hosts_rejected;
         ] );
     ]

@@ -1,15 +1,21 @@
 (* afs_lint — determinism & protocol-safety lint for the AFS tree.
 
-   Usage: afs_lint [--json] [--allowlist FILE] [--root DIR] [DIR ...]
+   Usage: afs_lint [--json] [--sarif FILE] [--effects] [--allowlist FILE]
+                   [--root DIR] [DIR ...]
 
    Scans the given directories (default: lib bin bench examples) for the
-   rule families D1 (determinism), P1 (partiality), E1 (effect safety) and
-   M1 (interface coverage). Exit status: 0 clean (warnings allowed), 1 on
+   per-file rule families D1 (determinism), P1 (partiality), E1 (effect
+   safety), M1 (interface coverage), and the interprocedural families Y1
+   (yield atomicity), C1 (commit-phase effects), X1 (Moved exhaustiveness).
+   [--sarif FILE] additionally writes the findings as SARIF 2.1.0 for CI
+   annotation; [--effects] dumps the fixpoint effect classification
+   instead of linting. Exit status: 0 clean (warnings allowed), 1 on
    errors, 2 on usage or internal failure. *)
 
 open Lint_types
 
-let usage = "afs_lint [--json] [--allowlist FILE] [--root DIR] [DIR ...]"
+let usage =
+  "afs_lint [--json] [--sarif FILE] [--effects] [--allowlist FILE] [--root DIR] [DIR ...]"
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -58,12 +64,18 @@ let print_human (r : Lint_engine.result) =
 
 let () =
   let json = ref false in
+  let sarif_file = ref None in
+  let effects = ref false in
   let allow_file = ref None in
   let root = ref "." in
   let dirs = ref [] in
   let spec =
     [
       ("--json", Arg.Set json, " emit findings as a JSON array");
+      ( "--sarif",
+        Arg.String (fun f -> sarif_file := Some f),
+        "FILE also write findings as SARIF 2.1.0" );
+      ("--effects", Arg.Set effects, " dump the fixpoint effect classification and exit");
       ("--allowlist", Arg.String (fun f -> allow_file := Some f), "FILE allowlist of exceptions");
       ("--root", Arg.Set_string root, "DIR scan root (paths are reported relative to it)");
     ]
@@ -72,6 +84,12 @@ let () =
   let dirs =
     match List.rev !dirs with [] -> [ "lib"; "bin"; "bench"; "examples" ] | ds -> ds
   in
+  if !effects then begin
+    List.iter
+      (fun (key, tags) -> Printf.printf "%-40s %s\n" key (String.concat " " tags))
+      (Lint_engine.effects ~root:!root dirs);
+    exit 0
+  end;
   let allowlist =
     match !allow_file with
     | None -> []
@@ -88,10 +106,7 @@ let () =
   List.iter
     (fun (file, reason) -> Printf.eprintf "afs_lint: cannot parse %s: %s\n" file reason)
     result.broken;
-  List.iter
-    (fun e ->
-      Printf.eprintf "afs_lint: unused allowlist entry, %s\n" (Lint_allow.entry_to_string e))
-    (Lint_allow.unused allowlist);
+  Option.iter (fun path -> Lint_sarif.write ~path result.findings) !sarif_file;
   if !json then print_json result else print_human result;
   if result.broken <> [] || result.missing_dirs <> [] then exit 2
   else if List.exists (fun f -> f.severity = Error) result.findings then exit 1

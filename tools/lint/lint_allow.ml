@@ -2,41 +2,62 @@
 
    Format, one entry per line:
 
-     RULE  path/to/file.ml  symbol   # optional comment
+     RULE  path/to/file.ml  symbol   # mandatory justification
 
    [symbol] is the identifier the finding reports (e.g. [Hashtbl.fold],
    [failwith], [missing-mli]); [*] matches any symbol. Blank lines and
-   lines starting with [#] are ignored. *)
+   lines starting with [#] are ignored. Every entry MUST carry a
+   non-empty justification after [#]: a suppression whose reason nobody
+   wrote down is a suppression nobody can review or retire. *)
 
 open Lint_types
 
-type entry = { rule : rule; file : string; symbol : string; lineno : int; mutable used : bool }
+type entry = {
+  rule : rule;
+  file : string;
+  symbol : string;
+  justification : string;
+  lineno : int;
+  mutable used : bool;
+}
 
 type t = entry list
 
 exception Parse_error of string
 
 let parse_line lineno line =
-  let line =
+  let body, comment =
     match String.index_opt line '#' with
-    | Some i -> String.sub line 0 i
-    | None -> line
+    | Some i ->
+        ( String.sub line 0 i,
+          String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+    | None -> (line, "")
   in
-  let line = String.trim line in
-  if line = "" then None
+  let body = String.trim body in
+  if body = "" then None
   else
-    match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+    match String.split_on_char ' ' body |> List.filter (fun s -> s <> "") with
     | [ rule; file; symbol ] -> (
         match rule_of_string rule with
-        | Some rule -> Some { rule; file; symbol; lineno; used = false }
+        | Some rule ->
+            if comment = "" then
+              raise
+                (Parse_error
+                   (Printf.sprintf
+                      "line %d: entry has no justification — append '# why this exception is \
+                       sound'"
+                      lineno))
+            else Some { rule; file; symbol; justification = comment; lineno; used = false }
         | None ->
             raise
               (Parse_error
-                 (Printf.sprintf "line %d: unknown rule %S (want D1|P1|E1|M1)" lineno rule)))
+                 (Printf.sprintf "line %d: unknown rule %S (want D1|P1|E1|M1|Y1|C1|X1)" lineno
+                    rule)))
     | _ ->
         raise
           (Parse_error
-             (Printf.sprintf "line %d: want 'RULE file symbol', got %S" lineno line))
+             (Printf.sprintf "line %d: want 'RULE file symbol  # justification', got %S" lineno
+                line))
 
 let of_string s : t =
   String.split_on_char '\n' s
@@ -65,3 +86,19 @@ let unused (t : t) = List.filter (fun e -> not e.used) t
 
 let entry_to_string (e : entry) =
   Printf.sprintf "line %d: %s %s %s" e.lineno (rule_id e.rule) e.file e.symbol
+
+(** A stale entry surfaced as a Warning finding, so dead suppressions show
+    up in the report (and in SARIF) instead of silently accumulating. *)
+let stale_finding (e : entry) =
+  {
+    rule = e.rule;
+    severity = Warning;
+    file = e.file;
+    line = 1;
+    col = 0;
+    symbol = "stale-allow:" ^ e.symbol;
+    message =
+      Printf.sprintf
+        "stale allowlist entry (%s) matches no current finding — delete it"
+        (entry_to_string e);
+  }

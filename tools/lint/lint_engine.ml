@@ -75,6 +75,22 @@ let describe_exn = function
   | Syntaxerr.Error _ -> "syntax error"
   | e -> Printexc.to_string e
 
+(* Parse every file once; per-file rules and the interprocedural pass
+   share the Parsetrees. Returns (parsed, broken). *)
+let parse_all ~root files =
+  let broken = ref [] in
+  let parsed =
+    List.filter_map
+      (fun file ->
+        match parse_impl (Filename.concat root file) with
+        | str -> Some (file, str)
+        | exception e ->
+            broken := (file, describe_exn e) :: !broken;
+            None)
+      files
+  in
+  (parsed, List.rev !broken)
+
 let run ?(config = default_config) ?(allowlist = []) ~root dirs =
   (* A mistyped directory must not read as a clean scan. *)
   let missing_dirs =
@@ -85,25 +101,26 @@ let run ?(config = default_config) ?(allowlist = []) ~root dirs =
       dirs
   in
   let files = ml_files ~root dirs in
-  let broken = ref [] in
-  let findings =
-    List.concat_map
-      (fun file ->
-        let structural =
-          match parse_impl (Filename.concat root file) with
-          | str -> Lint_rules.analyse config ~file str
-          | exception e ->
-              broken := (file, describe_exn e) :: !broken;
-              []
-        in
-        structural @ check_mli config ~root file)
-      files
+  let parsed, broken = parse_all ~root files in
+  let per_file =
+    List.concat_map (fun (file, str) -> Lint_rules.analyse config ~file str) parsed
+    @ List.concat_map (fun file -> check_mli config ~root file) files
   in
-  let kept, suppressed = Lint_allow.apply allowlist findings in
+  (* Interprocedural families: the call graph spans every parsed file of
+     this run, so cross-module yields and Moved-capability resolve. *)
+  let inter = Lint_proto.analyse config parsed in
+  let kept, suppressed = Lint_allow.apply allowlist (per_file @ inter) in
+  (* Surface stale suppressions as findings of their own rule family. *)
+  let stale = List.map Lint_allow.stale_finding (Lint_allow.unused allowlist) in
   {
-    findings = List.sort compare_findings kept;
+    findings = List.sort compare_findings (kept @ stale);
     suppressed = List.sort compare_findings suppressed;
-    broken = List.rev !broken;
+    broken;
     missing_dirs;
     files_scanned = List.length files;
   }
+
+(* Effect classification over the same file set, for [--effects]. *)
+let effects ?(config = default_config) ~root dirs =
+  let parsed, _ = parse_all ~root (ml_files ~root dirs) in
+  Lint_proto.effects_report config parsed

@@ -1,0 +1,230 @@
+(* The interprocedural rule families: Y1, C1, X1.
+
+   All three run over the [Lint_callgraph] fixpoint. The frame of
+   reference is one top-level binding: Y1 replays that binding's event
+   stream; a call contributes only its *summary* effects (does control
+   pass through the scheduler? does the callee revalidate against the
+   store?), never its internal reads/writes — the callee's own
+   interleaving is reported once, at the callee. That keeps one real race
+   from echoing as a finding in every transitive caller.
+
+   {2 Y1 — yield-atomicity}
+
+   Within one binding, events in AST order. A write of shared field [k]
+   at position [w] fires when
+
+     exists a yield [j] and a read of [k] at [r] with  r < j < w
+
+   and no validation event lies in [(j, w)] — i.e. the value observed
+   before parking the coroutine flows into a shared-state write without
+   passing back through the serialisability machinery. Writes inside a
+   [Moved] match case are treated as validated: the Moved reply is itself
+   a versioned statement about current residency.
+
+   {2 C1 — commit-phase atomicity}
+
+   Configured critical sections must be transitively yield-free and
+   ambient-free. Reported with the shortest call chain down to the
+   offending primitive, because the yield is usually several frames away.
+
+   {2 X1 — Moved exhaustiveness}
+
+   A discarded result ([ignore e], [e |> ignore], [let _ = e]) whose
+   callee is a Moved source — or is Moved-capable per the fixpoint —
+   silently drops a relocation notice; the client keeps hammering the old
+   shard. Handle it or return it. *)
+
+open Lint_types
+
+let mk = Lint_rules.mk
+
+(* {2 Y1} *)
+
+type replay = R of string | W of string * Location.t * bool | Y of string * Location.t | V
+
+(* Flatten a def's events into the replay alphabet, expanding calls
+   through their summaries. *)
+let replay_stream (graph : Lint_callgraph.t) (d : Lint_callgraph.def) =
+  List.concat_map
+    (fun (ev : Lint_callgraph.event) ->
+      match ev with
+      | Lint_callgraph.Read (f, _) -> [ R f ]
+      | Write (f, loc, moved) -> [ W (f, loc, moved) ]
+      | Yield (name, loc) -> [ Y (name, loc) ]
+      | Validate _ -> [ V ]
+      | Call (key, loc, _) -> (
+          match Lint_callgraph.summary graph key with
+          | None -> []
+          | Some s ->
+              (if s.Lint_callgraph.yields then [ Y (key, loc) ] else [])
+              @ if s.Lint_callgraph.validates then [ V ] else [])
+      | Discard _ | Ambient _ -> [])
+    d.Lint_callgraph.events
+
+let check_y1 (config : config) graph (d : Lint_callgraph.def) =
+  if not (in_scope config.y1_dirs d.Lint_callgraph.file) then []
+  else begin
+    let stream = Array.of_list (replay_stream graph d) in
+    let findings = ref [] in
+    Array.iteri
+      (fun w ev ->
+        match ev with
+        | W (field, wloc, validated) when not validated ->
+            (* Last yield before [w] with no validation after it. *)
+            let rec last_clean_yield j acc =
+              if j >= w then acc
+              else
+                last_clean_yield (j + 1)
+                  (match stream.(j) with Y (n, l) -> Some (j, n, l) | V -> None | _ -> acc)
+            in
+            (match last_clean_yield 0 None with
+            | Some (j, yname, _) ->
+                let read_before =
+                  Array.exists Fun.id (Array.init j (fun r -> stream.(r) = R field))
+                in
+                if read_before then
+                  findings :=
+                    mk ~rule:Y1 ~severity:Error ~file:d.Lint_callgraph.file ~loc:wloc
+                      ~symbol:(d.Lint_callgraph.key ^ "/" ^ field)
+                      (Printf.sprintf
+                         "yield-atomicity race: %s reads shared field '%s', parks in %s, then \
+                          writes '%s' from the stale frame — revalidate (write-set/version \
+                          check) or handle Moved before the write"
+                         d.Lint_callgraph.key field yname field)
+                    :: !findings
+            | None -> ())
+        | _ -> ())
+      stream;
+    List.rev !findings
+  end
+
+(* {2 C1} *)
+
+let check_c1 (config : config) (graph : Lint_callgraph.t) =
+  List.concat_map
+    (fun section ->
+      match Hashtbl.find_opt graph.Lint_callgraph.by_key section with
+      | None | Some [] ->
+          [
+            {
+              rule = C1;
+              severity = Warning;
+              file = "<config>";
+              line = 0;
+              col = 0;
+              symbol = section;
+              message =
+                Printf.sprintf
+                  "configured critical section %s not found in the scanned sources — update \
+                   critical_sections"
+                  section;
+            };
+          ]
+      | Some defs ->
+          List.concat_map
+            (fun (d : Lint_callgraph.def) ->
+              let s = Hashtbl.find graph.Lint_callgraph.summaries section in
+              let chain has =
+                match Lint_callgraph.witness_chain graph ~key:section ~has with
+                | Some path -> String.concat " -> " path
+                | None -> section ^ " -> ?"
+              in
+              (if s.Lint_callgraph.yields then
+                 [
+                   mk ~rule:C1 ~severity:Error ~file:d.Lint_callgraph.file
+                     ~loc:d.Lint_callgraph.loc ~symbol:section
+                     (Printf.sprintf
+                        "critical section %s can yield (%s) — the serialisability test and the \
+                         test-and-set must run in one simulated event"
+                        section
+                        (chain (fun d -> d.Lint_callgraph.direct_yield)));
+                 ]
+               else [])
+              @
+              if s.Lint_callgraph.ambient then
+                [
+                  mk ~rule:C1 ~severity:Error ~file:d.Lint_callgraph.file
+                    ~loc:d.Lint_callgraph.loc ~symbol:section
+                    (Printf.sprintf
+                       "critical section %s reaches an ambient source (%s) — commit decisions \
+                        must be replayable"
+                       section
+                       (chain (fun d -> d.Lint_callgraph.direct_ambient)));
+                ]
+              else [])
+            defs)
+    config.critical_sections
+
+(* {2 X1} *)
+
+let check_x1 (config : config) graph (d : Lint_callgraph.def) =
+  if not (in_scope config.x1_dirs d.Lint_callgraph.file) then []
+  else
+    List.filter_map
+      (fun (ev : Lint_callgraph.event) ->
+        match ev with
+        | Lint_callgraph.Discard (callee, loc) ->
+            let moved_capable =
+              List.mem callee config.moved_sources
+              ||
+              match Lint_callgraph.summary graph callee with
+              | Some s -> s.Lint_callgraph.moved
+              | None -> false
+            in
+            if moved_capable then
+              Some
+                (mk ~rule:X1 ~severity:Error ~file:d.Lint_callgraph.file ~loc ~symbol:callee
+                   (Printf.sprintf
+                      "result of %s may carry Errors.Moved and is silently dropped — match on \
+                       Moved (chase the forward) or propagate the error"
+                      callee))
+            else None
+        | _ -> None)
+      d.Lint_callgraph.events
+
+(* {2 Entry point} *)
+
+(* Run all interprocedural families over pre-parsed files. The graph is
+   built over every parsed file so fixtures can model multi-module
+   programs; per-def findings are scoped by the config's dir lists. *)
+let analyse (config : config) files =
+  let graph = Lint_callgraph.build config files in
+  let per_def =
+    List.concat_map
+      (fun d -> check_y1 config graph d @ check_x1 config graph d)
+      graph.Lint_callgraph.defs
+  in
+  List.sort compare_findings (per_def @ check_c1 config graph)
+
+(* {2 Effect report}
+
+   Human-readable classification dump ([afs_lint --effects]) — the
+   lattice the rules consume, for debugging configs and reviewing what a
+   new subsystem does to the commit path. *)
+
+let effects_report (config : config) files =
+  let graph = Lint_callgraph.build config files in
+  let keys =
+    Hashtbl.fold (fun k _ acc -> k :: acc) graph.Lint_callgraph.summaries []
+    |> List.sort compare
+  in
+  List.filter_map
+    (fun key ->
+      match Hashtbl.find_opt graph.Lint_callgraph.summaries key with
+      | None -> None
+      | Some s ->
+          let tags =
+            (if s.Lint_callgraph.yields then [ "yields" ] else [])
+            @ (if s.Lint_callgraph.ambient then [ "ambient" ] else [])
+            @ (if s.Lint_callgraph.validates then [ "validates" ] else [])
+            @ (if s.Lint_callgraph.moved then [ "moved" ] else [])
+            @ (if not (Lint_callgraph.SS.is_empty s.Lint_callgraph.writes) then
+                 [ "mutates:" ^ String.concat "," (Lint_callgraph.SS.elements s.Lint_callgraph.writes) ]
+               else [])
+            @
+            if not (Lint_callgraph.SS.is_empty s.Lint_callgraph.reads) then
+              [ "reads:" ^ String.concat "," (Lint_callgraph.SS.elements s.Lint_callgraph.reads) ]
+            else []
+          in
+          if tags = [] then None else Some (key, tags))
+    keys

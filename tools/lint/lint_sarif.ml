@@ -1,0 +1,64 @@
+(* SARIF 2.1.0 output — the static-analysis interchange format GitHub and
+   most CI viewers ingest for inline annotations. Hand-rolled like the
+   JSON printer in [afs_lint]: the schema subset we emit (driver, rules,
+   results with one physical location each) is small enough that a JSON
+   library would be the heavier dependency. *)
+
+open Lint_types
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rule_json rule =
+  Printf.sprintf
+    {|{"id":"%s","shortDescription":{"text":"%s"}}|}
+    (rule_id rule)
+    (escape (rule_description rule))
+
+let result_json (f : finding) =
+  (* SARIF columns are 1-based; findings carry 0-based columns. *)
+  Printf.sprintf
+    {|{"ruleId":"%s","level":"%s","message":{"text":"%s"},"locations":[{"physicalLocation":{"artifactLocation":{"uri":"%s"},"region":{"startLine":%d,"startColumn":%d}}}]}|}
+    (rule_id f.rule) (severity_id f.severity)
+    (escape (f.symbol ^ ": " ^ f.message))
+    (escape f.file) (max 1 f.line) (f.col + 1)
+
+let to_string (findings : finding list) =
+  let rules = String.concat "," (List.map rule_json all_rules) in
+  let results = String.concat ",\n        " (List.map result_json findings) in
+  Printf.sprintf
+    {|{
+  "$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+  "version": "2.1.0",
+  "runs": [
+    {
+      "tool": {
+        "driver": {
+          "name": "afs_lint",
+          "informationUri": "https://example.invalid/afs",
+          "rules": [%s]
+        }
+      },
+      "results": [%s]
+    }
+  ]
+}
+|}
+    rules
+    (if findings = [] then "" else "\n        " ^ results ^ "\n      ")
+
+let write ~path findings =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string findings))

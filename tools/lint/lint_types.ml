@@ -1,15 +1,38 @@
 (* Shared vocabulary of the afs_lint static-analysis pass. *)
 
-type rule = D1 | P1 | E1 | M1
+type rule = D1 | P1 | E1 | M1 | Y1 | C1 | X1
 
-let rule_id = function D1 -> "D1" | P1 -> "P1" | E1 -> "E1" | M1 -> "M1"
+let rule_id = function
+  | D1 -> "D1"
+  | P1 -> "P1"
+  | E1 -> "E1"
+  | M1 -> "M1"
+  | Y1 -> "Y1"
+  | C1 -> "C1"
+  | X1 -> "X1"
 
 let rule_of_string = function
   | "D1" -> Some D1
   | "P1" -> Some P1
   | "E1" -> Some E1
   | "M1" -> Some M1
+  | "Y1" -> Some Y1
+  | "C1" -> Some C1
+  | "X1" -> Some X1
   | _ -> None
+
+let all_rules = [ D1; P1; E1; M1; Y1; C1; X1 ]
+
+let rule_description = function
+  | D1 -> "determinism: no ambient time/randomness, no unordered hashtable traversal"
+  | P1 -> "partiality: no List.hd/Option.get/failwith/assert false in protocol paths"
+  | E1 -> "effect safety: no engine re-entry or blocking calls in callbacks"
+  | M1 -> "interface coverage: every lib module ships an .mli"
+  | Y1 ->
+      "yield atomicity: no shared-state read, yield, then dependent write without \
+       revalidation"
+  | C1 -> "commit phase: designated critical sections are transitively yield- and ambient-free"
+  | X1 -> "Moved exhaustiveness: results of Moved-capable operations are never silently dropped"
 
 type severity = Error | Warning
 
@@ -56,6 +79,40 @@ type config = {
       (** Subtrees exempt from E1 (the sim engine implements the
           primitives it would otherwise be flagged for). *)
   mli_dirs : string list;  (** M1 scope: every .ml here needs a sibling .mli. *)
+  (* {3 Interprocedural analysis (Y1 / C1 / X1)}
+
+     These fields parameterise the call-graph pass in [Lint_callgraph] /
+     [Lint_proto]. Names are matched on the last two dotted components of
+     an identifier ("Module.fn"), so [module R = Afs_rpc.Remote] aliases
+     resolve the same as direct references. *)
+  yield_primitives : string list;
+      (** Calls that park the current coroutine (the seeds of the [Yields]
+          effect; everything else is derived transitively). *)
+  yielding_fields : string list;
+      (** Record fields holding function values that may yield (dynamic
+          calls the lexical call graph cannot resolve, e.g. the naming
+          layer's [access] record). Applying such a field counts as a
+          yield. *)
+  validators : string list;
+      (** Calls that re-validate shared state against the store: the
+          serialisability test, the write-set pre-test, a commit (whose
+          success IS the test-and-set), or a cache revalidation. A write
+          that follows one of these (after the last yield) is considered
+          funnelled through version validation. *)
+  shared_state_fields : string list;
+      (** Mutable record fields that constitute shared server / shard /
+          cluster / connection state. Reads and writes of these fields are
+          the events Y1 tracks. *)
+  critical_sections : string list;
+      (** "Module.fn" names whose bodies must be transitively yield-free
+          and ambient-free (C1): the serialisability-test/test-and-set
+          region and everything that must be indivisible with it. *)
+  moved_sources : string list;
+      (** Operations that may return [Errors.Moved] (X1 seeds; functions
+          that neither handle nor discard Moved propagate the
+          capability). *)
+  y1_dirs : string list;  (** Y1 scope. *)
+  x1_dirs : string list;  (** X1 scope. *)
 }
 
 let default_config =
@@ -68,6 +125,49 @@ let default_config =
     e1_dirs = [ "lib" ];
     e1_exempt = [ "lib/sim" ];
     mli_dirs = [ "lib" ];
+    yield_primitives =
+      [ "Proc.delay"; "Proc.suspend"; "Ivar.read"; "Channel.send"; "Channel.recv"; "Rpc.call" ];
+    yielding_fields =
+      [ "a_update"; "a_read_current"; "a_read_cached"; "a_create_file"; "t_read"; "t_write";
+        "t_insert" ];
+    validators =
+      [
+        "Serialise.test_and_merge";
+        "Writeset.conflict";
+        "Server.commit";
+        "Remote.commit";
+        "Cluster_client.commit";
+        "Remote.validate_cache";
+        "Cache.revalidate";
+        "Cache.server_validate";
+      ];
+    shared_state_fields =
+      [
+        (* lib/rpc *)
+        "preferred";
+        (* lib/cluster *)
+        "forwards";
+        "next_placement";
+        "loads";
+        (* lib/core server administration *)
+        "files";
+        "versions";
+        "destroyed";
+        "uncommitted";
+        "current_hint";
+        "oldest_hint";
+        "vblocks";
+        "wset";
+      ];
+    critical_sections =
+      [ "Server.commit"; "Serialise.test_and_merge"; "Remote.handle"; "Shard.location_check" ];
+    moved_sources = [ "Remote.create_version"; "Remote.current_version" ];
+    y1_dirs =
+      [
+        "lib/core"; "lib/cluster"; "lib/rpc"; "lib/naming"; "lib/stable"; "lib/block";
+        "lib/disk"; "lib/files";
+      ];
+    x1_dirs = [ "lib" ];
   }
 
 (* [in_scope dirs file] holds when [file] lives under one of [dirs]. *)
