@@ -32,6 +32,7 @@ let experiments =
     ("a4-trace-overhead", Ablations.a4);
     ("m1-validate-after-n", Ablations.m1);
     ("s1-shard-scaling", Scaling.s1);
+    ("a5-group-commit", Groupcommit.a5);
     ("l1-lint-gate", Lintgate.l1);
   ]
 

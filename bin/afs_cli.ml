@@ -131,7 +131,7 @@ let close_trace_sink = function
       Printf.printf "trace: %d events -> %s\n" (Afs_trace.Trace.events_emitted tr) path
 
 let simulate system shards clients duration_s think_ms nfiles pages theta cache_capacity
-    trace_file =
+    group_commit trace_file =
   let open Afs_workload in
   let shape =
     {
@@ -153,17 +153,22 @@ let simulate system shards clients duration_s think_ms nfiles pages theta cache_
       think_ms;
     }
   in
+  let servers = ref [] in
   let sut =
     match system with
     | "afs" when shards > 1 ->
         let cluster =
-          Afs_cluster.Cluster.create ~latency_ms:2.0 ?cache_capacity ~trace engine ~shards
+          Afs_cluster.Cluster.create ~latency_ms:2.0 ?cache_capacity ~group_commit ~trace
+            engine ~shards
         in
+        servers :=
+          List.map Afs_cluster.Shard.server (Afs_cluster.Cluster.shards cluster);
         let files = ok (Workload.setup_cluster cluster shape ~initial:(bytes "0")) in
         Sut.afs_cluster (Afs_cluster.Cluster_client.connect cluster) ~files
     | "afs" ->
         let store = Store.memory () in
-        let srv = Server.create ?cache_capacity ~trace store in
+        let srv = Server.create ?cache_capacity ~group_commit ~trace store in
+        servers := [ srv ];
         let files = ok (Workload.setup_pages srv shape ~initial:(bytes "0")) in
         let host = Afs_rpc.Remote.host ~latency_ms:2.0 engine ~name:"afs" srv in
         Sut.afs_remote (Afs_rpc.Remote.connect [ host ]) ~fallback:srv ~files
@@ -184,6 +189,21 @@ let simulate system shards clients duration_s think_ms nfiles pages theta cache_
   print_endline Driver.header_row;
   print_endline (Driver.report_row report);
   Printf.printf "retries: %s\n" (Driver.retry_histogram_row report);
+  (match !servers with
+  | [] -> ()
+  | servers ->
+      let sum counter =
+        List.fold_left
+          (fun acc srv -> acc + Afs_util.Stats.Counter.get (Server.counters srv) counter)
+          0 servers
+      in
+      let batches = sum "commits.batches" and members = sum "commits.batch_members" in
+      if batches > 0 then
+        Printf.printf "group commit: window %d, mean batch size %.2f (%d commits in %d batches)\n"
+          group_commit
+          (float_of_int members /. float_of_int batches)
+          members batches
+      else Printf.printf "group commit: off (window %d)\n" group_commit);
   close_trace_sink trace_sink
 
 (* {2 cluster} *)
@@ -335,10 +355,18 @@ let simulate_cmd =
       & info [ "cache-capacity" ] ~docv:"BLOCKS"
           ~doc:"Server page-cache capacity in blocks (afs only; default 4096)")
   in
+  let group_commit =
+    Arg.(
+      value & opt int 1
+      & info [ "group-commit" ] ~docv:"N"
+          ~doc:
+            "Commit batch window per server: up to N queued commits validate together and \
+             share one stable-storage leg (afs only; 1 = no batching)")
+  in
   Cmd.v (Cmd.info "simulate" ~doc:"Run the multi-client workload driver")
     Term.(
       const simulate $ system $ shards $ clients_arg $ duration_arg $ think_arg $ nfiles_arg
-      $ pages $ theta $ cache_capacity $ trace_arg)
+      $ pages $ theta $ cache_capacity $ group_commit $ trace_arg)
 
 let cluster_cmd =
   let shards =

@@ -24,12 +24,12 @@ type t = {
   loads : (int * int, load) Hashtbl.t;
 }
 
-let create ?latency_ms ?proc_ms ?cache_capacity ?(base_seed = default_base_seed) ?trace
-    engine ~shards:n =
+let create ?latency_ms ?proc_ms ?cache_capacity ?group_commit
+    ?(base_seed = default_base_seed) ?trace engine ~shards:n =
   if n <= 0 then invalid_arg "Cluster.create: need at least one shard";
   let shards =
     Array.init n (fun i ->
-        Shard.create ?latency_ms ?proc_ms ?cache_capacity ?trace engine ~id:i
+        Shard.create ?latency_ms ?proc_ms ?cache_capacity ?group_commit ?trace engine ~id:i
           ~seed:(base_seed + (i * seed_stride)))
   in
   let router = Router.create ~ports:(Array.to_list (Array.map Shard.port shards)) in

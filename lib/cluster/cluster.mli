@@ -17,6 +17,7 @@ val create :
   ?latency_ms:float ->
   ?proc_ms:float ->
   ?cache_capacity:int ->
+  ?group_commit:int ->
   ?base_seed:int ->
   ?trace:Afs_trace.Trace.t ->
   Afs_sim.Engine.t ->
@@ -24,7 +25,10 @@ val create :
   t
 (** [shards] ≥ 1 servers with well-separated seeds (shard [i] gets
     [base_seed + i·2^32]), all sharing [trace] — their spans stay
-    separable through each server's ["shard-<i>"] name label. *)
+    separable through each server's ["shard-<i>"] name label.
+    [group_commit] gives every shard the same commit batch window: each
+    shard's RPC host keeps its own queue, so batches form per shard
+    (default 1 — no batching). *)
 
 val engine : t -> Afs_sim.Engine.t
 val nshards : t -> int

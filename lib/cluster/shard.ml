@@ -40,10 +40,10 @@ let location_check server base (req : Remote.request) : Remote.response =
           | other -> other))
   | _ -> base req
 
-let create ?latency_ms ?proc_ms ?cache_capacity ?trace engine ~id ~seed =
+let create ?latency_ms ?proc_ms ?cache_capacity ?group_commit ?trace engine ~id ~seed =
   let store = Store.memory () in
   let name = Printf.sprintf "shard-%d" id in
-  let server = Server.create ?cache_capacity ~seed ~name ?trace store in
+  let server = Server.create ?cache_capacity ?group_commit ~seed ~name ?trace store in
   let host =
     Remote.host ?latency_ms ?proc_ms ~wrap:(location_check server) engine ~name server
   in

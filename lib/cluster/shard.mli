@@ -25,13 +25,17 @@ val create :
   ?latency_ms:float ->
   ?proc_ms:float ->
   ?cache_capacity:int ->
+  ?group_commit:int ->
   ?trace:Afs_trace.Trace.t ->
   Afs_sim.Engine.t ->
   id:int ->
   seed:int ->
   t
 (** A shard named ["shard-<id>"] with its own memory store and capability
-    [seed] (distinct seeds give distinct ports — the routing key). *)
+    [seed] (distinct seeds give distinct ports — the routing key).
+    [group_commit] sets the shard server's commit batch window; its RPC
+    host then drains up to that many queued commits into one pipeline
+    run (default 1 — no batching). *)
 
 val id : t -> int
 val store : t -> Afs_core.Store.t

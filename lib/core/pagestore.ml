@@ -191,6 +191,44 @@ let refresh t b =
 
 let invalidate t b = drop_entry t b
 
+(* The group-commit publish leg: every page is size-checked and encoded
+   before the first store write (a too-large page cannot leave the batch
+   half-written), then the whole batch goes to the store in one
+   [write_batch] call — one amortised stable-storage round trip when the
+   backend is a stable pair. The store writes in order and stops at the
+   first error, so on failure the durable state is a prefix of [entries];
+   every cached copy of a batch block is dropped then, since we no longer
+   know which writes landed. *)
+let write_through_batch t entries =
+  let rec encode acc = function
+    | [] -> Ok (List.rev acc)
+    | (b, page) :: rest -> (
+        match check_size t page with
+        | Error _ as e -> e
+        | Ok _ -> encode ((b, Page.encode page) :: acc) rest)
+  in
+  match encode [] entries with
+  | Error _ as e -> e
+  | Ok images -> (
+      match t.store.Store.write_batch images with
+      | Ok () ->
+          let rec settle = function
+            | [] -> Ok ()
+            | (b, page) :: rest -> (
+                (match Lru.peek t.cache b with
+                | Some { dirty = true; _ } -> t.dirty_total <- t.dirty_total - 1
+                | _ -> ());
+                if not t.cache_enabled then settle rest
+                else
+                  match cache_set t b { page; dirty = false } with
+                  | Ok () -> settle rest
+                  | Error _ as e -> e)
+          in
+          settle entries
+      | Error msg ->
+          List.iter (fun (b, _) -> drop_entry t b) entries;
+          Error (Errors.Store_failure msg))
+
 let free t b =
   drop_entry t b;
   ignore (t.store.Store.free b)

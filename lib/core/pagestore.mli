@@ -50,6 +50,13 @@ val write : t -> int -> Page.t -> (unit, Errors.t) result
 val write_through : t -> int -> Page.t -> (unit, Errors.t) result
 (** Immediately durable (used for version pages in the commit path). *)
 
+val write_through_batch : t -> (int * Page.t) list -> (unit, Errors.t) result
+(** Durably write all pages in one store [write_batch] — the group-commit
+    publish leg, one amortised stable-storage round trip on a stable-pair
+    backend. Every page is size-checked before the first write; the store
+    stops at the first error, so a failure leaves a prefix of the batch
+    durable and drops every cached copy of the batch's blocks. *)
+
 val flush : t -> (unit, Errors.t) result
 val flush_block : t -> int -> (unit, Errors.t) result
 

@@ -45,11 +45,20 @@ type t = {
   destroyed : (int, unit) Hashtbl.t;
   counters : Stats.Counter.t;
   name : string;
+  (* Commit batch window advertised to the RPC front end: 1 = commit each
+     request by itself (the paper's behaviour), n > 1 = let up to n queued
+     commits share one validate → merge → publish pipeline run. *)
+  group_commit : int;
+  (* Invoked between commit-lock retries with the attempt number; the
+     default does nothing (a bounded spin, as before). Hosts with a
+     scheduler can install a deterministic backoff here. *)
+  lock_backoff : int -> unit;
   mutable trace : Trace.t;
 }
 
 let create ?(page_cache = true) ?cache_capacity ?(seed = 0xA40EBA) ?ports ?(name = "")
-    ?(trace = Trace.null) store =
+    ?(group_commit = 1) ?(lock_backoff = fun _ -> ()) ?(trace = Trace.null) store =
+  if group_commit < 1 then invalid_arg "Server.create: group_commit must be >= 1";
   let port_registry = match ports with Some p -> p | None -> Ports.create () in
   let counters = Stats.Counter.create () in
   {
@@ -64,10 +73,13 @@ let create ?(page_cache = true) ?cache_capacity ?(seed = 0xA40EBA) ?ports ?(name
     destroyed = Hashtbl.create 8;
     counters;
     name;
+    group_commit;
+    lock_backoff;
     trace;
   }
 
 let name t = t.name
+let group_commit t = t.group_commit
 
 let trace t = t.trace
 let set_trace t tr = t.trace <- tr
@@ -630,18 +642,82 @@ let split_page t cap ~path ~at =
         Ok (Pagepath.child parent (position + 1))
       end
 
-(* {2 Commit (§5.2)} *)
+(* {2 Commit (§5.2): the validate → merge → publish pipeline}
 
-let acquire_commit_lock t block =
-  (* The critical section is a handful of in-memory operations; contention
-     can only come from another server physically sharing the store, so a
-     bounded spin suffices in this single-threaded harness. *)
-  let rec spin n =
-    if Pagestore.lock t.ps block then Ok ()
-    else if n = 0 then Error (Store_failure "commit lock contention")
-    else spin (n - 1)
-  in
-  spin 1024
+   A commit is three stages. [validate] is the paper's test-and-set of
+   the base version's commit reference under the store lock — the only
+   fencing point in the whole pipeline. [merge] handles an interception:
+   the write-set pre-test, then the serialisability tree walk that
+   rebases the candidate onto the committed successor. [publish] makes
+   the winning commit references durable and updates the in-memory
+   administration.
+
+   A single commit runs the stages back to back, publishing its
+   reference inside the validate lock exactly as before. A group-commit
+   batch ([commit_batch]) instead runs each member through validate and
+   merge with publication *deferred*: winning references are recorded in
+   a batch context (an overlay later members' test-and-sets consult) and
+   all base locks are retained, then one [publish] writes every winner's
+   reference in a single amortised stable-storage leg. Because members
+   run strictly in submission order against the same overlay a
+   sequential run would leave on disk, a batch's outcomes — and the
+   final store image — are identical to committing its members one by
+   one; only the cost is different. *)
+
+(* Bound on commit-lock retries; with the default no-op backoff this is
+   the old bounded spin. *)
+let lock_retry_limit = 1024
+
+type commit_ctx = {
+  deferred : bool;  (** False: publish inside the validate lock (single commit). *)
+  held : (int, unit) Hashtbl.t;  (** Store locks this pipeline run holds. *)
+  pending : (int, int) Hashtbl.t;
+      (** Winning test-and-sets not yet durable: base block → successor.
+          The overlay later batch members' validates read first. *)
+  mutable publish_refs : (int * Page.t) list;  (** Newest first. *)
+  mutable winners : version_record list;  (** Newest first. *)
+  mutable unions : (int * Writeset.t) list;
+      (** Per-file union of the admitted winners' write sets, for the
+          one-pass batch pre-test. *)
+}
+
+let fresh_ctx ~deferred () =
+  {
+    deferred;
+    held = Hashtbl.create 4;
+    pending = Hashtbl.create 4;
+    publish_refs = [];
+    winners = [];
+    unions = [];
+  }
+
+let acquire_commit_lock t ctx block =
+  (* Re-entrant within one pipeline run: a deferred batch keeps its locks
+     until publish, and a later member may chain onto a block an earlier
+     member already locked. *)
+  if Hashtbl.mem ctx.held block then Ok ()
+  else
+    (* The critical section is a handful of in-memory operations;
+       contention can only come from another server physically sharing
+       the store. Between retries the host's backoff hook runs (default:
+       nothing, a bounded spin as in this single-threaded harness). *)
+    let rec attempt n =
+      if Pagestore.lock t.ps block then begin
+        Hashtbl.replace ctx.held block ();
+        Ok ()
+      end
+      else if n >= lock_retry_limit then Error (Store_failure "commit lock contention")
+      else begin
+        bump t "commits.lock_retries";
+        t.lock_backoff n;
+        attempt (n + 1)
+      end
+    in
+    attempt 0
+
+let release_commit_lock t ctx block =
+  Hashtbl.remove ctx.held block;
+  Pagestore.unlock t.ps block
 
 let finish_commit t v =
   v.status <- Committed;
@@ -652,88 +728,222 @@ let finish_commit t v =
   | None -> ());
   bump t "commits.ok"
 
+(* Stage 1 — the test-and-set of [base_block]'s commit reference, under
+   the store lock. [Ok None] = won; [Ok (Some s)] = intercepted by [s].
+   Deferred mode records the win in the batch overlay instead of writing
+   it through, and keeps the lock for publish. *)
+let validate t ctx ~vb base_block =
+  let* () = acquire_commit_lock t ctx base_block in
+  let outcome =
+    match Hashtbl.find_opt ctx.pending base_block with
+    | Some successor -> Ok (Some successor)
+    | None -> (
+        Pagestore.invalidate t.ps base_block;
+        let* bpage = read_pg t base_block in
+        match bpage.Page.header.Page.commit_ref with
+        | Some successor -> Ok (Some successor)
+        | None ->
+            let header = { bpage.Page.header with Page.commit_ref = Some vb } in
+            let page = Page.with_header bpage header in
+            if ctx.deferred then begin
+              Hashtbl.replace ctx.pending base_block vb;
+              ctx.publish_refs <- (base_block, page) :: ctx.publish_refs;
+              Ok None
+            end
+            else
+              let* () = Pagestore.write_through t.ps base_block page in
+              Ok None)
+  in
+  if not ctx.deferred then release_commit_lock t ctx base_block;
+  tpoint t
+    (Trace.Test_and_set
+       { block = base_block; won = (match outcome with Ok None -> true | _ -> false) });
+  outcome
+
+let abandon t (v : version_record) outcome_name =
+  (match Hashtbl.find_opt t.files v.file_obj with
+  | Some file -> forget_uncommitted file v.vblock
+  | None -> ());
+  free_private_pages t v.vblock;
+  v.status <- Aborted;
+  v.wset <- None;
+  tpoint t (Trace.Commit_outcome { vblock = v.vblock; outcome = outcome_name });
+  Error Conflict
+
+type merge_verdict = Rebased | Doomed of string
+
+(* Stage 2 — an interception by [successor]: the §5.2 write-set pre-test,
+   then the serialisability tree walk that rebases the candidate.
+   [Rebased] means retry the test-and-set at the successor. *)
+let merge t v ~successor =
+  let vb = v.vblock in
+  bump t "commits.intercepted";
+  (* When both sides carry the incremental administration, the §5.2
+     conflict conditions can be decided from the two flag maps alone —
+     disjoint (or merely read-shared) updates are told apart without
+     reading a single page of either tree. Only the no-conflict answer
+     still needs the tree walk, for the merge. *)
+  tpoint t (Trace.Commit_phase { vblock = vb; phase = "pretest" });
+  let precheck =
+    match v.wset with
+    | None -> None
+    | Some candidate -> (
+        match Hashtbl.find_opt t.versions successor with
+        | Some { wset = Some committed; _ } -> Writeset.conflict ~candidate ~committed
+        | _ -> None)
+  in
+  match precheck with
+  | Some _ ->
+      bump t "commits.shortcircuit";
+      bump t "commits.conflict";
+      Ok (Doomed "shortcircuit")
+  | None -> (
+      tpoint t (Trace.Commit_phase { vblock = vb; phase = "serialise" });
+      match Serialise.test_and_merge t.ps ~candidate:vb ~committed:successor with
+      | Error e -> Error e
+      | Ok (Serialise.Conflict { stats; _ }) ->
+          bump t ~by:stats.Serialise.pages_visited "serialise.pages_visited";
+          bump t "commits.conflict";
+          Ok (Doomed "conflict")
+      | Ok (Serialise.Serialisable stats) ->
+          bump t ~by:stats.Serialise.pages_visited "serialise.pages_visited";
+          tpoint t (Trace.Commit_phase { vblock = vb; phase = "merge" });
+          let* () = Pagestore.flush t.ps in
+          Ok Rebased)
+
+(* Stage 3 — durability and administration. All deferred commit
+   references go to the store in one [write_through_batch] (one
+   amortised stable-storage leg on a stable-pair backend), then the
+   winners are finished oldest first and every held lock is released.
+   The store writes the references in submission order and stops at the
+   first error, so a mid-batch failure leaves a durable prefix: each
+   member is either completely committed (its pages were flushed before
+   its reference was written) or not committed at all. *)
+let publish t ctx =
+  let result =
+    match List.rev ctx.publish_refs with
+    | [] -> Ok ()
+    | refs -> Pagestore.write_through_batch t.ps refs
+  in
+  (match result with
+  | Ok () -> List.iter (finish_commit t) (List.rev ctx.winners)
+  | Error _ -> ());
+  List.iter (fun b -> release_commit_lock t ctx b) (Det.sorted_keys ctx.held);
+  ctx.publish_refs <- [];
+  Hashtbl.reset ctx.pending;
+  result
+
+(* Record an admitted batch winner: publication is deferred, and its
+   write set joins the per-file union later members pre-test against. *)
+let note_batch_winner ctx v =
+  ctx.winners <- v :: ctx.winners;
+  match v.wset with
+  | None -> ()
+  | Some ws ->
+      let u =
+        match List.assoc_opt v.file_obj ctx.unions with
+        | Some u -> Writeset.union u ws
+        | None -> ws
+      in
+      ctx.unions <- (v.file_obj, u) :: List.remove_assoc v.file_obj ctx.unions
+
+(* Drive one version through the pipeline. In a deferred batch, a member
+   whose write set conflicts with the union of the already-admitted
+   winners' write sets is doomed by one [Writeset.conflict] pass —
+   conflict against the union is conflict against some member (the
+   conditions are monotone in the committed flags), so this is exactly
+   the abort the chain walk would reach, attributed per transaction
+   without dooming the rest of the batch. *)
+let commit_version t ctx v =
+  Trace.span t.trace ~kind:"commit" ~label:t.name (fun () ->
+      (* "First it ascertains that all of V.b's pages are safely on disk." *)
+      let* () = Pagestore.flush t.ps in
+      let vb = v.vblock in
+      let* vpage = read_pg t vb in
+      let* base0 =
+        match vpage.Page.header.Page.base_ref with
+        | Some b -> Ok b
+        | None -> Error (Store_failure "uncommitted version has no base reference")
+      in
+      let batch_conflict =
+        if not ctx.deferred then None
+        else
+          match (v.wset, List.assoc_opt v.file_obj ctx.unions) with
+          | Some candidate, Some committed -> Writeset.conflict ~candidate ~committed
+          | _ -> None
+      in
+      match batch_conflict with
+      | Some _ ->
+          bump t "commits.intercepted";
+          tpoint t (Trace.Commit_phase { vblock = vb; phase = "pretest" });
+          bump t "commits.shortcircuit";
+          bump t "commits.conflict";
+          abandon t v "shortcircuit"
+      | None ->
+          let rec attempt base_block =
+            match validate t ctx ~vb base_block with
+            | Error e -> Error e
+            | Ok None ->
+                let outcome_name = if base_block = base0 then "fastpath" else "merged" in
+                bump t (if base_block = base0 then "commits.fastpath" else "commits.merged");
+                tpoint t (Trace.Commit_outcome { vblock = vb; outcome = outcome_name });
+                if ctx.deferred then begin
+                  note_batch_winner ctx v;
+                  Ok ()
+                end
+                else begin
+                  ctx.winners <- [ v ];
+                  publish t ctx
+                end
+            | Ok (Some successor) -> (
+                match merge t v ~successor with
+                | Error e -> Error e
+                | Ok (Doomed reason) -> abandon t v reason
+                | Ok Rebased -> attempt successor)
+          in
+          attempt base0)
+
 let commit t cap =
   let* v = mutable_version t cap ~need:Capability.right_commit in
-  Trace.span t.trace ~kind:"commit" ~label:t.name (fun () ->
-  (* "First it ascertains that all of V.b's pages are safely on disk." *)
-  let* () = Pagestore.flush t.ps in
-  let vb = v.vblock in
-  let* vpage = read_pg t vb in
-  let* base0 =
-    match vpage.Page.header.Page.base_ref with
-    | Some b -> Ok b
-    | None -> Error (Store_failure "uncommitted version has no base reference")
-  in
-  let rec attempt base_block =
-    let* () = acquire_commit_lock t base_block in
-    Pagestore.invalidate t.ps base_block;
-    let outcome =
-      let* bpage = read_pg t base_block in
-      match bpage.Page.header.Page.commit_ref with
-      | None ->
-          let header = { bpage.Page.header with Page.commit_ref = Some vb } in
-          let* () = Pagestore.write_through t.ps base_block (Page.with_header bpage header) in
-          Ok None
-      | Some successor -> Ok (Some successor)
-    in
-    Pagestore.unlock t.ps base_block;
-    tpoint t
-      (Trace.Test_and_set
-         { block = base_block; won = (match outcome with Ok None -> true | _ -> false) });
-    match outcome with
-    | Error e -> Error e
-    | Ok None ->
-        let outcome_name = if base_block = base0 then "fastpath" else "merged" in
-        bump t (if base_block = base0 then "commits.fastpath" else "commits.merged");
-        tpoint t (Trace.Commit_outcome { vblock = vb; outcome = outcome_name });
-        finish_commit t v;
-        Ok ()
-    | Ok (Some successor) -> (
-        bump t "commits.intercepted";
-        let abandon outcome_name =
-          (match Hashtbl.find_opt t.files v.file_obj with
-          | Some file -> forget_uncommitted file vb
-          | None -> ());
-          free_private_pages t vb;
-          v.status <- Aborted;
-          v.wset <- None;
-          tpoint t (Trace.Commit_outcome { vblock = vb; outcome = outcome_name });
-          Error Conflict
-        in
-        (* When both sides carry the incremental administration, the §5.2
-           conflict conditions can be decided from the two flag maps alone
-           — disjoint (or merely read-shared) updates are told apart
-           without reading a single page of either tree. Only the
-           no-conflict answer still needs the tree walk, for the merge. *)
-        tpoint t (Trace.Commit_phase { vblock = vb; phase = "pretest" });
-        let precheck =
-          match v.wset with
-          | None -> None
-          | Some candidate -> (
-              match Hashtbl.find_opt t.versions successor with
-              | Some { wset = Some committed; _ } -> Writeset.conflict ~candidate ~committed
-              | _ -> None)
-        in
-        match precheck with
-        | Some _ ->
-            bump t "commits.shortcircuit";
-            bump t "commits.conflict";
-            abandon "shortcircuit"
-        | None -> (
-            tpoint t (Trace.Commit_phase { vblock = vb; phase = "serialise" });
-            match Serialise.test_and_merge t.ps ~candidate:vb ~committed:successor with
-            | Error e -> Error e
-            | Ok (Serialise.Conflict { stats; _ }) ->
-                bump t ~by:stats.Serialise.pages_visited "serialise.pages_visited";
-                bump t "commits.conflict";
-                abandon "conflict"
-            | Ok (Serialise.Serialisable stats) ->
-                bump t ~by:stats.Serialise.pages_visited "serialise.pages_visited";
-                tpoint t (Trace.Commit_phase { vblock = vb; phase = "merge" });
-                let* () = Pagestore.flush t.ps in
-                attempt successor))
-  in
-  attempt base0)
+  commit_version t (fresh_ctx ~deferred:false ()) v
+
+let commit_batch t caps =
+  match caps with
+  | [] -> []
+  | [ cap ] ->
+      bump t "commits.batches";
+      bump t "commits.batch_members";
+      [ commit t cap ]
+  | caps ->
+      let size = List.length caps in
+      bump t "commits.batches";
+      bump t ~by:size "commits.batch_members";
+      let ctx = fresh_ctx ~deferred:true () in
+      Trace.span t.trace ~kind:"commit_batch" ~label:t.name (fun () ->
+          let results =
+            List.map
+              (fun cap ->
+                match mutable_version t cap ~need:Capability.right_commit with
+                | Error e -> Error e
+                | Ok v -> commit_version t ctx v)
+              caps
+          in
+          let winners = List.length ctx.winners in
+          let aborts =
+            List.fold_left (fun n -> function Error Conflict -> n + 1 | _ -> n) 0 results
+          in
+          match publish t ctx with
+          | Ok () ->
+              tpoint t (Trace.Commit_batch { size; winners; aborts });
+              results
+          | Error e ->
+              (* The amortised publish leg failed mid-batch. The prefix of
+                 winners whose references reached the store is durably
+                 committed on disk, but this server can no longer vouch
+                 for any member — surface the store failure to every
+                 would-be winner; recovery reads the truth back. *)
+              tpoint t (Trace.Commit_batch { size; winners = 0; aborts });
+              List.map (function Ok () -> Error e | r -> r) results)
 
 let flush_version t cap =
   let* _ = find_version t cap ~need:Capability.rights_none in

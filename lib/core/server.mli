@@ -30,6 +30,8 @@ val create :
   ?seed:int ->
   ?ports:Ports.t ->
   ?name:string ->
+  ?group_commit:int ->
+  ?lock_backoff:(int -> unit) ->
   ?trace:Afs_trace.Trace.t ->
   Store.t ->
   t
@@ -41,9 +43,23 @@ val create :
     each test-and-set of a base's commit reference, the pretest /
     serialise / merge phases and the final outcome; [name] (e.g. the
     owning cluster shard's id) becomes the span's label, so per-shard
-    commit traffic is separable in a cluster trace. *)
+    commit traffic is separable in a cluster trace.
+
+    [group_commit] (default 1, must be ≥ 1) is the commit batch window
+    the RPC front end may use: how many queued commit requests may share
+    one {!commit_batch} pipeline run. The server itself never batches —
+    1 preserves the paper's one-at-a-time behaviour exactly.
+
+    [lock_backoff] runs between commit-lock retries with the attempt
+    number (0-based); the default does nothing, making lock acquisition
+    the old bounded spin. A host sharing the store between servers can
+    install a deterministic backoff that lets the holder finish; each
+    retry bumps counter [commits.lock_retries]. *)
 
 val name : t -> string
+
+val group_commit : t -> int
+(** The batch window [create] was given. *)
 
 val trace : t -> Afs_trace.Trace.t
 val set_trace : t -> Afs_trace.Trace.t -> unit
@@ -139,7 +155,29 @@ val commit : t -> Afs_util.Capability.t -> unit Errors.r
     conditions are first decided from the two maps alone — a conflicting
     commit is rejected without reading any page of either tree (counter
     [commits.shortcircuit]); only the no-conflict case still walks the
-    trees, to build the merge. *)
+    trees, to build the merge.
+
+    Internally a commit is the validate → merge → publish pipeline: the
+    test-and-set of the base's commit reference under the store lock (the
+    only fencing point), the pre-test plus serialisability walk on
+    interception, and the durable write of the winning reference. A
+    single commit publishes inside the validate lock, exactly the
+    behaviour above. *)
+
+val commit_batch : t -> Afs_util.Capability.t list -> unit Errors.r list
+(** Group commit: run every capability through validate and merge in
+    submission order with publication deferred — winning references
+    collect in a batch overlay that later members' test-and-sets consult,
+    and a member conflicting with the union of the admitted winners'
+    write sets ({!Writeset.union}) is doomed by one pre-test pass without
+    dooming the batch — then publish all winners' references in one
+    amortised stable-storage leg ({!Pagestore.write_through_batch}).
+    Outcomes, counters of record ([commits.ok] / [commits.conflict]) and
+    the final store image are identical to committing the members one by
+    one; one result per capability, in order. If the publish leg fails,
+    the durable prefix of winners is committed on disk but every would-be
+    winner gets the store error — recovery reads the truth back. Emits
+    one [Trace.Commit_batch] point per batch. *)
 
 val flush_version : t -> Afs_util.Capability.t -> unit Errors.r
 

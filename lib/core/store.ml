@@ -7,16 +7,36 @@ type t = {
   free : int -> (unit, string) result;
   read : int -> (bytes, string) result;
   write : int -> bytes -> (unit, string) result;
+  write_batch : (int * bytes) list -> (unit, string) result;
   lock : int -> bool;
   unlock : int -> unit;
   list_blocks : unit -> (int list, string) result;
 }
+
+(* Default batch write: the single writes in order, stopping at the first
+   error so the durable state is always a prefix of the batch. Backends
+   with a real amortisation opportunity (the stable pair's companion hop)
+   override this. *)
+let sequential_batch write entries =
+  let rec go = function
+    | [] -> Ok ()
+    | (b, data) :: rest -> ( match write b data with Ok () -> go rest | Error _ as e -> e)
+  in
+  go entries
 
 let memory ?(block_size = 32768) () =
   let blocks : (int, bytes) Hashtbl.t = Hashtbl.create 1024 in
   let allocated : (int, unit) Hashtbl.t = Hashtbl.create 1024 in
   let locks : (int, unit) Hashtbl.t = Hashtbl.create 16 in
   let next = ref 0 in
+  let write b data =
+    if Bytes.length data > block_size then Error "block too large"
+    else begin
+      Hashtbl.replace allocated b ();
+      Hashtbl.replace blocks b (Bytes.copy data);
+      Ok ()
+    end
+  in
   {
     block_size;
     allocate =
@@ -35,14 +55,8 @@ let memory ?(block_size = 32768) () =
         match Hashtbl.find_opt blocks b with
         | Some data -> Ok (Bytes.copy data)
         | None -> Error (Printf.sprintf "block %d never written" b));
-    write =
-      (fun b data ->
-        if Bytes.length data > block_size then Error "block too large"
-        else begin
-          Hashtbl.replace allocated b ();
-          Hashtbl.replace blocks b (Bytes.copy data);
-          Ok ()
-        end);
+    write;
+    write_batch = sequential_batch write;
     lock =
       (fun b ->
         if Hashtbl.mem locks b then false
@@ -61,12 +75,14 @@ let of_block_server server ~account =
   let lift : type a. a Block_server.outcome -> (a, string) result =
    fun outcome -> Result.map_error string_of_block_error outcome.Block_server.result
   in
+  let write b data = lift (Block_server.write server account b data) in
   {
     block_size = Block_server.block_size server;
     allocate = (fun () -> lift (Block_server.allocate server account));
     free = (fun b -> lift (Block_server.deallocate server account b));
     read = (fun b -> lift (Block_server.read server account b));
-    write = (fun b data -> lift (Block_server.write server account b data));
+    write;
+    write_batch = sequential_batch write;
     lock =
       (fun b ->
         match (Block_server.lock server account b).Block_server.result with
@@ -113,6 +129,9 @@ let of_stable_pair pair =
             lift (Stable_pair.free pair i b)));
     read = (fun b -> via (fun i -> lift (Stable_pair.read pair i b)));
     write = (fun b data -> via (fun i -> lift (Stable_pair.write pair i b data)));
+    (* The whole batch rides one A→B→A round trip: the companion hop is
+       charged once however many commit references the batch carries. *)
+    write_batch = (fun entries -> via (fun i -> lift (Stable_pair.write_batch pair i entries)));
     lock =
       (fun b ->
         if Hashtbl.mem locks b then false
@@ -144,6 +163,14 @@ let worm_hybrid ?(bulk_media = Afs_disk.Media.optical)
   let lift_disk : type a. a Disk.outcome -> (a, string) result =
    fun o -> Result.map_error (Fmt.str "%a" Disk.pp_error) o.Disk.result
   in
+  let write b data =
+    if Hashtbl.mem redirected b then lift_disk (Disk.write index b data)
+    else if Disk.is_written bulk b then begin
+      Hashtbl.replace redirected b ();
+      lift_disk (Disk.write index b data)
+    end
+    else lift_disk (Disk.write bulk b data)
+  in
   let store =
     {
       block_size;
@@ -167,14 +194,8 @@ let worm_hybrid ?(bulk_media = Afs_disk.Media.optical)
         (fun b ->
           if Hashtbl.mem redirected b then lift_disk (Disk.read index b)
           else lift_disk (Disk.read bulk b));
-      write =
-        (fun b data ->
-          if Hashtbl.mem redirected b then lift_disk (Disk.write index b data)
-          else if Disk.is_written bulk b then begin
-            Hashtbl.replace redirected b ();
-            lift_disk (Disk.write index b data)
-          end
-          else lift_disk (Disk.write bulk b data));
+      write;
+      write_batch = sequential_batch write;
       lock =
         (fun b ->
           if Hashtbl.mem locks b then false
@@ -211,5 +232,9 @@ let counting inner =
         (fun b data ->
           incr writes;
           inner.write b data);
+      write_batch =
+        (fun entries ->
+          writes := !writes + List.length entries;
+          inner.write_batch entries);
     },
     fun () -> (!reads, !writes) )

@@ -16,6 +16,12 @@ type t = {
   free : int -> (unit, string) result;
   read : int -> (bytes, string) result;
   write : int -> bytes -> (unit, string) result;
+  write_batch : (int * bytes) list -> (unit, string) result;
+      (** The writes in order, stopping at the first error, so the durable
+          state is always a prefix of the batch. Plain backends perform
+          the single writes; the stable pair amortises its companion hop
+          across the whole batch (one A→B→A round trip) — the leg the
+          group-commit publish stage rides. *)
   lock : int -> bool;  (** False when another holder has it; no queueing. *)
   unlock : int -> unit;
   list_blocks : unit -> (int list, string) result;

@@ -125,3 +125,10 @@ let conflict ~candidate ~committed =
   | exception Found (p, reason) -> Some (p, reason)
 
 let equal = Pagepath.Map.equal Flags.equal
+
+(* Per-path least upper bound. Every conflict condition above is monotone
+   in the committed flags, so [conflict ~candidate ~committed:(union a b)]
+   answers [Some] exactly when it would against [a] or against [b] — which
+   lets a group-commit batch pre-test a member against all already-admitted
+   write sets in one pass instead of one per winner. *)
+let union = Pagepath.Map.union (fun _ a b -> Some (Flags.union a b))

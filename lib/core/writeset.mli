@@ -73,4 +73,12 @@ val conflict : candidate:t -> committed:t -> (Afs_util.Pagepath.t * string) opti
     accessed below. [None] means the tree walk will find the schedule
     serialisable (the maps are exactly the trees' flags). *)
 
+val union : t -> t -> t
+(** Pointwise {!Flags.union} of two write sets over the same file's
+    coordinate space. The conflict conditions are monotone per-path
+    predicates of the committed flags, so
+    [conflict ~candidate ~committed:(union a b)] is [Some] iff it would
+    be against [a] or against [b] — one pass over a group-commit batch's
+    admitted write sets answers for every member. *)
+
 val equal : t -> t -> bool

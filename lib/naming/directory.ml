@@ -61,7 +61,17 @@ let cluster_access client =
     a_read_cached = Cluster_client.read_current client;
   }
 
-type t = { access : access; dir : Capability.t; buckets : int }
+type t = {
+  access : access;
+  dir : Capability.t;
+  buckets : int;
+  (* Deferred updates, newest first: [Some cap] binds, [None] removes.
+     They cost no I/O when queued and ride the next update transaction
+     that touches the directory — the naming-layer analogue of group
+     commit: directory metadata joins an existing commit instead of
+     forcing its own. *)
+  mutable pending : (string * Capability.t option) list;
+}
 
 (* {2 Entry encoding} *)
 
@@ -133,12 +143,12 @@ let create_with access ?(buckets = 16) () =
         in
         add 0)
   in
-  Ok { access; dir; buckets }
+  Ok { access; dir; buckets; pending = [] }
 
 let of_capability_with access dir =
   let* meta = access.a_read_current dir Pagepath.root in
   let* buckets = decode_meta meta in
-  Ok { access; dir; buckets }
+  Ok { access; dir; buckets; pending = [] }
 
 let create client ?buckets () = create_with (client_access client) ?buckets ()
 let of_capability client dir = of_capability_with (client_access client) dir
@@ -146,39 +156,84 @@ let of_capability client dir = of_capability_with (client_access client) dir
 let capability t = t.dir
 let buckets t = t.buckets
 
-let update_bucket t name f =
-  t.access.a_update t.dir (fun txn ->
-      let path = bucket_path t name in
-      let* data = txn.t_read path in
-      let* entries = decode_entries data in
-      match f entries with
-      | None -> Ok false (* No change needed. *)
-      | Some entries' ->
-          let* () = txn.t_write path (encode_entries entries') in
-          Ok true)
+let apply_op entries (name, op) =
+  match op with
+  | Some cap -> (name, cap) :: List.remove_assoc name entries
+  | None -> List.remove_assoc name entries
 
-let enter t name cap =
-  let* _ =
-    update_bucket t name (fun entries ->
-        Some ((name, cap) :: List.remove_assoc name entries))
+(* Apply [ops] (oldest first) inside one update transaction: each touched
+   bucket is read, edited through the whole op list and written exactly
+   once, however many deferred updates ride along. *)
+let apply_ops t txn ops =
+  let rec per_bucket = function
+    | [] -> Ok ()
+    | bi :: rest ->
+        let path = Pagepath.of_list [ bi ] in
+        let* data = txn.t_read path in
+        let* entries = decode_entries data in
+        let entries' =
+          List.fold_left
+            (fun es (name, op) -> if bucket_of t name = bi then apply_op es (name, op) else es)
+            entries ops
+        in
+        let* () = txn.t_write path (encode_entries entries') in
+        per_bucket rest
   in
+  per_bucket (List.sort_uniq compare (List.map (fun (name, _) -> bucket_of t name) ops))
+
+(* One commit carries the queued ops plus [extra]; the queue empties only
+   on success ([a_update] retries conflicts internally, so a failure here
+   is final for this attempt and the queue survives for the next one). *)
+let run_with_pending t extra =
+  let ops = List.rev_append t.pending extra in
+  let* () = t.access.a_update t.dir (fun txn -> apply_ops t txn ops) in
+  t.pending <- [];
   Ok ()
 
+let enter t name cap = run_with_pending t [ (name, Some cap) ]
+
+let enter_deferred t name cap = t.pending <- (name, Some cap) :: t.pending
+
+let remove_deferred t name = t.pending <- (name, None) :: t.pending
+
+let pending_count t = List.length t.pending
+
+let flush t = if t.pending = [] then Ok () else run_with_pending t []
+
 let lookup t name =
-  let* data = t.access.a_read_cached t.dir (bucket_path t name) in
-  let* entries = decode_entries data in
-  Ok (List.assoc_opt name entries)
+  (* The deferred queue is this client's authoritative overlay: the
+     newest queued op for a name wins over the stored bucket. *)
+  match List.assoc_opt name t.pending with
+  | Some op -> Ok op
+  | None ->
+      let* data = t.access.a_read_cached t.dir (bucket_path t name) in
+      let* entries = decode_entries data in
+      Ok (List.assoc_opt name entries)
 
 let remove t name =
-  update_bucket t name (fun entries ->
-      if List.mem_assoc name entries then Some (List.remove_assoc name entries) else None)
+  let ops = List.rev t.pending in
+  let* existed =
+    t.access.a_update t.dir (fun txn ->
+        let* () = apply_ops t txn ops in
+        let path = bucket_path t name in
+        let* data = txn.t_read path in
+        let* entries = decode_entries data in
+        if List.mem_assoc name entries then
+          let* () = txn.t_write path (encode_entries (List.remove_assoc name entries)) in
+          Ok true
+        else Ok false)
+  in
+  t.pending <- [];
+  Ok existed
 
 let list_names t =
   let rec go i acc =
-    if i >= t.buckets then Ok (List.sort String.compare acc)
+    if i >= t.buckets then
+      let visible = List.fold_left apply_op acc (List.rev t.pending) in
+      Ok (List.sort String.compare (List.map fst visible))
     else
       let* data = t.access.a_read_cached t.dir (Pagepath.of_list [ i ]) in
       let* entries = decode_entries data in
-      go (i + 1) (List.rev_append (List.map fst entries) acc)
+      go (i + 1) (List.rev_append entries acc)
   in
   go 0 []

@@ -71,8 +71,34 @@ let host ?latency_ms ?proc_ms ?disks ?wrap engine ~name server =
   let handler =
     match wrap with None -> handle server | Some w -> w (handle server)
   in
+  (* The server's group-commit window turns into an RPC batcher: queued
+     Commit requests drain together and run through one
+     [Server.commit_batch] pipeline, paying the request overheads and the
+     stable-storage publish leg once per batch. Commit carries its own
+     capability, so it needs none of [wrap]'s routing checks (shard
+     wrappers pass it through untouched). *)
+  let batching =
+    let window = Server.group_commit server in
+    if window <= 1 then None
+    else
+      Some
+        {
+          Rpc.window;
+          batchable = (function Commit _ -> true | _ -> false);
+          handle_batch =
+            (fun reqs ->
+              let caps =
+                List.filter_map (function Commit cap -> Some cap | _ -> None) reqs
+              in
+              List.map
+                (fun r -> Result.map (fun () -> Unit) r)
+                (Server.commit_batch server caps));
+        }
+  in
   {
-    rpc = Rpc.serve ?latency_ms ?proc_ms ?disks ~describe:request_kind engine ~name ~handler;
+    rpc =
+      Rpc.serve ?latency_ms ?proc_ms ?disks ?batching ~describe:request_kind engine ~name
+        ~handler;
     server;
   }
 

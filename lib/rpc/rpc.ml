@@ -17,10 +17,21 @@ type ('req, 'resp) pending = {
   reply : ('resp, call_error) result Ivar.t;
 }
 
+(* Group-commit front end: while the server is busy (one batch in its
+   processing/publish window) batchable requests queue; when it frees up,
+   up to [window] of them are drained and handed to [handle_batch] as one
+   unit, paying the per-request overheads once. *)
+type ('req, 'resp) batcher = {
+  window : int;  (** Max requests served as one batch; must be >= 1. *)
+  batchable : 'req -> bool;
+  handle_batch : 'req list -> 'resp list;  (** Same length, same order. *)
+}
+
 type ('req, 'resp) t = {
   engine : Engine.t;
   name : string;
   handler : 'req -> 'resp;
+  batching : ('req, 'resp) batcher option;
   describe : 'req -> string;
   latency_ms : float;
   proc_ms : float;
@@ -35,34 +46,75 @@ let trace t = Engine.trace t.engine
 
 let disks_busy t = List.fold_left (fun acc d -> acc +. (Disk.stats d).Disk.busy_ms) 0.0 t.disks
 
-(* Serve queued requests one at a time, charging processing and storage
-   time between accepting a request and delivering its reply. *)
+(* Collect up to [window] batchable requests from the whole queue in FIFO
+   order; every other request keeps its position. The commits that queued
+   while the previous batch was in flight are exactly the next batch. *)
+let drain_batch t (b : _ batcher) first =
+  let members = ref [ first ] and n = ref 1 in
+  let keep = Queue.create () in
+  Queue.iter
+    (fun p ->
+      if !n < b.window && b.batchable p.req then begin
+        members := p :: !members;
+        incr n
+      end
+      else Queue.add p keep)
+    t.queue;
+  Queue.clear t.queue;
+  Queue.transfer keep t.queue;
+  List.rev !members
+
+(* Serve queued requests one at a time — or, with a batcher installed, up
+   to [window] batchable requests at once — charging processing and
+   storage time between accepting the work and delivering the replies. *)
 let rec pump t =
   if t.up && not t.busy then
     match Queue.take_opt t.queue with
     | None -> ()
-    | Some { req; op; reply } ->
-        t.busy <- true;
-        let before = disks_busy t in
-        let resp = t.handler req in
-        let storage = disks_busy t -. before in
-        t.served <- t.served + 1;
-        Engine.at t.engine
-          (t.proc_ms +. storage +. t.latency_ms)
-          (fun () ->
-            let tr = trace t in
-            if Trace.enabled tr then
-              Trace.point tr (Trace.Rpc_recv { server = t.name; op });
-            ignore (Ivar.try_fill reply (Ok resp));
-            t.busy <- false;
-            pump t)
+    | Some ({ req; op; reply } as first) -> (
+        match t.batching with
+        | Some b when b.window > 1 && b.batchable req ->
+            let members = drain_batch t b first in
+            t.busy <- true;
+            let before = disks_busy t in
+            let resps = b.handle_batch (List.map (fun p -> p.req) members) in
+            let storage = disks_busy t -. before in
+            t.served <- t.served + List.length members;
+            Engine.at t.engine
+              (t.proc_ms +. storage +. t.latency_ms)
+              (fun () ->
+                let tr = trace t in
+                List.iter2
+                  (fun p resp ->
+                    if Trace.enabled tr then
+                      Trace.point tr (Trace.Rpc_recv { server = t.name; op = p.op });
+                    ignore (Ivar.try_fill p.reply (Ok resp)))
+                  members resps;
+                t.busy <- false;
+                pump t)
+        | _ ->
+            t.busy <- true;
+            let before = disks_busy t in
+            let resp = t.handler req in
+            let storage = disks_busy t -. before in
+            t.served <- t.served + 1;
+            Engine.at t.engine
+              (t.proc_ms +. storage +. t.latency_ms)
+              (fun () ->
+                let tr = trace t in
+                if Trace.enabled tr then
+                  Trace.point tr (Trace.Rpc_recv { server = t.name; op });
+                ignore (Ivar.try_fill reply (Ok resp));
+                t.busy <- false;
+                pump t))
 
-let serve ?(latency_ms = 2.0) ?(proc_ms = 0.2) ?(disks = []) ?(describe = fun _ -> "request")
-    engine ~name ~handler =
+let serve ?(latency_ms = 2.0) ?(proc_ms = 0.2) ?(disks = []) ?batching
+    ?(describe = fun _ -> "request") engine ~name ~handler =
   {
     engine;
     name;
     handler;
+    batching;
     describe;
     latency_ms;
     proc_ms;

@@ -17,10 +17,25 @@ type call_error = Timeout | Server_crashed
 
 val pp_call_error : call_error Fmt.t
 
+type ('req, 'resp) batcher = {
+  window : int;  (** Max requests served as one batch; must be >= 1. *)
+  batchable : 'req -> bool;
+  handle_batch : 'req list -> 'resp list;
+      (** Must return one response per request, in order. *)
+}
+(** Group-commit front end. While the server is busy, batchable requests
+    queue like any other; when it frees up, up to [window] of them are
+    drained from the queue (FIFO among themselves, non-batchable requests
+    keep their positions) and handed to [handle_batch] as one unit,
+    charging [proc_ms], storage growth and the reply latency once for
+    the whole batch. With [window = 1] or no batcher, behaviour is
+    exactly the one-request-at-a-time loop. *)
+
 val serve :
   ?latency_ms:float ->
   ?proc_ms:float ->
   ?disks:Afs_disk.Disk.t list ->
+  ?batching:('req, 'resp) batcher ->
   ?describe:('req -> string) ->
   Afs_sim.Engine.t ->
   name:string ->

@@ -232,6 +232,78 @@ let write_via t i b payload ~require_allocated =
 
 let write t i b payload = write_via t i b payload ~require_allocated:true
 
+(* Amortised §4 write for a group-commit batch: every block rides one
+   A→B→A round trip, so the companion hop is paid once for the whole
+   batch instead of once per block. All blocks must already be allocated
+   (commit references always are). The companion copy of every block is
+   written before any local copy, and the writes stop at the first
+   failure, so a crash mid-batch leaves each block either fully stable,
+   companion-only (repaired forward at restart, exactly as for a single
+   write interrupted between legs) or untouched — never torn. *)
+let write_batch t i entries =
+  match entries with
+  | [] -> ok ()
+  | _ -> (
+      match check_serving t i with
+      | Error e -> fail e
+      | Ok s -> (
+          match List.find_opt (fun (b, _) -> not (Hashtbl.mem s.allocated b)) entries with
+          | Some (b, _) -> fail (Not_allocated b)
+          | None ->
+              let q = companion i in
+              if not (online t q) then begin
+                (* Companion down: local writes plus intentions, exactly as
+                   [write_via] — there is no hop to amortise. *)
+                let rec go cost = function
+                  | [] -> ok ~cost ()
+                  | (b, payload) :: rest -> (
+                      Hashtbl.replace s.intentions b ();
+                      match local_write t i b payload with
+                      | { result = Ok (); cost_ms } -> go (cost +. cost_ms) rest
+                      | { result = Error e; cost_ms } -> fail ~cost:(cost +. cost_ms) e)
+                in
+                go 0.0 entries
+              end
+              else begin
+                let sq = t.servers.(q) in
+                let cost = ref hop_ms in
+                (* Leg 1 (A→B): the companion seals and writes every block. *)
+                let rec shadows acc = function
+                  | [] -> Ok (List.rev acc)
+                  | (b, payload) :: rest ->
+                      if Hashtbl.mem sq.tentative b then Error (Collision b)
+                      else begin
+                        let seq = next_seq t q in
+                        let { Disk.result; cost_ms } = Disk.write sq.disk b (seal seq payload) in
+                        cost := !cost +. cost_ms;
+                        match result with
+                        | Error e -> Error (Disk_error e)
+                        | Ok () ->
+                            Hashtbl.replace sq.allocated b ();
+                            leg t ~leg:"shadow" ~server:q ~block:b ~cost_ms;
+                            shadows ((b, payload, seq) :: acc) rest
+                      end
+                in
+                (* Leg 2 (B→A): the local copies, under the companion's seqs. *)
+                let rec locals = function
+                  | [] -> Ok ()
+                  | (b, payload, seq) :: rest -> (
+                      match raw_local_write t i b payload seq with
+                      | { result = Ok (); cost_ms } ->
+                          cost := !cost +. cost_ms;
+                          locals rest
+                      | { result = Error e; cost_ms } ->
+                          cost := !cost +. cost_ms;
+                          Error e)
+                in
+                match shadows [] entries with
+                | Error e -> fail ~cost:!cost e
+                | Ok sealed -> (
+                    match locals sealed with
+                    | Ok () -> ok ~cost:!cost ()
+                    | Error e -> fail ~cost:!cost e)
+              end))
+
 let max_allocate_retries = 16
 
 let allocate_write t i payload =

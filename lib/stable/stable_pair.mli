@@ -74,6 +74,15 @@ val write : t -> id -> int -> bytes -> unit outcome
 (** Update an allocated block: companion first, then local. Works with the
     companion down (intention recorded). *)
 
+val write_batch : t -> id -> (int * bytes) list -> unit outcome
+(** Update several allocated blocks in one A→B→A round trip: the
+    companion hop is charged once for the whole batch, then every block
+    pays only its two disk writes (all companion copies before any local
+    copy). Stops at the first failing block, so each block ends fully
+    stable, companion-only (repaired at restart) or untouched — never
+    torn. The group-commit publish stage uses this to make all winners'
+    commit references stable for one hop. *)
+
 val read : t -> id -> int -> bytes outcome
 (** Local read with checksum verification; falls back to the companion and
     repairs the local copy on corruption. *)

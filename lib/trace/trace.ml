@@ -20,6 +20,7 @@ type payload =
   | Test_and_set of { block : int; won : bool }
   | Commit_phase of { vblock : int; phase : string }
   | Commit_outcome of { vblock : int; outcome : string }
+  | Commit_batch of { size : int; winners : int; aborts : int }
   | Cache_validate of { file_obj : int; basis : int; current : int; invalid : int }
   | Cache_drop of { file_obj : int; path : string }
   | Stable_leg of { leg : string; server : int; block : int; cost_ms : float }
@@ -45,6 +46,7 @@ let kind_of_payload = function
   | Test_and_set _ -> "commit.test_and_set"
   | Commit_phase _ -> "commit.phase"
   | Commit_outcome _ -> "commit.outcome"
+  | Commit_batch _ -> "commit.batch"
   | Cache_validate _ -> "cache.validate"
   | Cache_drop _ -> "cache.drop"
   | Stable_leg _ -> "stable.leg"
@@ -69,6 +71,8 @@ let fields_of_payload = function
       [ ("block", Int block); ("won", Bool won) ]
   | Commit_phase { vblock; phase } -> [ ("vblock", Int vblock); ("phase", Str phase) ]
   | Commit_outcome { vblock; outcome } -> [ ("vblock", Int vblock); ("outcome", Str outcome) ]
+  | Commit_batch { size; winners; aborts } ->
+      [ ("size", Int size); ("winners", Int winners); ("aborts", Int aborts) ]
   | Cache_validate { file_obj; basis; current; invalid } ->
       [ ("file_obj", Int file_obj); ("basis", Int basis); ("current", Int current);
         ("invalid", Int invalid) ]

@@ -32,6 +32,10 @@ type payload =
   | Commit_outcome of { vblock : int; outcome : string }
       (** [outcome] is ["fastpath"], ["merged"], ["conflict"] or
           ["shortcircuit"]. *)
+  | Commit_batch of { size : int; winners : int; aborts : int }
+      (** One group-commit batch through the validate → merge → publish
+          pipeline: [size] members attempted, [winners] published in one
+          amortised stable-storage leg, [aborts] doomed by conflict. *)
   | Cache_validate of { file_obj : int; basis : int; current : int; invalid : int }
   | Cache_drop of { file_obj : int; path : string }
   | Stable_leg of { leg : string; server : int; block : int; cost_ms : float }

@@ -1,0 +1,8 @@
+(* C1 negative: the three commit-pipeline stages, each a configured
+   critical section, with no yield and no ambient source transitively. *)
+let validate st v = match Store.lock st v with true -> Some v | false -> None
+
+let merge st v =
+  match Store.test_and_merge st v with true -> Ok v | false -> Error "conflict"
+
+let publish st vs = List.iter (fun v -> st := v :: !st) vs

@@ -1,0 +1,363 @@
+(* Group commit: the batched validate → merge → publish pipeline must be
+   observationally identical to committing one at a time — same per-member
+   outcomes, same counters of record, byte-identical final store — while a
+   crash inside the amortised publish leg must still leave every member
+   atomically committed or not. Plus the commit-lock backoff satellite and
+   the naming layer's deferred-update queue. *)
+
+open Afs_core
+open Afs_naming
+module P = Afs_util.Pagepath
+module Capability = Afs_util.Capability
+module Stats = Afs_util.Stats
+module Xrng = Afs_util.Xrng
+module Trace = Afs_trace.Trace
+
+let ok = Helpers.ok
+let ok_str = Helpers.ok_str
+let bytes = Helpers.bytes
+let quick = Helpers.quick
+
+let counter srv name = Stats.Counter.get (Server.counters srv) name
+
+(* {2 Equivalence: batch ≡ sequential} *)
+
+let npages = 4
+
+type txn = { file : int; reads : int list; writes : (int * string) list }
+
+(* A deterministic scenario: a few files, 4..12 transactions each reading
+   and writing a couple of pages of one file. The reads matter: a blind
+   overwrite merges under the §5.2 conditions, so only read/write overlap
+   produces real conflicts. *)
+let gen_scenario seed =
+  let rng = Xrng.create seed in
+  let nfiles = 1 + Xrng.int rng 3 in
+  let ntxns = 4 + Xrng.int rng 9 in
+  let txns =
+    List.init ntxns (fun i ->
+        let file = Xrng.int rng nfiles in
+        let reads = List.init (Xrng.int rng 3) (fun _ -> Xrng.int rng npages) in
+        let nw = 1 + Xrng.int rng 2 in
+        let writes =
+          List.init nw (fun j -> (Xrng.int rng npages, Printf.sprintf "t%d.%d" i j))
+        in
+        { file; reads; writes })
+  in
+  (nfiles, txns)
+
+(* Build the scenario on a fresh server: all versions are prepared before
+   any commit, so the two runs allocate identically and only the commit
+   discipline differs. *)
+let build (nfiles, txns) =
+  let store = Store.memory () in
+  let srv = Server.create ~seed:7 store in
+  let files = Array.init nfiles (fun _ -> Helpers.file_with_pages srv npages) in
+  let caps =
+    List.map
+      (fun txn ->
+        let v = ok (Server.create_version srv files.(txn.file)) in
+        List.iter (fun p -> ignore (ok (Server.read_page srv v (P.of_list [ p ])))) txn.reads;
+        List.iter
+          (fun (p, value) -> ok (Server.write_page srv v (P.of_list [ p ]) (bytes value)))
+          txn.writes;
+        v)
+      txns
+  in
+  (store, srv, caps)
+
+let dump store =
+  let blocks = List.sort compare (ok_str (store.Store.list_blocks ())) in
+  List.map (fun b -> (b, ok_str (store.Store.read b))) blocks
+
+let rec take n l =
+  if n = 0 then ([], l)
+  else
+    match l with
+    | [] -> ([], [])
+    | x :: tl ->
+        let batch, rest = take (n - 1) tl in
+        (x :: batch, rest)
+
+let rec windows w l =
+  match l with
+  | [] -> []
+  | _ ->
+      let batch, rest = take w l in
+      batch :: windows w rest
+
+let prop_batch_equals_sequential =
+  QCheck2.Test.make
+    ~name:"group commit ≡ sequential: outcomes, counters, store image (windows 1/2/4/8)"
+    ~count:40
+    ~print:(fun (seed, w) -> Printf.sprintf "seed=%d window=%d" seed w)
+    QCheck2.Gen.(pair (int_range 1 100_000) (oneofl [ 1; 2; 4; 8 ]))
+    (fun (seed, w) ->
+      let scenario = gen_scenario seed in
+      let store_a, srv_a, caps_a = build scenario in
+      let store_b, srv_b, caps_b = build scenario in
+      let res_a = List.map (Server.commit srv_a) caps_a in
+      let res_b = List.concat_map (Server.commit_batch srv_b) (windows w caps_b) in
+      let same name = counter srv_a name = counter srv_b name in
+      res_a = res_b
+      && dump store_a = dump store_b
+      && same "commits.ok" && same "commits.conflict")
+
+(* {2 Direct batch shapes} *)
+
+let trace_batches trace =
+  List.filter_map
+    (function
+      | Trace.Point { payload = Trace.Commit_batch { size; winners; aborts }; _ } ->
+          Some (size, winners, aborts)
+      | _ -> None)
+    (Trace.events trace)
+
+let test_batch_disjoint_members () =
+  let trace = Trace.ring ~now:(fun () -> 0.0) () in
+  let store = Store.memory () in
+  let srv = Server.create ~seed:7 ~trace store in
+  let f = Helpers.file_with_pages srv npages in
+  let v1 = ok (Server.create_version srv f) in
+  ok (Server.write_page srv v1 (P.of_list [ 0 ]) (bytes "a"));
+  let v2 = ok (Server.create_version srv f) in
+  ok (Server.write_page srv v2 (P.of_list [ 1 ]) (bytes "b"));
+  (match Server.commit_batch srv [ v1; v2 ] with
+  | [ Ok (); Ok () ] -> ()
+  | l -> Alcotest.failf "expected two Ok results, got %d results" (List.length l));
+  (* The first member wins its test-and-set outright; the second finds the
+     first's reference in the batch overlay and merges past it. *)
+  Alcotest.(check int) "merged" 1 (counter srv "commits.merged");
+  Alcotest.(check int) "ok (setup + both members)" 3 (counter srv "commits.ok");
+  Alcotest.(check int) "chain spine" 4 (List.length (ok (Server.committed_chain srv f)));
+  let cur = ok (Server.current_version srv f) in
+  Helpers.check_bytes "first member's write" "a" (ok (Server.read_page srv cur (P.of_list [ 0 ])));
+  Helpers.check_bytes "second member's write" "b" (ok (Server.read_page srv cur (P.of_list [ 1 ])));
+  match trace_batches trace with
+  | [ b ] ->
+      Alcotest.(check (triple int int int)) "batch point: size/winners/aborts" (2, 2, 0) b
+  | l -> Alcotest.failf "expected one Commit_batch point, got %d" (List.length l)
+
+let test_batch_conflicting_member_doomed_alone () =
+  let trace = Trace.ring ~now:(fun () -> 0.0) () in
+  let store = Store.memory () in
+  let srv = Server.create ~seed:7 ~trace store in
+  let f = Helpers.file_with_pages srv npages in
+  let v1 = ok (Server.create_version srv f) in
+  ok (Server.write_page srv v1 (P.of_list [ 0 ]) (bytes "a"));
+  (* The second member reads what the first wrote — the one §5.2 overlap
+     that cannot serialise — then derives a write from it. *)
+  let v2 = ok (Server.create_version srv f) in
+  ignore (ok (Server.read_page srv v2 (P.of_list [ 0 ])));
+  ok (Server.write_page srv v2 (P.of_list [ 1 ]) (bytes "b"));
+  let v3 = ok (Server.create_version srv f) in
+  ok (Server.write_page srv v3 (P.of_list [ 2 ]) (bytes "c"));
+  (match Server.commit_batch srv [ v1; v2; v3 ] with
+  | [ Ok (); Error Errors.Conflict; Ok () ] -> ()
+  | _ -> Alcotest.fail "expected [Ok; Conflict; Ok]");
+  (* The middle member is doomed by the one-pass pre-test against the
+     union of the admitted winners' write sets — without a tree walk and
+     without dooming the member behind it. *)
+  Alcotest.(check int) "shortcircuit" 1 (counter srv "commits.shortcircuit");
+  Alcotest.(check int) "conflict" 1 (counter srv "commits.conflict");
+  let cur = ok (Server.current_version srv f) in
+  Helpers.check_bytes "winner's write survives" "a"
+    (ok (Server.read_page srv cur (P.of_list [ 0 ])));
+  Helpers.check_bytes "doomed member's write vanished" "p1"
+    (ok (Server.read_page srv cur (P.of_list [ 1 ])));
+  Helpers.check_bytes "post-conflict member's write survives" "c"
+    (ok (Server.read_page srv cur (P.of_list [ 2 ])));
+  match trace_batches trace with
+  | [ b ] ->
+      Alcotest.(check (triple int int int)) "batch point: size/winners/aborts" (3, 2, 1) b
+  | l -> Alcotest.failf "expected one Commit_batch point, got %d" (List.length l)
+
+(* {2 Crash inside the publish leg} *)
+
+(* A store that serves [allow] writes and then fails every later one —
+   [write_batch] must be overridden too (the record update would otherwise
+   keep the inner store's batch path, bypassing the injection). *)
+let failing_store ~allow () =
+  let inner = Store.memory () in
+  let remaining = ref allow in
+  let write b data =
+    if !remaining <= 0 then Error "injected: disk gone"
+    else begin
+      decr remaining;
+      inner.Store.write b data
+    end
+  in
+  let rec write_batch = function
+    | [] -> Ok ()
+    | (b, data) :: rest -> (
+        match write b data with Ok () -> write_batch rest | Error _ as e -> e)
+  in
+  { inner with Store.write; write_batch }
+
+(* Two files, one updating member each: both win validation, so the batch
+   publishes two commit references in one leg. *)
+let crash_scenario store =
+  let srv = Server.create ~seed:7 store in
+  let f1 = Helpers.file_with_pages srv 2 in
+  let f2 = Helpers.file_with_pages srv 2 in
+  let v1 = ok (Server.create_version srv f1) in
+  ok (Server.write_page srv v1 (P.of_list [ 0 ]) (bytes "one"));
+  let v2 = ok (Server.create_version srv f2) in
+  ok (Server.write_page srv v2 (P.of_list [ 0 ]) (bytes "two"));
+  (srv, [ v1; v2 ])
+
+let test_crash_mid_batch_atomic_per_member () =
+  (* Dry run on a counting store to learn the total write count; the last
+     two writes of the run are the two publish references. *)
+  let counted, stats = Store.counting (Store.memory ()) in
+  let srv0, caps0 = crash_scenario counted in
+  List.iter (fun r -> ok r) (Server.commit_batch srv0 caps0);
+  let _, total_writes = stats () in
+  (* Real run: allow everything but the final write, so the first member's
+     reference lands and the second member's does not. *)
+  let store = failing_store ~allow:(total_writes - 1) () in
+  let srv, caps = crash_scenario store in
+  (match Server.commit_batch srv caps with
+  | [ Error (Errors.Store_failure m1); Error (Errors.Store_failure m2) ] ->
+      Alcotest.(check (list string)) "both members surface the store failure"
+        [ "injected: disk gone"; "injected: disk gone" ] [ m1; m2 ]
+  | _ -> Alcotest.fail "expected both members to report the store failure");
+  (* Recovery reads the truth back: the durable prefix is exactly the
+     first member, completely committed; the second vanished whole. *)
+  Server.crash srv;
+  let srv2 = Server.create ~seed:7 store in
+  let recovered = ok (Server.recover_from_blocks srv2 (ok_str (store.Store.list_blocks ()))) in
+  Alcotest.(check int) "both files recovered" 2 recovered;
+  let classify fc =
+    let cur = ok (Server.current_version srv2 fc) in
+    let page0 = Helpers.str (ok (Server.read_page srv2 cur (P.of_list [ 0 ]))) in
+    (List.length (ok (Server.committed_chain srv2 fc)), page0)
+  in
+  let states = List.sort compare (List.map classify (Server.list_files srv2)) in
+  Alcotest.(check (list (pair int string)))
+    "first member committed whole, second not at all"
+    [ (2, "p0"); (3, "one") ]
+    states
+
+(* {2 Commit-lock contention} *)
+
+let contended_commit ~lock_backoff () =
+  let store = Store.memory () in
+  let held = ref (-1) in
+  let srv = Server.create ~seed:7 ~lock_backoff:(lock_backoff store held) store in
+  let f = Helpers.file_with_pages srv 2 in
+  let v = ok (Server.create_version srv f) in
+  ok (Server.write_page srv v (P.of_list [ 0 ]) (bytes "x"));
+  held := ok (Server.current_block_of_file srv f);
+  Alcotest.(check bool) "contender takes the base lock" true (store.Store.lock !held);
+  (srv, f, v)
+
+let test_lock_backoff_retries_to_success () =
+  (* Before the backoff hook, a held base lock failed the commit outright.
+     Now the hook runs between bounded retries; releasing the lock on the
+     fourth attempt lets the commit go through. *)
+  let srv, f, v =
+    contended_commit
+      ~lock_backoff:(fun store held attempt -> if attempt = 3 then store.Store.unlock !held)
+      ()
+  in
+  ok (Server.commit srv v);
+  Alcotest.(check int) "retries counted" 4 (counter srv "commits.lock_retries");
+  let cur = ok (Server.current_version srv f) in
+  Helpers.check_bytes "committed after contention" "x"
+    (ok (Server.read_page srv cur (P.of_list [ 0 ])))
+
+let test_lock_contention_stays_bounded () =
+  let srv, _, v = contended_commit ~lock_backoff:(fun _ _ _ -> ()) () in
+  (match Server.commit srv v with
+  | Error (Errors.Store_failure msg) ->
+      Alcotest.(check string) "bounded failure" "commit lock contention" msg
+  | _ -> Alcotest.fail "expected bounded lock-contention failure");
+  Alcotest.(check int) "spun to the bound" 1024 (counter srv "commits.lock_retries")
+
+(* {2 Naming layer: deferred directory updates} *)
+
+let dir_setup () =
+  let _, srv = Helpers.fresh_server () in
+  let cl = Client.connect srv in
+  let dir = ok (Directory.create cl ~buckets:4 ()) in
+  (srv, cl, dir)
+
+let some_cap srv n =
+  ok (Server.create_file srv ~data:(bytes (Printf.sprintf "file-%d" n)) ())
+
+let check_cap msg expected = function
+  | Some got -> Alcotest.(check bool) msg true (Capability.equal expected got)
+  | None -> Alcotest.failf "%s: name missing" msg
+
+let reopen cl dir = ok (Directory.of_capability cl (Directory.capability dir))
+
+let test_deferred_enter_queues_without_io () =
+  let srv, cl, dir = dir_setup () in
+  let cap = some_cap srv 1 in
+  Directory.enter_deferred dir "queued" cap;
+  Alcotest.(check int) "queued" 1 (Directory.pending_count dir);
+  check_cap "visible to this handle" cap (ok (Directory.lookup dir "queued"));
+  Alcotest.(check (list string)) "listed by this handle" [ "queued" ]
+    (ok (Directory.list_names dir));
+  Alcotest.(check (option reject)) "invisible to others before flush" None
+    (Option.map ignore (ok (Directory.lookup (reopen cl dir) "queued")));
+  ok (Directory.flush dir);
+  Alcotest.(check int) "drained" 0 (Directory.pending_count dir);
+  check_cap "visible to others after flush" cap
+    (ok (Directory.lookup (reopen cl dir) "queued"))
+
+let test_deferred_rides_next_enter () =
+  let srv, cl, dir = dir_setup () in
+  let cx = some_cap srv 1 and cy = some_cap srv 2 in
+  Directory.enter_deferred dir "x" cx;
+  ok (Directory.enter dir "y" cy);
+  Alcotest.(check int) "queue drained by the carrying commit" 0 (Directory.pending_count dir);
+  let other = reopen cl dir in
+  check_cap "deferred binding flushed" cx (ok (Directory.lookup other "x"));
+  check_cap "carrying binding present" cy (ok (Directory.lookup other "y"))
+
+let test_deferred_remove () =
+  let srv, cl, dir = dir_setup () in
+  ok (Directory.enter dir "z" (some_cap srv 1));
+  Directory.remove_deferred dir "z";
+  Alcotest.(check (option reject)) "removal visible to this handle" None
+    (Option.map ignore (ok (Directory.lookup dir "z")));
+  Alcotest.(check (list string)) "not listed" [] (ok (Directory.list_names dir));
+  ok (Directory.flush dir);
+  Alcotest.(check (option reject)) "removal flushed" None
+    (Option.map ignore (ok (Directory.lookup (reopen cl dir) "z")))
+
+let test_remove_applies_pending_first () =
+  let srv, _, dir = dir_setup () in
+  let cap = some_cap srv 1 in
+  Directory.enter_deferred dir "w" cap;
+  Alcotest.(check bool) "deferred binding counts as existing" true
+    (ok (Directory.remove dir "w"));
+  Alcotest.(check int) "queue drained" 0 (Directory.pending_count dir);
+  Alcotest.(check (option reject)) "net effect: gone" None
+    (Option.map ignore (ok (Directory.lookup dir "w")))
+
+let () =
+  Alcotest.run "group-commit"
+    [
+      ("equivalence", [ QCheck_alcotest.to_alcotest prop_batch_equals_sequential ]);
+      ( "batch pipeline",
+        [
+          quick "disjoint members all win one batch" test_batch_disjoint_members;
+          quick "conflicting member doomed alone" test_batch_conflicting_member_doomed_alone;
+          quick "crash mid-publish is atomic per member" test_crash_mid_batch_atomic_per_member;
+        ] );
+      ( "commit lock",
+        [
+          quick "backoff turns contention into success" test_lock_backoff_retries_to_success;
+          quick "no backoff stays bounded" test_lock_contention_stays_bounded;
+        ] );
+      ( "deferred naming",
+        [
+          quick "deferred enter queues without I/O" test_deferred_enter_queues_without_io;
+          quick "queue rides the next enter" test_deferred_rides_next_enter;
+          quick "deferred remove" test_deferred_remove;
+          quick "remove applies the queue first" test_remove_applies_pending_first;
+        ] );
+    ]

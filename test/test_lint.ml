@@ -22,7 +22,15 @@ let fixture_config =
     yielding_fields = [ "o_sync" ];
     validators = [ "Store.validate" ];
     shared_state_fields = [ "counter" ];
-    critical_sections = [ "C1_commit.commit"; "C1_ambient.commit_stamped"; "C1_ok.commit" ];
+    critical_sections =
+      [
+        "C1_commit.commit";
+        "C1_ambient.commit_stamped";
+        "C1_ok.commit";
+        "C1_pipeline.validate";
+        "C1_pipeline.merge";
+        "C1_pipeline.publish";
+      ];
     moved_sources = [ "Store.fetch_remote" ];
     y1_dirs = [ "lint_fixtures" ];
     x1_dirs = [ "lint_fixtures" ];
@@ -45,7 +53,7 @@ let scan = lazy (run [ "lint_fixtures" ])
 let test_parses_everything () =
   let r = Lazy.force scan in
   Alcotest.(check (list (pair string string))) "no unparseable fixtures" [] r.broken;
-  Alcotest.(check int) "all fixtures scanned" 23 r.files_scanned
+  Alcotest.(check int) "all fixtures scanned" 24 r.files_scanned
 
 let test_d1_ambient () =
   check_keys "one finding per ambient source, none in the exempt file"
@@ -164,6 +172,8 @@ let test_c1 () =
     (in_file "lint_fixtures/proto/c1_ambient.ml" (Lazy.force scan));
   check_keys "a clean section is silent" []
     (in_file "lint_fixtures/proto/c1_ok.ml" (Lazy.force scan));
+  check_keys "the clean validate/merge/publish pipeline stages are silent" []
+    (in_file "lint_fixtures/proto/c1_pipeline.ml" (Lazy.force scan));
   (* The C1 yield report carries the shortest call chain to the primitive. *)
   let witness =
     List.find_opt

@@ -160,7 +160,16 @@ let default_config =
         "wset";
       ];
     critical_sections =
-      [ "Server.commit"; "Serialise.test_and_merge"; "Remote.handle"; "Shard.location_check" ];
+      [
+        "Server.commit";
+        "Server.validate";
+        "Server.merge";
+        "Server.publish";
+        "Server.commit_batch";
+        "Serialise.test_and_merge";
+        "Remote.handle";
+        "Shard.location_check";
+      ];
     moved_sources = [ "Remote.create_version"; "Remote.current_version" ];
     y1_dirs =
       [
