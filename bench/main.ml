@@ -33,6 +33,7 @@ let experiments =
     ("m1-validate-after-n", Ablations.m1);
     ("s1-shard-scaling", Scaling.s1);
     ("a5-group-commit", Groupcommit.a5);
+    ("r1-failover", Failover.r1);
     ("l1-lint-gate", Lintgate.l1);
   ]
 

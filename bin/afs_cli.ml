@@ -105,6 +105,79 @@ let walkthrough () =
   List.iter (fun (k, v) -> Printf.printf "  %-28s %d\n" k v)
     (Afs_util.Stats.Counter.to_list (Server.counters srv))
 
+(* {2 Replication helpers} *)
+
+(* Schedule the deterministic crash: kill shard [k]'s RPC host at [ms],
+   wait [failover_ms], then promote its first replica. Runs through the
+   Faults schedule so the kill shows up in traces as a fault.fire point. *)
+let schedule_kill engine cluster ~replicas ~failover_ms ~trace = function
+  | None -> ()
+  | Some (k, at_ms) ->
+      let module Cluster = Afs_cluster.Cluster in
+      if replicas <= 0 then
+        failwith "--kill-primary needs --replicas >= 1 (nothing to promote)";
+      if k < 0 || k >= Cluster.nshards cluster then
+        failwith (Printf.sprintf "--kill-primary: no shard %d" k);
+      let faults = Afs_replica.Faults.create engine in
+      Afs_replica.Faults.set_trace faults trace;
+      Afs_replica.Faults.at faults ~ms:at_ms
+        ~label:(Printf.sprintf "kill-primary:%d" k)
+        (fun () ->
+          Afs_rpc.Remote.crash_host (Afs_cluster.Shard.host (Cluster.shard cluster k));
+          Afs_sim.Proc.delay failover_ms;
+          match Cluster.promote cluster k with
+          | Ok p ->
+              Printf.printf
+                "failover: shard %d promoted at %.1f ms (epoch %d, watermark %d, %d \
+                 files recovered)\n"
+                k (Afs_sim.Engine.now engine) p.Cluster.epoch p.Cluster.watermark
+                p.Cluster.recovered_files
+          | Error e ->
+              Printf.printf "failover: shard %d promotion FAILED: %s\n" k
+                (Errors.to_string e))
+
+(* Per-member replication columns: role, epoch, watermarks, lag. *)
+let replication_report cluster =
+  let module Cluster = Afs_cluster.Cluster in
+  let module Replica = Afs_replica.Replica in
+  let module H = Afs_util.Stats.Histogram in
+  let any = ref false in
+  for i = 0 to Cluster.nshards cluster - 1 do
+    if Cluster.replication_source cluster i <> None then any := true
+  done;
+  if !any then begin
+    Printf.printf "\n%-12s %-8s %6s %8s %8s %5s %9s %9s\n" "member" "role" "epoch"
+      "shipped" "applied" "lag" "lag-p50" "lag-p95";
+    for i = 0 to Cluster.nshards cluster - 1 do
+      (match Cluster.replication_source cluster i with
+      | None -> ()
+      | Some src ->
+          Printf.printf "%-12s %-8s %6d %8d %8s %5s %9s %9s\n"
+            (Printf.sprintf "shard-%d" i)
+            "primary"
+            (Replica.Source.born_epoch src)
+            (Replica.Source.shipped_seq src)
+            "-" "-" "-" "-");
+      List.iteri
+        (fun j r ->
+          let lagh = Replica.lag_histogram r in
+          let pct p =
+            if H.count lagh = 0 then "-" else Printf.sprintf "%.2f" (H.percentile lagh p)
+          in
+          Printf.printf "%-12s %-8s %6d %8d %8d %5d %9s %9s\n"
+            (Printf.sprintf "shard-%d.r%d" i j)
+            "replica" (Replica.epoch r) (Replica.shipped_seq r) (Replica.applied_seq r)
+            (Replica.shipped_seq r - Replica.applied_seq r)
+            (pct 0.5) (pct 0.95))
+        (Cluster.replicas_of cluster i)
+    done;
+    let get = Afs_util.Stats.Counter.get (Cluster.counters cluster) in
+    Printf.printf
+      "replication: %d batches shipped, %d applied; %d promotions, %d fenced publishes\n"
+      (get "replica.shipped") (get "replica.applied") (get "promotions")
+      (get "replica.fenced")
+  end
+
 (* {2 simulate} *)
 
 (* With [--trace FILE] every event streams straight to a catapult JSON
@@ -130,8 +203,8 @@ let close_trace_sink = function
       close_out oc;
       Printf.printf "trace: %d events -> %s\n" (Afs_trace.Trace.events_emitted tr) path
 
-let simulate system shards clients duration_s think_ms nfiles pages theta cache_capacity
-    group_commit trace_file =
+let simulate system shards replicas clients duration_s think_ms nfiles pages theta
+    cache_capacity group_commit kill_primary failover_ms trace_file =
   let open Afs_workload in
   let shape =
     {
@@ -153,22 +226,23 @@ let simulate system shards clients duration_s think_ms nfiles pages theta cache_
       think_ms;
     }
   in
-  let servers = ref [] in
+  let cluster_ref = ref None in
+  let bare = ref [] in
   let sut =
     match system with
-    | "afs" when shards > 1 ->
+    | "afs" when shards > 1 || replicas > 0 ->
         let cluster =
-          Afs_cluster.Cluster.create ~latency_ms:2.0 ?cache_capacity ~group_commit ~trace
-            engine ~shards
+          Afs_cluster.Cluster.create ~latency_ms:2.0 ?cache_capacity ~group_commit
+            ~replicas ~trace engine ~shards
         in
-        servers :=
-          List.map Afs_cluster.Shard.server (Afs_cluster.Cluster.shards cluster);
+        cluster_ref := Some cluster;
+        schedule_kill engine cluster ~replicas ~failover_ms ~trace kill_primary;
         let files = ok (Workload.setup_cluster cluster shape ~initial:(bytes "0")) in
         Sut.afs_cluster (Afs_cluster.Cluster_client.connect cluster) ~files
     | "afs" ->
         let store = Store.memory () in
         let srv = Server.create ?cache_capacity ~group_commit ~trace store in
-        servers := [ srv ];
+        bare := [ srv ];
         let files = ok (Workload.setup_pages srv shape ~initial:(bytes "0")) in
         let host = Afs_rpc.Remote.host ~latency_ms:2.0 engine ~name:"afs" srv in
         Sut.afs_remote (Afs_rpc.Remote.connect [ host ]) ~fallback:srv ~files
@@ -189,7 +263,15 @@ let simulate system shards clients duration_s think_ms nfiles pages theta cache_
   print_endline Driver.header_row;
   print_endline (Driver.report_row report);
   Printf.printf "retries: %s\n" (Driver.retry_histogram_row report);
-  (match !servers with
+  let servers =
+    (* Read after the run: a promotion replaces a shard's server, and the
+       promoted one carries the post-failover commit counters. *)
+    match !cluster_ref with
+    | Some cluster ->
+        List.map Afs_cluster.Shard.server (Afs_cluster.Cluster.shards cluster)
+    | None -> !bare
+  in
+  (match servers with
   | [] -> ()
   | servers ->
       let sum counter =
@@ -204,11 +286,15 @@ let simulate system shards clients duration_s think_ms nfiles pages theta cache_
           (float_of_int members /. float_of_int batches)
           members batches
       else Printf.printf "group commit: off (window %d)\n" group_commit);
+  (match !cluster_ref with
+  | Some cluster -> replication_report cluster
+  | None -> ());
   close_trace_sink trace_sink
 
 (* {2 cluster} *)
 
-let cluster_demo shards clients duration_s think_ms nfiles theta rebalance_ms trace_file =
+let cluster_demo shards replicas clients duration_s think_ms nfiles theta rebalance_ms
+    trace_file =
   let open Afs_workload in
   let module Cluster = Afs_cluster.Cluster in
   let module Shard = Afs_cluster.Shard in
@@ -218,7 +304,7 @@ let cluster_demo shards clients duration_s think_ms nfiles theta rebalance_ms tr
   let engine = Afs_sim.Engine.create () in
   let trace_sink = open_trace_sink engine trace_file in
   let trace = Afs_sim.Engine.trace engine in
-  let cluster = Cluster.create ~latency_ms:2.0 ~trace engine ~shards in
+  let cluster = Cluster.create ~latency_ms:2.0 ~replicas ~trace engine ~shards in
   let files = ok (Workload.setup_cluster cluster shape ~initial:(bytes "0")) in
   let sut = Sut.afs_cluster (Afs_cluster.Cluster_client.connect cluster) ~files in
   let duration_ms = duration_s *. 1000.0 in
@@ -256,6 +342,7 @@ let cluster_demo shards clients duration_s think_ms nfiles theta rebalance_ms tr
     "\nmigrations: %d done, %d lost races; rebalancer moves: %d; forwards learned: %d\n"
     (get "migrations") (get "migrations.conflict") (get "rebalancer.moves")
     (get "client.forwarded");
+  replication_report cluster;
   close_trace_sink trace_sink
 
 (* {2 trace} *)
@@ -329,6 +416,43 @@ let duration_arg =
 let think_arg = Arg.(value & opt float 20.0 & info [ "think" ] ~doc:"Mean think time (ms)")
 let nfiles_arg = Arg.(value & opt int 32 & info [ "files" ] ~doc:"Number of files")
 
+let replicas_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "replicas" ] ~docv:"N"
+        ~doc:
+          "Log-shipping replicas per shard (0 = unreplicated; the report then matches \
+           an unreplicated cluster bit for bit)")
+
+let kill_primary_conv =
+  let parse s =
+    match String.index_opt s '@' with
+    | Some i -> (
+        try
+          Ok
+            ( int_of_string (String.sub s 0 i),
+              float_of_string (String.sub s (i + 1) (String.length s - i - 1)) )
+        with _ -> Error (`Msg "expected SHARD@MS, e.g. 2@3000"))
+    | None -> Error (`Msg "expected SHARD@MS, e.g. 2@3000")
+  in
+  let print ppf (k, ms) = Format.fprintf ppf "%d@%g" k ms in
+  Arg.conv (parse, print)
+
+let kill_primary_arg =
+  Arg.(
+    value
+    & opt (some kill_primary_conv) None
+    & info [ "kill-primary" ] ~docv:"SHARD@MS"
+        ~doc:
+          "Crash shard $(i,SHARD)'s primary at simulated time $(i,MS) and fail over to \
+           its first replica (requires --replicas >= 1)")
+
+let failover_ms_arg =
+  Arg.(
+    value & opt float 25.0
+    & info [ "failover-ms" ] ~docv:"MS"
+        ~doc:"Detection delay between the kill and the promotion (simulated ms)")
+
 let trace_arg =
   Arg.(
     value
@@ -365,8 +489,9 @@ let simulate_cmd =
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Run the multi-client workload driver")
     Term.(
-      const simulate $ system $ shards $ clients_arg $ duration_arg $ think_arg $ nfiles_arg
-      $ pages $ theta $ cache_capacity $ group_commit $ trace_arg)
+      const simulate $ system $ shards $ replicas_arg $ clients_arg $ duration_arg
+      $ think_arg $ nfiles_arg $ pages $ theta $ cache_capacity $ group_commit
+      $ kill_primary_arg $ failover_ms_arg $ trace_arg)
 
 let cluster_cmd =
   let shards =
@@ -387,8 +512,8 @@ let cluster_cmd =
     (Cmd.info "cluster"
        ~doc:"Run a skewed workload on a shard cluster with online rebalancing")
     Term.(
-      const cluster_demo $ shards $ clients_arg $ duration_arg $ think_arg $ nfiles_arg
-      $ theta $ rebalance $ trace_arg)
+      const cluster_demo $ shards $ replicas_arg $ clients_arg $ duration_arg $ think_arg
+      $ nfiles_arg $ theta $ rebalance $ trace_arg)
 
 let trace_cmd =
   let file =

@@ -19,6 +19,8 @@ val create :
   ?cache_capacity:int ->
   ?group_commit:int ->
   ?base_seed:int ->
+  ?replicas:int ->
+  ?apply_interval_ms:float ->
   ?trace:Afs_trace.Trace.t ->
   Afs_sim.Engine.t ->
   shards:int ->
@@ -28,7 +30,15 @@ val create :
     separable through each server's ["shard-<i>"] name label.
     [group_commit] gives every shard the same commit batch window: each
     shard's RPC host keeps its own queue, so batches form per shard
-    (default 1 — no batching). *)
+    (default 1 — no batching).
+
+    [replicas] (default 0) gives every shard that many log-shipping
+    replicas: the shard's server runs over a capture store whose commit
+    stream is gated through {!Afs_replica.Replica.Source}, and each
+    replica applies it asynchronously ([apply_interval_ms] behind, see
+    {!Afs_replica.Replica.create}). With [replicas = 0] the cluster is
+    bit-identical to an unreplicated one — no capture store, no gate,
+    no epoch register. *)
 
 val engine : t -> Afs_sim.Engine.t
 val nshards : t -> int
@@ -74,3 +84,34 @@ val drain_loads : t -> (Afs_util.Capability.t * int) list
 
 val shard_commits : t -> int -> int
 val migrations : t -> int
+
+(** {2 Replication and failover} *)
+
+val generation : t -> int
+(** Bumped on every promotion. Clients compare it against the generation
+    they connected under and rebuild their per-shard connections when it
+    moved — the connection-level analogue of chasing [Moved]. *)
+
+val replicas_of : t -> int -> Afs_replica.Replica.t list
+(** Shard [i]'s replicas in promotion order ([[]] when unreplicated). *)
+
+val replication_source : t -> int -> Afs_replica.Replica.Source.source option
+(** Shard [i]'s primary-side commit-stream source. *)
+
+val flush_replication : t -> unit
+(** Cut every source's captured-but-unshipped operations and drain every
+    replica synchronously — the deterministic quiesce tests compare
+    store digests after. *)
+
+type promotion = { epoch : int; watermark : int; recovered_files : int }
+
+val promote : t -> int -> promotion Afs_core.Errors.r
+(** Fail shard [i] over to its first replica; must run inside a
+    simulation process. Test-and-sets the shared epoch register via the
+    replica's RPC endpoint (losing with [Conflict] if the epoch already
+    moved), drains the replica, re-homes the sibling replicas, rebuilds
+    the shard's server over the promoted store with the {e same} seed —
+    same secret and port, so outstanding capabilities and the router's
+    port table stay valid — and bumps {!generation}. The deposed
+    primary, if still running, can never publish again: its gate loses
+    every subsequent test-and-set. *)

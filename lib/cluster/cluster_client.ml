@@ -4,18 +4,34 @@ module Errors = Afs_core.Errors
 module Remote = Afs_rpc.Remote
 open Errors
 
-type t = { cluster : Cluster.t; conns : Remote.conn array }
+type t = {
+  cluster : Cluster.t;
+  mutable conns : Remote.conn array;
+  mutable generation : int;
+}
+
+let fresh_conns cluster =
+  Array.init (Cluster.nshards cluster) (fun i ->
+      Remote.connect [ Shard.host (Cluster.shard cluster i) ])
 
 let connect cluster =
-  {
-    cluster;
-    conns =
-      Array.init (Cluster.nshards cluster) (fun i ->
-          Remote.connect [ Shard.host (Cluster.shard cluster i) ]);
-  }
+  { cluster; conns = fresh_conns cluster; generation = Cluster.generation cluster }
 
 let cluster t = t.cluster
-let conn_of t shard = t.conns.(Shard.id shard)
+
+(* Lazily learn promoted shards, the way forwards are learned: each
+   connection lookup compares the cluster's promotion generation with the
+   one this client connected under and rebuilds its connections when it
+   moved. A client mid-request against a deposed or dead primary still
+   finishes that request against it (and fails or retries as usual); the
+   next routed request lands on the promoted server. *)
+let conn_of t shard =
+  let g = Cluster.generation t.cluster in
+  if g <> t.generation then begin
+    t.conns <- fresh_conns t.cluster;
+    t.generation <- g
+  end;
+  t.conns.(Shard.id shard)
 
 module Txn = struct
   type t = { conn : Remote.conn; version : Capability.t; attempt : int }

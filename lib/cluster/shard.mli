@@ -26,6 +26,9 @@ val create :
   ?proc_ms:float ->
   ?cache_capacity:int ->
   ?group_commit:int ->
+  ?store:Afs_core.Store.t ->
+  ?publish_tap:
+    ((int * Afs_core.Page.t) list -> (unit, Afs_core.Errors.t) result) ->
   ?trace:Afs_trace.Trace.t ->
   Afs_sim.Engine.t ->
   id:int ->
@@ -35,7 +38,21 @@ val create :
     [seed] (distinct seeds give distinct ports — the routing key).
     [group_commit] sets the shard server's commit batch window; its RPC
     host then drains up to that many queued commits into one pipeline
-    run (default 1 — no batching). *)
+    run (default 1 — no batching). [store] overrides the private memory
+    store and [publish_tap] installs a replication gate — how a
+    replicated cluster routes the shard's writes through a capture
+    store and its commit stream through the gate. *)
+
+val of_server :
+  ?latency_ms:float ->
+  ?proc_ms:float ->
+  Afs_sim.Engine.t ->
+  id:int ->
+  store:Afs_core.Store.t ->
+  Afs_core.Server.t ->
+  t
+(** Rebuild shard slot [id] around an existing (recovered) server — the
+    promotion path: wraps it with the standard location-checked host. *)
 
 val id : t -> int
 val store : t -> Afs_core.Store.t

@@ -53,11 +53,18 @@ type t = {
      default does nothing (a bounded spin, as before). Hosts with a
      scheduler can install a deterministic backoff here. *)
   lock_backoff : int -> unit;
+  (* The replication gate: called with the commit references a publish is
+     about to write through, before the local store sees them. Returning
+     an error vetoes the publish — the references are never written, so
+     the commit aborts cleanly. A fenced (deposed) primary's gate always
+     errors; the default always succeeds. *)
+  mutable publish_tap : (int * Page.t) list -> (unit, Errors.t) result;
   mutable trace : Trace.t;
 }
 
 let create ?(page_cache = true) ?cache_capacity ?(seed = 0xA40EBA) ?ports ?(name = "")
-    ?(group_commit = 1) ?(lock_backoff = fun _ -> ()) ?(trace = Trace.null) store =
+    ?(group_commit = 1) ?(lock_backoff = fun _ -> ()) ?(publish_tap = fun _ -> Ok ())
+    ?(trace = Trace.null) store =
   if group_commit < 1 then invalid_arg "Server.create: group_commit must be >= 1";
   let port_registry = match ports with Some p -> p | None -> Ports.create () in
   let counters = Stats.Counter.create () in
@@ -75,11 +82,15 @@ let create ?(page_cache = true) ?cache_capacity ?(seed = 0xA40EBA) ?ports ?(name
     name;
     group_commit;
     lock_backoff;
+    publish_tap;
     trace;
   }
 
 let name t = t.name
 let group_commit t = t.group_commit
+
+let publish_tap t = t.publish_tap
+let set_publish_tap t tap = t.publish_tap <- tap
 
 let trace t = t.trace
 let set_trace t tr = t.trace <- tr
@@ -751,6 +762,7 @@ let validate t ctx ~vb base_block =
               Ok None
             end
             else
+              let* () = t.publish_tap [ (base_block, page) ] in
               let* () = Pagestore.write_through t.ps base_block page in
               Ok None)
   in
@@ -823,7 +835,10 @@ let publish t ctx =
   let result =
     match List.rev ctx.publish_refs with
     | [] -> Ok ()
-    | refs -> Pagestore.write_through_batch t.ps refs
+    | refs -> (
+        match t.publish_tap refs with
+        | Error _ as e -> e
+        | Ok () -> Pagestore.write_through_batch t.ps refs)
   in
   (match result with
   | Ok () -> List.iter (finish_commit t) (List.rev ctx.winners)

@@ -32,6 +32,7 @@ val create :
   ?name:string ->
   ?group_commit:int ->
   ?lock_backoff:(int -> unit) ->
+  ?publish_tap:((int * Page.t) list -> (unit, Errors.t) result) ->
   ?trace:Afs_trace.Trace.t ->
   Store.t ->
   t
@@ -54,7 +55,16 @@ val create :
     number (0-based); the default does nothing, making lock acquisition
     the old bounded spin. A host sharing the store between servers can
     install a deterministic backoff that lets the holder finish; each
-    retry bumps counter [commits.lock_retries]. *)
+    retry bumps counter [commits.lock_retries].
+
+    [publish_tap] is the replication gate: it receives the commit
+    references (base block, updated page) a publish is about to write
+    through — the commit stream — before the local store sees them.
+    Returning an error vetoes the publish: no reference is written, the
+    test-and-set is reported lost and the commit aborts cleanly, which
+    is exactly how a deposed primary is fenced after failover. The
+    default always succeeds. The tap must be synchronous (it runs inside
+    the commit critical section). *)
 
 val name : t -> string
 
@@ -63,6 +73,11 @@ val group_commit : t -> int
 
 val trace : t -> Afs_trace.Trace.t
 val set_trace : t -> Afs_trace.Trace.t -> unit
+
+val publish_tap : t -> (int * Page.t) list -> (unit, Errors.t) result
+val set_publish_tap : t -> ((int * Page.t) list -> (unit, Errors.t) result) -> unit
+(** Replace the replication gate (see {!create}); used when a replica is
+    promoted and the surviving server re-homes its commit stream. *)
 
 val pagestore : t -> Pagestore.t
 val ports : t -> Ports.t

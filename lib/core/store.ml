@@ -13,6 +13,37 @@ type t = {
   list_blocks : unit -> (int list, string) result;
 }
 
+type op = Alloc of int | Free of int | Write of int * bytes
+
+let apply_op t = function
+  | Alloc b -> (
+      (* Replaying an allocation must land on the same block number: the
+         shipped stream carries absolute block ids, so the applying
+         store's allocation frontier has to track the origin's exactly. *)
+      match t.allocate () with
+      | Ok b' when b' = b -> Ok ()
+      | Ok b' -> Error (Printf.sprintf "alloc replay: expected block %d, got %d" b b')
+      | Error _ as e -> e)
+  | Free b -> t.free b
+  | Write (b, data) -> t.write b data
+
+(* Consecutive writes ride one [write_batch] (the stable pair amortises
+   its companion hop across them); alloc/free replay one at a time. *)
+let apply_ops t ops =
+  let flush = function
+    | [] -> Ok ()
+    | run -> t.write_batch (List.rev run)
+  in
+  let rec go run = function
+    | [] -> flush run
+    | Write (b, data) :: rest -> go ((b, data) :: run) rest
+    | op :: rest -> (
+        match flush run with
+        | Error _ as e -> e
+        | Ok () -> ( match apply_op t op with Ok () -> go [] rest | Error _ as e -> e))
+  in
+  go [] ops
+
 (* Default batch write: the single writes in order, stopping at the first
    error so the durable state is always a prefix of the batch. Backends
    with a real amortisation opportunity (the stable pair's companion hop)

@@ -29,6 +29,20 @@ type t = {
           garbage collector's sweep and crash recovery both rely on it. *)
 }
 
+type op = Alloc of int | Free of int | Write of int * bytes
+(** One store mutation, as recorded and replayed by the replication
+    commit stream: block numbers are absolute, so a replayed [Alloc]
+    checks that the applying store hands back the same number. *)
+
+val apply_op : t -> op -> (unit, string) result
+(** Replay one operation. [Alloc b] allocates and fails if the store's
+    frontier does not yield exactly [b]. *)
+
+val apply_ops : t -> op list -> (unit, string) result
+(** Replay a batch in order, stopping at the first error. Consecutive
+    [Write]s are coalesced into one {!field:write_batch} call, so a
+    stable-pair replica pays its companion hop once per run of writes. *)
+
 val memory : ?block_size:int -> unit -> t
 (** Unbounded in-memory store (default block size 32768). *)
 

@@ -1,0 +1,55 @@
+(* Deterministic fault schedules.
+
+   The crash tests used ad-hoc [Engine.at ... crash] hooks; this module
+   generalises them into a small schedule: labeled actions triggered at
+   virtual times, with optional seeded jitter, each run inside a fresh
+   process so an action may use blocking operations (RPC calls — the
+   promotion path does). Same seed, same schedule, same run. *)
+
+module Engine = Afs_sim.Engine
+module Proc = Afs_sim.Proc
+module Xrng = Afs_util.Xrng
+module Trace = Afs_trace.Trace
+
+type t = {
+  engine : Engine.t;
+  jitter : (Xrng.t * float) option;  (** Generator and jitter bound (ms). *)
+  mutable armed : int;
+  mutable fired : int;
+  mutable labels : string list;  (** Fired labels, newest first. *)
+  mutable trace : Trace.t;
+}
+
+let create ?seed ?(jitter_ms = 0.0) engine =
+  let jitter =
+    match seed with
+    | Some s when jitter_ms > 0.0 -> Some (Xrng.create s, jitter_ms)
+    | Some _ | None -> None
+  in
+  { engine; jitter; armed = 0; fired = 0; labels = []; trace = Trace.null }
+
+let set_trace t tr = t.trace <- tr
+let armed t = t.armed
+let fired t = t.fired
+let fired_labels t = List.rev t.labels
+
+(* Jitter is drawn at scheduling time (in schedule order), not at fire
+   time, so the draw sequence — and therefore the whole schedule — is a
+   pure function of the seed and the [at] call order. *)
+let at t ~ms ~label fn =
+  if ms < 0.0 then invalid_arg "Faults.at: negative trigger time";
+  let delay =
+    match t.jitter with Some (rng, bound) -> ms +. Xrng.float rng bound | None -> ms
+  in
+  t.armed <- t.armed + 1;
+  Engine.at t.engine delay (fun () ->
+      t.fired <- t.fired + 1;
+      t.labels <- label :: t.labels;
+      (if Trace.enabled t.trace then
+         Trace.point t.trace
+           (Trace.Generic
+              {
+                kind = "fault.fire";
+                fields = [ ("label", Trace.Str label); ("at_ms", Trace.Float delay) ];
+              }));
+      ignore (Proc.spawn ~name:("fault:" ^ label) t.engine fn))

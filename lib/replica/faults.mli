@@ -1,0 +1,28 @@
+(** Deterministic fault schedules: labeled actions triggered at virtual
+    times, generalising the ad-hoc crash hooks of the crash tests so the
+    same schedule drives tests, the failover smoke and the [r1] bench.
+
+    Every action runs inside a fresh simulated process, so it may block
+    (RPC calls — a kill-and-promote action does). With a [seed] and a
+    positive [jitter_ms], each trigger time gets a uniform jitter in
+    [0, jitter_ms) drawn at scheduling time in call order — the whole
+    schedule is a pure function of the seed and the [at] call sequence. *)
+
+type t
+
+val create : ?seed:int -> ?jitter_ms:float -> Afs_sim.Engine.t -> t
+
+val set_trace : t -> Afs_trace.Trace.t -> unit
+(** Fired actions emit a [fault.fire] point (label + actual time). *)
+
+val at : t -> ms:float -> label:string -> (unit -> unit) -> unit
+(** Schedule [fn] at [ms] from now (plus jitter). *)
+
+val armed : t -> int
+(** Actions scheduled so far. *)
+
+val fired : t -> int
+(** Actions that have triggered. *)
+
+val fired_labels : t -> string list
+(** Labels of fired actions, in firing order. *)

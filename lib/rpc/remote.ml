@@ -17,6 +17,11 @@ type request =
   | Abort_version of Capability.t
   | Destroy_file of Capability.t
   | Validate_cache of { file : Capability.t; basis_block : int }
+  (* Replication-plane messages, answered only by a replica host
+     (lib/replica); a plain file server rejects them. *)
+  | Ship of { epoch : int; seq : int; ops : Afs_core.Store.op list }
+  | Promote of { expected_epoch : int }
+  | Replica_watermark
 
 type value =
   | Cap of Capability.t
@@ -25,6 +30,7 @@ type value =
   | Path of Pagepath.t
   | Info of { nrefs : int; dsize : int }
   | Validation of Cache.validation
+  | Watermark of { epoch : int; shipped : int; applied : int }
 
 type response = (value, Errors.t) result
 
@@ -50,6 +56,8 @@ let handle server : request -> response = function
   | Destroy_file file -> Result.map (fun () -> Unit) (Server.destroy_file server file)
   | Validate_cache { file; basis_block } ->
       Result.map (fun v -> Validation v) (Cache.server_validate server ~file ~basis_block)
+  | Ship _ | Promote _ | Replica_watermark ->
+      Error (Errors.Store_failure "rpc: not a replica")
 
 let request_kind : request -> string = function
   | Create_file _ -> "create_file"
@@ -64,6 +72,9 @@ let request_kind : request -> string = function
   | Abort_version _ -> "abort_version"
   | Destroy_file _ -> "destroy_file"
   | Validate_cache _ -> "validate_cache"
+  | Ship _ -> "ship"
+  | Promote _ -> "promote"
+  | Replica_watermark -> "replica_watermark"
 
 type host = { rpc : (request, response) Rpc.t; server : Server.t }
 
@@ -127,7 +138,8 @@ let connect ?(balance = false) hosts =
 let rotates_boundary = function
   | Create_file _ | Create_version _ | Current_version _ -> true
   | Read_page _ | Write_page _ | Insert_page _ | Remove_page _ | Page_info _ | Commit _
-  | Abort_version _ | Destroy_file _ | Validate_cache _ ->
+  | Abort_version _ | Destroy_file _ | Validate_cache _ | Ship _ | Promote _
+  | Replica_watermark ->
       false
 
 let call conn req =

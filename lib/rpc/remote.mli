@@ -29,6 +29,16 @@ type request =
   | Abort_version of Afs_util.Capability.t
   | Destroy_file of Afs_util.Capability.t
   | Validate_cache of { file : Afs_util.Capability.t; basis_block : int }
+  | Ship of { epoch : int; seq : int; ops : Afs_core.Store.op list }
+      (** One commit-stream batch for a replica to apply; rejected by a
+          plain file server. Local replica sets feed directly through the
+          publish gate — this message is the wire form for a replica
+          hosted behind its own RPC endpoint. *)
+  | Promote of { expected_epoch : int }
+      (** Test-and-set on the replica's epoch register: wins (and the
+          replica becomes promotable) iff its current epoch is exactly
+          [expected_epoch]. *)
+  | Replica_watermark  (** Read back epoch and shipped/applied seqs. *)
 
 val request_kind : request -> string
 (** Short operation name, used as the [op] label in RPC trace events. *)
@@ -40,6 +50,7 @@ type value =
   | Path of Afs_util.Pagepath.t
   | Info of { nrefs : int; dsize : int }
   | Validation of Afs_core.Cache.validation
+  | Watermark of { epoch : int; shipped : int; applied : int }
 
 type response = (value, Afs_core.Errors.t) result
 

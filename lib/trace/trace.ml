@@ -31,6 +31,10 @@ type payload =
   | Intentions_replay of { count : int }
   | Recovered_files of { count : int }
   | Gc_phase of { phase : string; count : int }
+  | Ship of { seq : int; ops : int; epoch : int }
+  | Ship_apply of { seq : int; ops : int; lag_ms : float }
+  | Promote of { shard : int; epoch : int; watermark : int }
+  | Fence of { epoch : int; stale : int }
   | Generic of { kind : string; fields : (string * value) list }
 
 let kind_of_payload = function
@@ -57,6 +61,10 @@ let kind_of_payload = function
   | Intentions_replay _ -> "recovery.replay"
   | Recovered_files _ -> "recovery.files"
   | Gc_phase _ -> "gc.phase"
+  | Ship _ -> "replica.ship"
+  | Ship_apply _ -> "replica.apply"
+  | Promote _ -> "replica.promote"
+  | Fence _ -> "replica.fence"
   | Generic { kind; _ } -> kind
 
 let fields_of_payload = function
@@ -89,6 +97,12 @@ let fields_of_payload = function
   | Rollback { txns } -> [ ("txns", Int txns) ]
   | Intentions_replay { count } | Recovered_files { count } -> [ ("count", Int count) ]
   | Gc_phase { phase; count } -> [ ("phase", Str phase); ("count", Int count) ]
+  | Ship { seq; ops; epoch } -> [ ("seq", Int seq); ("ops", Int ops); ("epoch", Int epoch) ]
+  | Ship_apply { seq; ops; lag_ms } ->
+      [ ("seq", Int seq); ("ops", Int ops); ("lag_ms", Float lag_ms) ]
+  | Promote { shard; epoch; watermark } ->
+      [ ("shard", Int shard); ("epoch", Int epoch); ("watermark", Int watermark) ]
+  | Fence { epoch; stale } -> [ ("epoch", Int epoch); ("stale", Int stale) ]
   | Generic { fields; _ } -> fields
 
 type event =

@@ -48,6 +48,20 @@ type payload =
   | Intentions_replay of { count : int }
   | Recovered_files of { count : int }
   | Gc_phase of { phase : string; count : int }
+  | Ship of { seq : int; ops : int; epoch : int }
+      (** One commit-stream batch cut at the primary's publish gate:
+          [seq] is its position in the shard's total order, [ops] the
+          store operations it carries, [epoch] the primary epoch it was
+          shipped under. *)
+  | Ship_apply of { seq : int; ops : int; lag_ms : float }
+      (** Asynchronous replica application of batch [seq]; [lag_ms] is
+          virtual time between ship and apply — the replication lag. *)
+  | Promote of { shard : int; epoch : int; watermark : int }
+      (** A replica won promotion: test-and-set on the epoch register
+          succeeded, [watermark] is the last applied batch seq. *)
+  | Fence of { epoch : int; stale : int }
+      (** A deposed primary's publish lost the test-and-set: it carried
+          stale epoch [stale] against current [epoch]. *)
   | Generic of { kind : string; fields : (string * value) list }
       (** Escape hatch; also the representation of imported events. *)
 

@@ -186,17 +186,29 @@ let afs_cluster ?(name = "afs-occ-cluster") ?(respect_hints = false) client ~fil
   in
   let exec spec ~max_retries =
     let file = files.(spec.file) in
+    (* Unlike the single-server SUTs, a cluster member may simply stop
+       answering (crashed, awaiting failover): [Store_failure] here is a
+       transport outage, not a protocol violation, so it backs off and
+       retries like [Locked_out] — the connection lookup learns the
+       promoted server as soon as one exists. A healthy run never takes
+       these arms, preserving the one-shard bit-identity to [afs_remote]. *)
     let rec attempt n =
+      let back_off_retry () =
+        if n < max_retries then begin
+          Proc.delay 5.0;
+          attempt (n + 1)
+        end
+        else { committed = false; attempts = n }
+      in
       match CC.begin_txn ~respect_hints ~attempt:n client file with
-      | Error (Errors.Locked_out _) ->
-          if n < max_retries then begin
-            Proc.delay 5.0;
-            attempt (n + 1)
-          end
-          else { committed = false; attempts = n }
+      | Error (Errors.Locked_out _) -> back_off_retry ()
+      | Error (Errors.Store_failure _) -> back_off_retry ()
       | Error e -> fatal_error "afs_cluster create_version" e
       | Ok h -> (
           match run_ops h.CC.txn spec.ops with
+          | Error (Errors.Store_failure _) ->
+              ignore (CC.abort h);
+              back_off_retry ()
           | Error e ->
               ignore (CC.abort h);
               fatal_error "afs_cluster ops" e
@@ -206,6 +218,11 @@ let afs_cluster ?(name = "afs-occ-cluster") ?(respect_hints = false) client ~fil
               | Error Errors.Conflict ->
                   if n < max_retries then attempt (n + 1)
                   else { committed = false; attempts = n }
+              | Error (Errors.Store_failure _) ->
+                  (* The commit request never reached a live server (a
+                     served request's reply still delivers across a
+                     crash), so nothing committed; redo from scratch. *)
+                  back_off_retry ()
               | Error e -> fatal_error "afs_cluster commit" e))
     in
     attempt 1

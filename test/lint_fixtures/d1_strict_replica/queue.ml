@@ -1,0 +1,8 @@
+(* Fixture: the lib/replica shape — a replica's applied state must be a
+   pure function of the shipped batch order, so any unordered Hashtbl
+   traversal near the apply path is a determinism hazard and the whole
+   directory sits in hashtbl_strict_units. *)
+
+let watermarks t = Hashtbl.iter (fun _ seq -> ignore seq) t
+
+let fine t = Hashtbl.find_opt t 0

@@ -13,6 +13,7 @@ let fixture_config =
         "lint_fixtures/d1_strict_lru.ml";
         "lint_fixtures/d1_strict_trace";
         "lint_fixtures/d1_strict_cluster";
+        "lint_fixtures/d1_strict_replica";
       ];
     e1_dirs = [ "lint_fixtures" ];
     e1_exempt = [];
@@ -53,7 +54,7 @@ let scan = lazy (run [ "lint_fixtures" ])
 let test_parses_everything () =
   let r = Lazy.force scan in
   Alcotest.(check (list (pair string string))) "no unparseable fixtures" [] r.broken;
-  Alcotest.(check int) "all fixtures scanned" 24 r.files_scanned
+  Alcotest.(check int) "all fixtures scanned" 25 r.files_scanned
 
 let test_d1_ambient () =
   check_keys "one finding per ambient source, none in the exempt file"
@@ -91,11 +92,15 @@ let test_d1_strict_directory () =
   check_keys "the cluster registry fixture is covered the same way"
     [ ("D1", "lint_fixtures/d1_strict_cluster/registry.ml", "Hashtbl.iter") ]
     (in_file "lint_fixtures/d1_strict_cluster/registry.ml" (Lazy.force scan));
+  check_keys "the replica queue fixture is covered the same way"
+    [ ("D1", "lint_fixtures/d1_strict_replica/queue.ml", "Hashtbl.iter") ]
+    (in_file "lint_fixtures/d1_strict_replica/queue.ml" (Lazy.force scan));
   let config = { fixture_config with Lint_types.hashtbl_strict_units = [] } in
   check_keys "silent once the directory is delisted"
     []
     (in_file "lint_fixtures/d1_strict_trace/exporter.ml" (run ~config [ "lint_fixtures" ])
-    @ in_file "lint_fixtures/d1_strict_cluster/registry.ml" (run ~config [ "lint_fixtures" ]))
+    @ in_file "lint_fixtures/d1_strict_cluster/registry.ml" (run ~config [ "lint_fixtures" ])
+    @ in_file "lint_fixtures/d1_strict_replica/queue.ml" (run ~config [ "lint_fixtures" ]))
 
 let test_p1 () =
   check_keys "each partial idiom fires once"

@@ -1,0 +1,444 @@
+(* The replication plane: commit-stream shipping, asynchronous apply,
+   byte-identity of replica stores, the epoch register as fencing token,
+   and — the property failover hinges on — that killing a primary
+   mid-load never loses a committed transaction. *)
+
+open Afs_cluster
+module Engine = Afs_sim.Engine
+module Proc = Afs_sim.Proc
+module Xrng = Afs_util.Xrng
+module Stats = Afs_util.Stats
+module P = Afs_util.Pagepath
+module Store = Afs_core.Store
+module Server = Afs_core.Server
+module Errors = Afs_core.Errors
+module Remote = Afs_rpc.Remote
+module Rpc = Afs_rpc.Rpc
+module Replica = Afs_replica.Replica
+module Faults = Afs_replica.Faults
+
+let quick = Helpers.quick
+let bytes = Helpers.bytes
+let ok = Helpers.ok
+
+(* Run [body] as a simulated process and return its result. *)
+let in_sim body =
+  let engine = Engine.create () in
+  let result = ref None in
+  let _ = Proc.spawn engine (fun () -> result := Some (body engine)) in
+  Engine.run engine;
+  match !result with Some r -> r | None -> Alcotest.fail "process never finished"
+
+let digest store =
+  match Replica.store_digest store with
+  | Ok d -> d
+  | Error e -> Alcotest.failf "digest failed: %s" (Errors.to_string e)
+
+(* {2 Shipping and watermarks} *)
+
+(* The smallest full pipeline: a server over a capture store, one replica
+   on the stream. Feeding is synchronous with the commit; application
+   happens one interval later; after a flush + drain the two stores are
+   byte-identical. *)
+let test_ship_apply_watermarks () =
+  in_sim (fun engine ->
+      let source = Replica.Source.create engine (Store.memory ()) in
+      let reg = Replica.Source.register source in
+      let r = Replica.create engine ~shard:0 ~reg () in
+      Replica.Source.attach source r;
+      let server =
+        Server.create ~publish_tap:(Replica.Source.tap source)
+          (Replica.Source.capture_store source)
+      in
+      let f = ok (Server.create_file server ~data:(bytes "root") ()) in
+      let v = ok (Server.create_version server f) in
+      ignore
+        (ok (Server.insert_page server v ~parent:P.root ~index:0 ~data:(bytes "a") ()));
+      ok (Server.commit server v);
+      Alcotest.(check int) "one batch cut" 1 (Replica.Source.shipped_seq source);
+      Alcotest.(check int) "fed synchronously" 1 (Replica.shipped_seq r);
+      (* Application is asynchronous: a replica is *behind* until its
+         apply event fires, one interval after the feed. *)
+      Proc.delay 20.0;
+      Alcotest.(check int) "applied" 1 (Replica.applied_seq r);
+      Alcotest.(check int) "queue drained" 0 (Replica.queued r);
+      Alcotest.(check bool)
+        "lag recorded" true
+        (Stats.Histogram.count (Replica.lag_histogram r) > 0);
+      Replica.Source.flush source;
+      Replica.drain r;
+      Alcotest.(check bool)
+        "byte-identical stores" true
+        (digest (Replica.Source.inner_store source) = digest (Replica.store r)))
+
+(* A replica whose store is a stable pair: shipped batches coalesce their
+   writes through [write_batch], so the companion hop is paid per run of
+   writes, and the result is still byte-identical to the primary. The
+   pair's allocator is seeded (blocks come out in a shuffled order), so
+   frontier alignment means primary and replica run same-seed pairs. *)
+let test_replica_on_stable_pair () =
+  in_sim (fun engine ->
+      let pair_store () =
+        Store.of_stable_pair
+          (Afs_stable.Stable_pair.create ~seed:11 ~media:Afs_disk.Media.electronic
+             ~blocks:512 ~block_size:32768 ())
+      in
+      let source = Replica.Source.create engine (pair_store ()) in
+      let reg = Replica.Source.register source in
+      let r = Replica.create ~store:(pair_store ()) engine ~shard:0 ~reg () in
+      Replica.Source.attach source r;
+      let server =
+        Server.create ~publish_tap:(Replica.Source.tap source)
+          (Replica.Source.capture_store source)
+      in
+      let f = ok (Server.create_file server ~data:(bytes "root") ()) in
+      for i = 0 to 3 do
+        let v = ok (Server.create_version server f) in
+        ignore
+          (ok
+             (Server.insert_page server v ~parent:P.root ~index:i
+                ~data:(bytes (Printf.sprintf "page %d" i))
+                ()));
+        ok (Server.commit server v)
+      done;
+      Replica.Source.flush source;
+      Replica.drain r;
+      Alcotest.(check (option string)) "replica store healthy" None (Replica.failure r);
+      Alcotest.(check bool)
+        "stable replica byte-identical" true
+        (digest (Replica.Source.inner_store source) = digest (Replica.store r)))
+
+(* {2 Byte-identity under load (property)} *)
+
+(* Whatever the workload mix, client count or shard count, every replica
+   store equals its primary's store byte for byte once the stream is
+   flushed and drained. *)
+let prop_replica_byte_identity =
+  QCheck2.Test.make ~name:"replicas byte-identical to primaries after drain" ~count:8
+    ~print:
+      QCheck2.Print.(
+        quad int (pair int int) (pair int float) (pair float float) |> fun p x -> p x)
+    QCheck2.Gen.(
+      quad (int_bound 9999)
+        (pair (int_range 1 3) (int_range 1 2))
+        (pair (int_range 2 6) (float_range 0.0 0.9))
+        (pair (float_range 300.0 900.0) (float_range 5.0 15.0)))
+    (fun (seed, (shards, replicas), (clients, theta), (duration_ms, think_ms)) ->
+      let open Afs_workload in
+      let shape =
+        {
+          Workload.small_updates with
+          nfiles = 8;
+          pages_per_file = 6;
+          file_theta = theta;
+          page_theta = theta;
+        }
+      in
+      let engine = Engine.create () in
+      let cluster = Cluster.create ~latency_ms:1.0 ~replicas engine ~shards in
+      let files = ok (Workload.setup_cluster cluster shape ~initial:(bytes "0")) in
+      let config =
+        { Driver.default_config with clients; duration_ms; think_ms; seed }
+      in
+      ignore
+        (Driver.run engine config
+           (Sut.afs_cluster (Cluster_client.connect cluster) ~files)
+           ~gen:(Workload.make shape));
+      Cluster.flush_replication cluster;
+      List.for_all
+        (fun i ->
+          match Cluster.replication_source cluster i with
+          | None -> false
+          | Some src ->
+              let primary = digest (Replica.Source.inner_store src) in
+              List.for_all
+                (fun r ->
+                  Replica.failure r = None && digest (Replica.store r) = primary)
+                (Cluster.replicas_of cluster i))
+        (List.init shards Fun.id))
+
+(* {2 Fencing} *)
+
+(* The regression the design note promises: a deposed primary's delayed
+   publish must lose the test-and-set — the transaction is reported
+   aborted (Conflict), never silently lost, and never committed over the
+   promoted state. *)
+let test_fencing_deposed_primary_aborts () =
+  in_sim (fun engine ->
+      let cluster = Cluster.create ~latency_ms:1.0 ~replicas:1 engine ~shards:1 in
+      let client = Cluster_client.connect cluster in
+      let f = ok (Cluster_client.create_file ~data:(bytes "v0") client) in
+      ok
+        (Cluster_client.update client f (fun txn ->
+             Cluster_client.Txn.write txn P.root (bytes "before")));
+      let old_server = Shard.server (Cluster.shard cluster 0) in
+      (* The delayed publish: a version opened and written on the primary
+         that is about to be deposed, its commit still in flight. *)
+      let v = ok (Server.create_version old_server f) in
+      ok (Server.write_page old_server v P.root (bytes "stale"));
+      let p = ok (Cluster.promote cluster 0) in
+      Alcotest.(check int) "epoch advanced" 1 p.Cluster.epoch;
+      Alcotest.(check int) "generation bumped" 1 (Cluster.generation cluster);
+      (match Server.commit old_server v with
+      | Error Errors.Conflict -> ()
+      | Ok () -> Alcotest.fail "deposed primary committed past the fence"
+      | Error e -> Alcotest.failf "expected Conflict, got %s" (Errors.to_string e));
+      Alcotest.(check bool)
+        "fence counted" true
+        (Stats.Counter.get (Cluster.counters cluster) "replica.fenced" >= 1);
+      (* Aborted, not lost, not applied: the promoted primary serves the
+         last committed state, through the client's rebuilt connection. *)
+      Helpers.check_bytes "promoted state intact" "before"
+        (ok (Cluster_client.read_current client f P.root));
+      (* A second promotion attempt against the old epoch loses the
+         test-and-set the same way. *)
+      match Cluster.promote cluster 0 with
+      | Error (Errors.Store_failure _) -> () (* no replica left: fine *)
+      | Ok _ -> Alcotest.fail "promoted with no replica"
+      | Error e -> Alcotest.failf "unexpected: %s" (Errors.to_string e))
+
+(* The register itself: a test-and-set with a stale expected epoch loses
+   with Conflict and moves nothing. *)
+let test_stale_promotion_loses () =
+  in_sim (fun engine ->
+      let source = Replica.Source.create engine (Store.memory ()) in
+      let reg = Replica.Source.register source in
+      let r1 = Replica.create engine ~shard:0 ~reg () in
+      let r2 = Replica.create engine ~shard:0 ~reg () in
+      Replica.Source.attach source r1;
+      Replica.Source.attach source r2;
+      ok (Replica.promote r1 ~expected_epoch:0);
+      Alcotest.(check int) "winner's epoch" 1 (Replica.epoch r1);
+      (match Replica.promote r2 ~expected_epoch:0 with
+      | Error Errors.Conflict -> ()
+      | Ok () -> Alcotest.fail "two primaries promoted from the same epoch"
+      | Error e -> Alcotest.failf "expected Conflict, got %s" (Errors.to_string e));
+      Alcotest.(check int) "register unmoved by the loser" 1
+        (Replica.register_epoch reg);
+      Alcotest.(check bool) "old source fenced" true (Replica.Source.fenced source))
+
+(* {2 Replicas = 0 is exactly the old cluster} *)
+
+let test_replicas_zero_identical () =
+  let open Afs_workload in
+  let shape = { Workload.small_updates with nfiles = 16; pages_per_file = 8 } in
+  let config =
+    { Driver.default_config with clients = 8; duration_ms = 1_200.0; think_ms = 10.0 }
+  in
+  let gen = Workload.make shape in
+  let run ~replicas =
+    let engine = Engine.create () in
+    let cluster = Cluster.create ~latency_ms:2.0 ~replicas engine ~shards:2 in
+    let files = ok (Workload.setup_cluster cluster shape ~initial:(bytes "0")) in
+    Driver.run engine config (Sut.afs_cluster (Cluster_client.connect cluster) ~files) ~gen
+  in
+  let plain = run ~replicas:0 in
+  let engine = Engine.create () in
+  let cluster = Cluster.create ~latency_ms:2.0 engine ~shards:2 in
+  let files = ok (Workload.setup_cluster cluster shape ~initial:(bytes "0")) in
+  let default =
+    Driver.run engine config (Sut.afs_cluster (Cluster_client.connect cluster) ~files) ~gen
+  in
+  Alcotest.(check int) "committed" default.Driver.committed plain.Driver.committed;
+  Alcotest.(check int) "given up" default.Driver.given_up plain.Driver.given_up;
+  Alcotest.(check int) "attempts" default.Driver.attempts plain.Driver.attempts;
+  Alcotest.(check (float 0.0))
+    "mean" default.Driver.mean_latency_ms plain.Driver.mean_latency_ms;
+  Alcotest.(check (float 0.0)) "p50" default.Driver.p50_ms plain.Driver.p50_ms;
+  Alcotest.(check (float 0.0)) "p95" default.Driver.p95_ms plain.Driver.p95_ms;
+  Alcotest.(check (float 0.0)) "p99" default.Driver.p99_ms plain.Driver.p99_ms;
+  Alcotest.(check (list (pair int int)))
+    "retry histogram" default.Driver.retry_histogram plain.Driver.retry_histogram
+
+(* {2 The crash schedule: no committed transaction lost} *)
+
+(* Writers increment counter pages while a Faults schedule kills shard
+   0's primary mid-load and promotes its replica. Every increment whose
+   commit was acknowledged must be readable after failover: the final
+   counter of each file equals the number of acknowledged commits. *)
+let crash_schedule_one_seed seed =
+  let engine = Engine.create () in
+  let cluster = Cluster.create ~latency_ms:1.0 ~replicas:1 engine ~shards:2 in
+  let faults = Faults.create ~seed ~jitter_ms:3.0 engine in
+  let nfiles = 4 in
+  let commits = Array.make nfiles 0 in
+  let files = ref [||] in
+  let promoted = ref None in
+  let _ =
+    Proc.spawn engine (fun () ->
+        let client = Cluster_client.connect cluster in
+        let fs =
+          Array.init nfiles (fun _ ->
+              ok (Cluster_client.create_file ~data:(bytes "counter") client))
+        in
+        Array.iter
+          (fun f ->
+            ok
+              (Cluster_client.update client f (fun txn ->
+                   let open Errors in
+                   let* _ =
+                     Cluster_client.Txn.insert txn ~parent:P.root ~index:0
+                       ~data:(bytes "0") ()
+                   in
+                   Ok ())))
+          fs;
+        files := fs;
+        let rng = Xrng.create seed in
+        let spawn_joined, join_all = Proc.joinable engine in
+        for w = 0 to 3 do
+          let wrng = Xrng.split rng in
+          ignore
+            (spawn_joined (fun () ->
+                 for n = 1 to 10 do
+                   Proc.delay (Xrng.float wrng 30.0);
+                   let fi = (w + n) mod nfiles in
+                   let rec attempt tries =
+                     if tries > 40 then () (* writer gave up: not acknowledged *)
+                     else
+                       match
+                         Cluster_client.update ~retries:24 client fs.(fi) (fun txn ->
+                             let open Errors in
+                             let* v = Cluster_client.Txn.read txn (P.of_list [ 0 ]) in
+                             match int_of_string_opt (Bytes.to_string v) with
+                             | None -> Error (Errors.Store_failure "corrupt counter")
+                             | Some c ->
+                                 Cluster_client.Txn.write txn (P.of_list [ 0 ])
+                                   (bytes (string_of_int (c + 1))))
+                       with
+                       | Ok () -> commits.(fi) <- commits.(fi) + 1
+                       | Error Errors.Conflict -> () (* retries exhausted: no ack *)
+                       | Error _ ->
+                           (* Dead or deposed primary: back off and redo
+                              against whoever owns the shard by then. *)
+                           Proc.delay 25.0;
+                           attempt (tries + 1)
+                   in
+                   attempt 0
+                 done))
+        done;
+        join_all ())
+  in
+  Faults.at faults ~ms:150.0 ~label:"kill-primary:0" (fun () ->
+      Remote.crash_host (Shard.host (Cluster.shard cluster 0));
+      Proc.delay 20.0;
+      promoted := Some (Cluster.promote cluster 0));
+  Engine.run engine;
+  (match !promoted with
+  | Some (Ok _) -> ()
+  | Some (Error e) -> Alcotest.failf "promotion failed: %s" (Errors.to_string e)
+  | None -> Alcotest.fail "the fault never fired");
+  Alcotest.(check int) "one fault fired" 1 (Faults.fired faults);
+  Alcotest.(check (list string))
+    "labelled in firing order" [ "kill-primary:0" ] (Faults.fired_labels faults);
+  let fs = !files in
+  Alcotest.(check bool) "setup ran" true (Array.length fs = nfiles);
+  Array.iteri
+    (fun i f ->
+      let _, shard = ok (Cluster.shard_of_cap cluster f) in
+      let server = Shard.server shard in
+      let v = ok (Server.current_version server f) in
+      let final = Bytes.to_string (ok (Server.read_page server v (P.of_list [ 0 ]))) in
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d file %d: acknowledged commits survive failover" seed i)
+        (string_of_int commits.(i))
+        final)
+    fs
+
+let test_crash_schedule_never_loses_commits () =
+  List.iter crash_schedule_one_seed [ 1; 7; 42; 1234 ]
+
+(* {2 Faults: determinism} *)
+
+let test_faults_deterministic () =
+  let run () =
+    let engine = Engine.create () in
+    let faults = Faults.create ~seed:42 ~jitter_ms:7.0 engine in
+    let fires = ref [] in
+    List.iter
+      (fun (ms, label) ->
+        Faults.at faults ~ms ~label (fun () ->
+            fires := (label, Engine.now engine) :: !fires))
+      [ (10.0, "a"); (5.0, "b"); (20.0, "c") ];
+    Engine.run engine;
+    (Faults.fired_labels faults, List.rev !fires)
+  in
+  let l1, f1 = run () in
+  let l2, f2 = run () in
+  Alcotest.(check (list string)) "labels deterministic" l1 l2;
+  Alcotest.(check bool) "firing times deterministic" true (f1 = f2);
+  Alcotest.(check int) "all fired" 3 (List.length f1);
+  (* Without a seed there is no jitter: the action fires exactly on time. *)
+  let engine = Engine.create () in
+  let faults = Faults.create engine in
+  let t = ref (-1.0) in
+  Faults.at faults ~ms:12.5 ~label:"exact" (fun () -> t := Engine.now engine);
+  Engine.run engine;
+  Alcotest.(check (float 0.0)) "no seed: exact time" 12.5 !t;
+  Alcotest.(check int) "armed counted" 1 (Faults.armed faults)
+
+(* {2 The replica as a remote service} *)
+
+let test_rpc_ship_promote_watermark () =
+  in_sim (fun engine ->
+      let source = Replica.Source.create engine (Store.memory ()) in
+      let reg = Replica.Source.register source in
+      let r = Replica.create engine ~shard:0 ~reg () in
+      let rhost = Replica.host ~latency_ms:1.0 engine ~name:"r0" r in
+      (* Ship at the current epoch: accepted and (asynchronously) applied.
+         The batch replays against a fresh store, so it must open with the
+         allocation its writes assume. *)
+      (match
+         Rpc.call rhost
+           (Remote.Ship
+              { epoch = 0; seq = 1; ops = [ Store.Alloc 0; Store.Write (0, bytes "hi") ] })
+       with
+      | Ok (Ok Remote.Unit) -> ()
+      | _ -> Alcotest.fail "well-formed ship refused");
+      (* Ship at a wrong epoch: refused with Conflict, nothing queued. *)
+      (match Rpc.call rhost (Remote.Ship { epoch = 7; seq = 2; ops = [] }) with
+      | Ok (Error Errors.Conflict) -> ()
+      | _ -> Alcotest.fail "stale-epoch ship accepted");
+      Proc.delay 20.0;
+      (match Rpc.call rhost Remote.Replica_watermark with
+      | Ok (Ok (Remote.Watermark { epoch = 0; shipped = 1; applied = 1 })) -> ()
+      | Ok (Ok (Remote.Watermark { epoch; shipped; applied })) ->
+          Alcotest.failf "watermark epoch=%d shipped=%d applied=%d" epoch shipped applied
+      | _ -> Alcotest.fail "watermark unreadable");
+      Alcotest.(check bool)
+        "shipped write applied" true
+        (digest (Replica.store r) = [ (0, Some (bytes "hi")) ]);
+      (* File-service requests are refused outright. *)
+      (match Rpc.call rhost (Remote.Create_file (bytes "x")) with
+      | Ok (Error (Errors.Store_failure _)) -> ()
+      | _ -> Alcotest.fail "replica served a file request");
+      (* Promotion over RPC answers the watermark and moves the epoch. *)
+      (match Rpc.call rhost (Remote.Promote { expected_epoch = 0 }) with
+      | Ok (Ok (Remote.Watermark { epoch = 1; applied = 1; _ })) -> ()
+      | _ -> Alcotest.fail "promotion refused");
+      match Rpc.call rhost (Remote.Promote { expected_epoch = 0 }) with
+      | Ok (Error Errors.Conflict) -> ()
+      | _ -> Alcotest.fail "stale promotion won")
+
+let () =
+  Alcotest.run "replica"
+    [
+      ( "shipping",
+        [
+          quick "ship, apply, watermarks, byte identity" test_ship_apply_watermarks;
+          quick "stable-pair replica store" test_replica_on_stable_pair;
+          QCheck_alcotest.to_alcotest prop_replica_byte_identity;
+        ] );
+      ( "fencing",
+        [
+          quick "deposed primary's publish aborts, not lost"
+            test_fencing_deposed_primary_aborts;
+          quick "stale promotion loses the test-and-set" test_stale_promotion_loses;
+        ] );
+      ( "equivalence",
+        [ quick "replicas=0 == unreplicated cluster" test_replicas_zero_identical ] );
+      ( "failover",
+        [ quick "crash schedule loses no committed txn" test_crash_schedule_never_loses_commits ]
+      );
+      ( "faults", [ quick "schedules are deterministic" test_faults_deterministic ] );
+      ( "rpc", [ quick "ship / promote / watermark" test_rpc_ship_promote_watermark ] );
+    ]

@@ -121,7 +121,8 @@ let default_config =
     protocol_dirs = [ "lib" ];
     hashtbl_dirs = [ "lib"; "bin"; "bench"; "examples" ];
     hashtbl_strict_units =
-      [ "lib/util/lru.ml"; "lib/core/writeset.ml"; "lib/trace"; "lib/cluster" ];
+      [ "lib/util/lru.ml"; "lib/core/writeset.ml"; "lib/trace"; "lib/cluster";
+        "lib/replica" ];
     e1_dirs = [ "lib" ];
     e1_exempt = [ "lib/sim" ];
     mli_dirs = [ "lib" ];
@@ -169,6 +170,12 @@ let default_config =
         "Serialise.test_and_merge";
         "Remote.handle";
         "Shard.location_check";
+        (* The replication plane's additions to the commit critical
+           section: the publish gate (fence test + batch cut + feed) runs
+           inside validate/publish, and promotion's register test-and-set
+           plus drain must be indivisible for the fencing argument. *)
+        "Source.gate";
+        "Replica.promote";
       ];
     moved_sources = [ "Remote.create_version"; "Remote.current_version" ];
     y1_dirs =
