@@ -35,11 +35,16 @@ let experiments =
     ("a5-group-commit", Groupcommit.a5);
     ("r1-failover", Failover.r1);
     ("l1-lint-gate", Lintgate.l1);
+    ("m2-engine-speed", Enginespeed.m2);
+    ("a6-million", Enginespeed.a6);
   ]
 
 (* Wall-clock is machine-dependent: recorded only under --timed, published
-   under a ".wall_us" suffix the baseline checker ignores. *)
+   under a ".wall_us" suffix the baseline checker ignores. Experiments
+   that publish their own machine-dependent numbers (wall throughput,
+   host-GC words) use the ".reported" suffix, treated the same way. *)
 let wall_us = "wall_us"
+let reported = "reported"
 
 let run_one ~timed (id, f) =
   if timed then begin
@@ -50,10 +55,12 @@ let run_one ~timed (id, f) =
   end
   else f ()
 
-let is_wall_clock name =
-  let suffix = "." ^ wall_us in
+let has_suffix name tag =
+  let suffix = "." ^ tag in
   let nl = String.length name and sl = String.length suffix in
   nl >= sl && String.sub name (nl - sl) sl = suffix
+
+let is_wall_clock name = has_suffix name wall_us || has_suffix name reported
 
 (* Compare this run's metrics against a committed baseline: any
    deterministic metric drifting more than [tolerance] (relative) fails.
@@ -86,6 +93,7 @@ let () =
   let only = ref [] in
   let list_only = ref false in
   let bechamel = ref false in
+  let bechamel_smoke = ref false in
   let timed = ref false in
   let json_out = ref "" in
   let baseline = ref "" in
@@ -96,6 +104,10 @@ let () =
         "ID  run only the experiment with this id (repeatable)" );
       ("--list", Arg.Set list_only, "  list experiment ids and exit");
       ("--bechamel", Arg.Set bechamel, "  also run the Bechamel micro-benchmarks");
+      ( "--bechamel-smoke",
+        Arg.Set bechamel_smoke,
+        "  run the micro-benchmarks with a short quota (CI smoke); without --only,\n\
+         \     skips the experiment suite" );
       ("--timed", Arg.Set timed, "  record wall-clock per experiment (informational)");
       ( "--json",
         Arg.Set_string json_out,
@@ -111,7 +123,9 @@ let () =
   if !list_only then List.iter (fun (id, _) -> print_endline id) experiments
   else begin
     let selected =
-      if !only = [] then experiments
+      (* Smoke mode exists so CI can time just the micros: with no
+         explicit selection it runs no experiments. *)
+      if !only = [] then (if !bechamel_smoke then [] else experiments)
       else
         List.filter_map
           (fun id ->
@@ -128,6 +142,7 @@ let () =
     Printf.printf "All times are SIMULATED unless marked as Bechamel wall-clock.\n";
     List.iter (run_one ~timed:!timed) selected;
     if !bechamel then Micro.run ();
+    if !bechamel_smoke then Micro.run ~smoke:true ();
     let metrics = Exp_util.all_metrics () in
     if !json_out <> "" then begin
       Out_channel.with_open_text !json_out (fun oc ->

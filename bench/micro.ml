@@ -22,10 +22,24 @@ let sample_page ~nrefs ~data_bytes =
   Page.make_version_page ~file_cap:(cap 2) ~version_cap:(cap 3) ~base_ref:(Some 7)
     ~parent_ref:None ~refs ~data:(Bytes.make data_bytes 'd')
 
-(* F3 support: codec throughput. *)
-let test_encode =
+(* F3 support: codec throughput. [with_data] sheds the encode memo, so
+   each iteration pays a real serialisation (plus one record copy); the
+   memo-hit and arithmetic-size benches pin the costs the hot path
+   actually sees after the encode-once work. *)
+let test_encode_fresh =
   let page = sample_page ~nrefs:64 ~data_bytes:4096 in
-  Test.make ~name:"page-encode-4K+64refs" (Staged.stage (fun () -> ignore (Page.encode page)))
+  Test.make ~name:"page-encode-fresh-4K+64refs"
+    (Staged.stage (fun () -> ignore (Page.encode (Page.with_data page page.Page.data))))
+
+let test_encode_memo_hit =
+  let page = sample_page ~nrefs:64 ~data_bytes:4096 in
+  ignore (Page.encode page);
+  Test.make ~name:"page-encode-memo-hit" (Staged.stage (fun () -> ignore (Page.encode page)))
+
+let test_encoded_size =
+  let page = sample_page ~nrefs:64 ~data_bytes:4096 in
+  Test.make ~name:"page-encoded-size-arith"
+    (Staged.stage (fun () -> ignore (Page.encoded_size page)))
 
 let test_decode =
   let image = Page.encode (sample_page ~nrefs:64 ~data_bytes:4096) in
@@ -77,15 +91,21 @@ let test_validation_null_op =
          ignore (ok (Afs_core.Cache.server_validate srv ~file:f ~basis_block:basis))))
 
 let all_tests =
-  [ test_encode; test_decode; test_flags_nibble; test_commit_fastpath; test_serialise_merge;
-    test_validation_null_op ]
+  [ test_encode_fresh; test_encode_memo_hit; test_encoded_size; test_decode;
+    test_flags_nibble; test_commit_fastpath; test_serialise_merge; test_validation_null_op ]
 
-let run () =
+(* [smoke] trades precision for speed (CI runs it on shared runners just
+   to catch order-of-magnitude regressions and keep the artifact fresh). *)
+let run ?(smoke = false) () =
   Printf.printf "\n%s\n" (String.make 78 '=');
-  Printf.printf "[micro] Bechamel wall-clock benchmarks of the hot paths\n";
+  Printf.printf "[micro] Bechamel wall-clock benchmarks of the hot paths%s\n"
+    (if smoke then " (smoke mode)" else "");
   Printf.printf "%s\n" (String.make 78 '-');
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let cfg =
+    if smoke then Benchmark.cfg ~limit:500 ~quota:(Time.second 0.05) ()
+    else Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
   let analyze raw =
     let ols =
       Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]

@@ -14,7 +14,18 @@ type header = {
   root_flags : Flags.t;
 }
 
-type t = { header : header; refs : ref_entry array; data : bytes }
+(* [enc] memoizes the wire image: pages are immutable values, so a page's
+   serialisation is computed at most once per lifetime ("encode-once").
+   Every functional update constructs a fresh record with [enc = None];
+   the field is filled lazily by {!encode} (or seeded by {!decode} when
+   the caller vouches for the image's provenance) and never read for
+   anything except serialisation, so it is invisible to the protocol. *)
+type t = {
+  header : header;
+  refs : ref_entry array;
+  data : bytes;
+  mutable enc : bytes option;
+}
 
 let nil_block = 0xFFFFFFF
 let max_block_number = nil_block - 1
@@ -31,7 +42,7 @@ let plain_header =
     root_flags = Flags.clear;
   }
 
-let empty = { header = plain_header; refs = [||]; data = Bytes.empty }
+let empty = { header = plain_header; refs = [||]; data = Bytes.empty; enc = None }
 
 let make_version_page ~file_cap ~version_cap ~base_ref ~parent_ref ~refs ~data =
   {
@@ -45,6 +56,7 @@ let make_version_page ~file_cap ~version_cap ~base_ref ~parent_ref ~refs ~data =
       };
     refs;
     data;
+    enc = None;
   }
 
 let is_version_page t = t.header.file_cap <> None
@@ -56,16 +68,18 @@ let get_ref t i =
     Error (Printf.sprintf "reference index %d out of range (nrefs=%d)" i (Array.length t.refs))
   else Ok t.refs.(i)
 
-let with_data t data = { t with data }
-let with_header t header = { t with header }
-let with_contents t ~refs ~data = { t with refs; data }
+(* Every update invalidates the memo: [{ t with ... }] would carry the
+   stale image across, so each updater resets [enc] explicitly. *)
+let with_data t data = { t with data; enc = None }
+let with_header t header = { t with header; enc = None }
+let with_contents t ~refs ~data = { t with refs; data; enc = None }
 
 let with_ref t i entry =
   if i < 0 || i >= Array.length t.refs then Error "with_ref: index out of range"
   else begin
     let refs = Array.copy t.refs in
     refs.(i) <- entry;
-    Ok { t with refs }
+    Ok { t with refs; enc = None }
   end
 
 let insert_ref t i entry =
@@ -76,7 +90,7 @@ let insert_ref t i entry =
       Array.init (n + 1) (fun j ->
           if j < i then t.refs.(j) else if j = i then entry else t.refs.(j - 1))
     in
-    Ok { t with refs }
+    Ok { t with refs; enc = None }
   end
 
 let remove_ref t i =
@@ -84,21 +98,46 @@ let remove_ref t i =
   if i < 0 || i >= n then Error "remove_ref: index out of range"
   else begin
     let refs = Array.init (n - 1) (fun j -> if j < i then t.refs.(j) else t.refs.(j + 1)) in
-    Ok { t with refs }
+    Ok { t with refs; enc = None }
   end
 
 let record_access t i access =
   match get_ref t i with
   | Error _ as e -> e
-  | Ok entry -> with_ref t i { entry with flags = Flags.record entry.flags access }
+  | Ok entry ->
+      let flags = Flags.record entry.flags access in
+      (* Re-recording an already-recorded access is the common case (every
+         access after a page's first in a given version): the page value is
+         unchanged, so return [t] itself — keeping the refs array shared
+         and, crucially, the encode memo alive. *)
+      if Flags.equal flags entry.flags then Ok t
+      else with_ref t i { entry with flags }
 
 let clear_child_flags t =
-  { t with refs = Array.map (fun e -> { e with flags = Flags.clear }) t.refs }
+  { t with refs = Array.map (fun e -> { e with flags = Flags.clear }) t.refs; enc = None }
+
+let ref_entry_equal a b = a.block = b.block && Flags.equal a.flags b.flags
+
+(* Structural equality of the value a page denotes; the memo is a cache,
+   not part of the value, so it is ignored. *)
+let equal a b =
+  a.header = b.header
+  && Array.length a.refs = Array.length b.refs
+  && (let n = Array.length a.refs in
+      let rec go i = i >= n || (ref_entry_equal a.refs.(i) b.refs.(i) && go (i + 1)) in
+      go 0)
+  && Bytes.equal a.data b.data
 
 (* {2 Wire format} *)
 
 let magic = 0xAF5
 let format_version = 1
+
+(* Fresh (non-memoized) serialisations since program start: the hook the
+   encode-once regression tests and the m2 bench watch. Counting is the
+   only effect; the value never feeds back into any run. *)
+let encode_count = ref 0
+let fresh_encodes () = !encode_count
 
 let check_block_number b =
   if b < 0 || b > max_block_number then
@@ -112,12 +151,6 @@ let encode_opt_block = function
 
 let decode_opt_block v = if v = nil_block then None else Some v
 
-let encode_cap w cap =
-  Wire.Writer.u64 w (Int64.of_int (Capability.port_to_int cap.Capability.port));
-  Wire.Writer.varint w cap.Capability.obj;
-  Wire.Writer.u8 w (Capability.rights_to_int cap.Capability.rights);
-  Wire.Writer.u32 w cap.Capability.check
-
 let decode_cap r =
   let port = Capability.port_of_int (Int64.to_int (Wire.Reader.u64 r)) in
   let obj = Wire.Reader.varint r in
@@ -125,37 +158,115 @@ let decode_cap r =
   let check = Wire.Reader.u32 r in
   { Capability.port; obj; rights; check }
 
-let encode t =
-  let w = Wire.Writer.create ~capacity:(256 + Bytes.length t.data) () in
-  Wire.Writer.u16 w magic;
-  Wire.Writer.u8 w format_version;
+(* The encoded size is pure arithmetic over the page's fields — no
+   serialisation. Only the varint fields (capability object numbers, the
+   reference count, the data length) have value-dependent widths. *)
+let varint_len v =
+  if v < 0 then invalid_arg "Page.varint_len: negative"
+  else begin
+    let rec go v n = if v < 0x80 then n else go (v lsr 7) (n + 1) in
+    go v 1
+  end
+
+let cap_bytes cap = 8 + varint_len cap.Capability.obj + 1 + 4
+
+let encoded_size t =
+  let h = t.header in
+  let kind_and_header =
+    match (h.file_cap, h.version_cap) with
+    | Some fc, Some vc -> 1 + cap_bytes fc + cap_bytes vc + 4 + 8 + 8 + 4 + 1
+    | None, None -> 1
+    | _ -> invalid_arg "Page.encoded_size: version page must carry both capabilities"
+  in
+  2 + 1 + kind_and_header + 4
+  + varint_len (Array.length t.refs)
+  + varint_len (Bytes.length t.data)
+  + (4 * Array.length t.refs)
+  + Bytes.length t.data
+
+(* Serialise into an exactly-sized buffer (the arithmetic size makes the
+   single allocation possible; the byte order is identical to what the
+   historical [Wire.Writer]-based encoder produced). The image is
+   memoized on the page and aliased to every caller, so callers must
+   treat it as immutable — every store boundary in this repo copies. *)
+let encode_into t buf =
+  let pos = ref 0 in
+  let u8 v =
+    Bytes.unsafe_set buf !pos (Char.unsafe_chr (v land 0xFF));
+    incr pos
+  in
+  let u16 v =
+    u8 v;
+    u8 (v lsr 8)
+  in
+  (* Word-width fields store in one unaligned write ([set_int32_le] is a
+     compiler primitive) — the reference table, four bytes per entry, is
+     most of a page's non-data bytes. *)
+  let u32 v =
+    Bytes.set_int32_le buf !pos (Int32.of_int v);
+    pos := !pos + 4
+  in
+  let u64 v =
+    Bytes.set_int64_le buf !pos v;
+    pos := !pos + 8
+  in
+  let rec varint v =
+    if v < 0x80 then u8 v
+    else begin
+      u8 (0x80 lor (v land 0x7F));
+      varint (v lsr 7)
+    end
+  in
+  let cap c =
+    u64 (Int64.of_int (Capability.port_to_int c.Capability.port));
+    varint c.Capability.obj;
+    u8 (Capability.rights_to_int c.Capability.rights);
+    u32 c.Capability.check
+  in
+  u16 magic;
+  u8 format_version;
   let h = t.header in
   (match (h.file_cap, h.version_cap) with
   | Some fc, Some vc ->
-      Wire.Writer.u8 w 1;
-      encode_cap w fc;
-      encode_cap w vc;
-      Wire.Writer.u32 w (encode_opt_block h.commit_ref);
-      Wire.Writer.u64 w (Int64.of_int h.top_lock);
-      Wire.Writer.u64 w (Int64.of_int h.inner_lock);
-      Wire.Writer.u32 w (encode_opt_block h.parent_ref);
-      Wire.Writer.u8 w (Flags.to_nibble h.root_flags)
-  | None, None -> Wire.Writer.u8 w 0
+      u8 1;
+      cap fc;
+      cap vc;
+      u32 (encode_opt_block h.commit_ref);
+      u64 (Int64.of_int h.top_lock);
+      u64 (Int64.of_int h.inner_lock);
+      u32 (encode_opt_block h.parent_ref);
+      u8 (Flags.to_nibble h.root_flags)
+  | None, None -> u8 0
   | _ -> invalid_arg "Page.encode: version page must carry both capabilities");
-  Wire.Writer.u32 w (encode_opt_block h.base_ref);
-  Wire.Writer.varint w (Array.length t.refs);
-  Wire.Writer.varint w (Bytes.length t.data);
+  u32 (encode_opt_block h.base_ref);
+  varint (Array.length t.refs);
+  varint (Bytes.length t.data);
   Array.iter
     (fun e ->
       check_block_number e.block;
-      Wire.Writer.u32 w ((e.block lsl 4) lor Flags.to_nibble e.flags))
+      u32 ((e.block lsl 4) lor Flags.to_nibble e.flags))
     t.refs;
-  Wire.Writer.bytes w t.data;
-  Wire.Writer.contents w
+  Bytes.blit t.data 0 buf !pos (Bytes.length t.data)
 
-let encoded_size t = Bytes.length (encode t)
+let encode t =
+  match t.enc with
+  | Some image -> image
+  | None ->
+      incr encode_count;
+      let image = Bytes.create (encoded_size t) in
+      encode_into t image;
+      t.enc <- Some image;
+      image
 
-let decode image =
+let memoized_image t = t.enc
+
+(* [memo] seeds the decoded page's image memo with [image] itself, so the
+   page will never be re-serialised. Only sound when the image is known
+   to be canonical encoder output (every image in this system's stores
+   is: stores are only ever written with {!encode} results) and when the
+   caller owns [image] exclusively — both stores hand out fresh copies on
+   read. Default off for arbitrary input, whose varints may be padded. *)
+let decode ?(memo = false) image =
   match
     let r = Wire.Reader.of_bytes image in
     if Wire.Reader.u16 r <> magic then Error "bad page magic"
@@ -209,7 +320,7 @@ let decode image =
           else
             let data = Wire.Reader.bytes r dsize in
             let () = Wire.Reader.expect_end r in
-            Ok { header; refs; data })
+            Ok { header; refs; data; enc = (if memo then Some image else None) })
     end
   with
   | result -> result

@@ -34,7 +34,16 @@ type header = {
   root_flags : Flags.t;  (** Access flags of the root page itself. *)
 }
 
-type t = private { header : header; refs : ref_entry array; data : bytes }
+type t = private {
+  header : header;
+  refs : ref_entry array;
+  data : bytes;
+  mutable enc : bytes option;
+      (** Memoized wire image ("encode-once"): filled lazily by {!encode},
+          seeded by {!decode ~memo:true}, reset to [None] by every
+          functional update. A cache, never part of the page's value —
+          compare pages with {!equal}, which ignores it. *)
+}
 
 val max_block_number : int
 (** 2^28 - 2; the all-ones 28-bit pattern encodes "nil". *)
@@ -54,6 +63,10 @@ val make_version_page :
 val is_version_page : t -> bool
 val nrefs : t -> int
 val dsize : t -> int
+
+val equal : t -> t -> bool
+(** Structural equality of header, reference table and data; the image
+    memo is ignored (it is a cache, not part of the value). *)
 
 val get_ref : t -> int -> (ref_entry, string) result
 
@@ -84,11 +97,32 @@ val clear_child_flags : t -> t
 (** {2 Wire format} *)
 
 val encoded_size : t -> int
+(** Exact length of {!encode}'s output, computed arithmetically — no
+    serialisation, no allocation. *)
 
 val encode : t -> bytes
+(** The page's wire image, serialised at most once per page lifetime and
+    memoized. The returned bytes are shared with the memo (and with every
+    other caller): treat them as immutable. *)
 
-val decode : bytes -> (t, string) result
-(** Rejects bad magic, illegal flag nibbles and truncation. *)
+val fresh_encodes : unit -> int
+(** Fresh serialisations performed since program start (memo hits do not
+    count). Monotone; tests and benches difference it around a region to
+    assert the encode-once discipline. *)
+
+val memoized_image : t -> bytes option
+(** The memoized wire image, if this page has been serialised (or was
+    decoded with [~memo:true]). Never serialises. Shared with the memo:
+    treat as immutable. Cache revalidation compares it against a freshly
+    read store image to skip re-decoding an unchanged page. *)
+
+val decode : ?memo:bool -> bytes -> (t, string) result
+(** Rejects bad magic, illegal flag nibbles and truncation. With [memo]
+    (default off), the input image seeds the decoded page's encode memo:
+    sound only for images produced by {!encode} (the decoder also accepts
+    padded varints, which would break byte-identity) that the caller owns
+    exclusively — true of every image read back from this system's
+    stores. *)
 
 val data_capacity : block_size:int -> nrefs:int -> is_version:int -> int
 (** Bytes of client data that fit in a page with that many references

@@ -1,7 +1,14 @@
 module Lru = Afs_util.Lru
 module Stats = Afs_util.Stats
+module Det = Afs_util.Det
 
-type entry = { mutable page : Page.t; mutable dirty : bool }
+(* [stale] marks a clean entry whose block must be re-read from the
+   store before it is believed (set by {!refresh}/{!invalidate}, the
+   §3.1 cache-integrity points). The re-read compares the store image
+   against the page's memoized encoding: commit references are almost
+   always unchanged, and an identical image means the cached decoded
+   page — and its memo — can be reused without re-parsing. *)
+type entry = { mutable page : Page.t; mutable dirty : bool; mutable stale : bool }
 
 type t = {
   store : Store.t;
@@ -11,22 +18,37 @@ type t = {
   (* Blocks held under a store lock: their cache entries are pinned so the
      commit critical section never loses its block to eviction. *)
   locked : (int, unit) Hashtbl.t;
-  mutable dirty_total : int;
+  (* The dirty set, mirrored from the entries' [dirty] bits. [flush] runs
+     at the head of every commit, so it must be O(pages written), not
+     O(cache capacity): folding a 4k-entry cache to find half a dozen
+     dirty pages was the single largest CPU cost in million-transaction
+     runs. *)
+  dirty : (int, unit) Hashtbl.t;
   counters : Stats.Counter.t;
+  (* Resolved-once cells for the per-read counters, forced at first bump
+     so untouched counters stay out of the table exactly as with
+     [Counter.incr]. The generic string-keyed bump costs a string hash
+     per call, which the cache hit path pays tens of times per
+     transaction. *)
+  hits : int ref Lazy.t;
+  misses : int ref Lazy.t;
 }
 
 let default_capacity = 4096
 
 let create ?(cache = true) ?(capacity = default_capacity) ?counters store =
   if capacity < 1 then invalid_arg "Pagestore.create: capacity must be positive";
+  let counters = match counters with Some c -> c | None -> Stats.Counter.create () in
   {
     store;
     cache_enabled = cache;
     capacity;
     cache = Lru.create ~capacity;
     locked = Hashtbl.create 4;
-    dirty_total = 0;
-    counters = (match counters with Some c -> c | None -> Stats.Counter.create ());
+    dirty = Hashtbl.create 64;
+    counters;
+    hits = lazy (Stats.Counter.handle counters "cache.hits");
+    misses = lazy (Stats.Counter.handle counters "cache.misses");
   }
 
 let store t = t.store
@@ -41,7 +63,8 @@ let allocate t =
   | Error msg -> Error (Errors.Store_failure msg)
 
 let store_write t b page =
-  match t.store.Store.write b (Page.encode page) with
+  let image = Page.encode page in
+  match t.store.Store.write b image with
   | Ok () -> Ok ()
   | Error msg -> Error (Errors.Store_failure msg)
 
@@ -60,7 +83,7 @@ let rec evict_excess t =
             match store_write t b e.page with
             | Ok () ->
                 e.dirty <- false;
-                t.dirty_total <- t.dirty_total - 1;
+                Hashtbl.remove t.dirty b;
                 bump t "cache.writebacks";
                 Ok ()
             | Error _ as err -> err
@@ -81,21 +104,59 @@ let cache_set t b entry =
   if Hashtbl.mem t.locked b then ignore (Lru.pin t.cache b);
   evict_excess t
 
+let drop_entry_raw t b =
+  Hashtbl.remove t.dirty b;
+  Lru.remove t.cache b
+
+(* Re-read a stale entry's block. An image identical to the cached
+   page's memoized encoding proves the store still holds exactly what we
+   decoded (or wrote) before, so the decoded page is reused as is; this
+   counts as a miss, like the drop-and-re-read it replaces, and the
+   store read it pays for is the §3.1 integrity check itself. *)
+let revalidate t b (e : entry) =
+  match t.store.Store.read b with
+  | Error msg ->
+      drop_entry_raw t b;
+      Error (Errors.Store_failure msg)
+  | Ok image -> (
+      let r = Lazy.force t.misses in
+      r := !r + 1;
+      match Page.memoized_image e.page with
+      | Some memo when Bytes.equal memo image ->
+          e.stale <- false;
+          Ok e.page
+      | _ -> (
+          match Page.decode ~memo:true image with
+          | Error msg -> Error (Errors.Store_failure msg)
+          | Ok page ->
+              e.page <- page;
+              e.stale <- false;
+              Ok page))
+
 let read t b =
   match if t.cache_enabled then Lru.find t.cache b else None with
   | Some e ->
-      bump t "cache.hits";
-      Ok e.page
+      if e.stale then revalidate t b e
+      else begin
+        let r = Lazy.force t.hits in
+        r := !r + 1;
+        Ok e.page
+      end
   | None -> (
       match t.store.Store.read b with
       | Error msg -> Error (Errors.Store_failure msg)
       | Ok image -> (
-          match Page.decode image with
+          (* The store hands back a fresh copy of an image this system
+             wrote with [Page.encode], so it can seed the page's encode
+             memo: a page faulted in and flushed back out costs zero
+             serialisations. *)
+          match Page.decode ~memo:true image with
           | Error msg -> Error (Errors.Store_failure msg)
           | Ok page ->
               if t.cache_enabled then begin
-                bump t "cache.misses";
-                match cache_set t b { page; dirty = false } with
+                let r = Lazy.force t.misses in
+                r := !r + 1;
+                match cache_set t b { page; dirty = false; stale = false } with
                 | Ok () -> Ok page
                 | Error _ as e -> e
               end
@@ -115,13 +176,14 @@ let write t b page =
       else (
         match Lru.find t.cache b with
         | Some e ->
-            if not e.dirty then t.dirty_total <- t.dirty_total + 1;
+            if not e.dirty then Hashtbl.replace t.dirty b ();
             e.page <- page;
             e.dirty <- true;
+            e.stale <- false;
             Ok ()
         | None ->
-            t.dirty_total <- t.dirty_total + 1;
-            cache_set t b { page; dirty = true })
+            Hashtbl.replace t.dirty b ();
+            cache_set t b { page; dirty = true; stale = false })
 
 let write_through t b page =
   match check_size t page with
@@ -130,10 +192,8 @@ let write_through t b page =
       match store_write t b page with
       | Error _ as e -> e
       | Ok () ->
-          (match Lru.peek t.cache b with
-          | Some { dirty = true; _ } -> t.dirty_total <- t.dirty_total - 1
-          | _ -> ());
-          if t.cache_enabled then cache_set t b { page; dirty = false } else Ok ())
+          Hashtbl.remove t.dirty b;
+          if t.cache_enabled then cache_set t b { page; dirty = false; stale = false } else Ok ())
 
 let flush_block t b =
   match Lru.peek t.cache b with
@@ -142,23 +202,20 @@ let flush_block t b =
       | Error _ as err -> err
       | Ok () ->
           e.dirty <- false;
-          t.dirty_total <- t.dirty_total - 1;
+          Hashtbl.remove t.dirty b;
           Ok ())
   | Some { dirty = false; _ } | None -> Ok ()
 
 let flush t =
-  let dirty_blocks =
-    Lru.fold (fun b e acc -> if e.dirty then b :: acc else acc) t.cache []
-    (* Deterministic order keeps simulated costs reproducible. *)
-    |> List.sort compare
-  in
+  (* The dirty set, in the same deterministic ascending order the old
+     whole-cache fold produced, without touching clean entries. *)
   let rec go = function
     | [] -> Ok ()
     | b :: rest -> ( match flush_block t b with Ok () -> go rest | Error _ as e -> e)
   in
-  go dirty_blocks
+  if Hashtbl.length t.dirty = 0 then Ok () else go (Det.sorted_keys t.dirty)
 
-let dirty_count t = t.dirty_total
+let dirty_count t = Hashtbl.length t.dirty
 
 let lock t b =
   if t.store.Store.lock b then begin
@@ -175,21 +232,23 @@ let unlock t b =
 
 let drop_volatile t =
   Lru.clear t.cache;
-  t.dirty_total <- 0
+  Hashtbl.reset t.dirty
 
-let drop_entry t b =
-  (match Lru.peek t.cache b with
-  | Some { dirty = true; _ } -> t.dirty_total <- t.dirty_total - 1
-  | _ -> ());
-  Lru.remove t.cache b
+let drop_entry t b = drop_entry_raw t b
 
 let refresh t b =
   match Lru.peek t.cache b with
   | Some { dirty = true; _ } -> () (* Our own pending write is authoritative. *)
-  | Some { dirty = false; _ } -> Lru.remove t.cache b
+  | Some e -> e.stale <- true
   | None -> ()
 
-let invalidate t b = drop_entry t b
+(* Unlike {!refresh}, a pending dirty write is dropped too: the caller
+   (the commit test-and-set) trusts nothing it has not re-read. *)
+let invalidate t b =
+  match Lru.peek t.cache b with
+  | Some { dirty = true; _ } -> drop_entry t b
+  | Some e -> e.stale <- true
+  | None -> ()
 
 (* The group-commit publish leg: every page is size-checked and encoded
    before the first store write (a too-large page cannot leave the batch
@@ -215,12 +274,10 @@ let write_through_batch t entries =
           let rec settle = function
             | [] -> Ok ()
             | (b, page) :: rest -> (
-                (match Lru.peek t.cache b with
-                | Some { dirty = true; _ } -> t.dirty_total <- t.dirty_total - 1
-                | _ -> ());
+                Hashtbl.remove t.dirty b;
                 if not t.cache_enabled then settle rest
                 else
-                  match cache_set t b { page; dirty = false } with
+                  match cache_set t b { page; dirty = false; stale = false } with
                   | Ok () -> settle rest
                   | Error _ as e -> e)
           in

@@ -1,6 +1,17 @@
 exception Killed
 
-type handle = { mutable dead : bool; mutable finished : bool; name : string }
+(* [ctx] caches the [Some (engine, handle)] value installed in [current]
+   while this process runs: allocated once at spawn rather than once per
+   resumption (a million-transaction run resumes processes millions of
+   times). *)
+type handle = {
+  mutable dead : bool;
+  mutable finished : bool;
+  name : string;
+  mutable ctx : ctx;
+}
+
+and ctx = (Engine.t * handle) option
 
 type _ Effect.t +=
   | Delay : float -> unit Effect.t
@@ -12,10 +23,16 @@ type _ Effect.t +=
    transitively schedule (not run) others. *)
 let current : (Engine.t * handle) option ref = ref None
 
-let with_current engine handle f =
+let with_current handle f =
   let saved = !current in
-  current := Some (engine, handle);
-  Fun.protect ~finally:(fun () -> current := saved) f
+  current := handle.ctx;
+  match f () with
+  | x ->
+      current := saved;
+      x
+  | exception e ->
+      current := saved;
+      raise e
 
 let rec execute : type a. Engine.t -> handle -> (a -> unit) -> (unit -> a) -> unit =
  fun engine handle return body ->
@@ -51,17 +68,22 @@ and resume : type b. Engine.t -> handle -> (b, unit) Effect.Deep.continuation ->
   let tr = Engine.trace engine in
   if Afs_trace.Trace.enabled tr then
     Afs_trace.Trace.point tr (Afs_trace.Trace.Proc_resume { proc = handle.name });
-  with_current engine handle (fun () ->
-      if handle.dead then Effect.Deep.discontinue k Killed
-      else Effect.Deep.continue k v)
+  let saved = !current in
+  current := handle.ctx;
+  match if handle.dead then Effect.Deep.discontinue k Killed else Effect.Deep.continue k v with
+  | () -> current := saved
+  | exception e ->
+      current := saved;
+      raise e
 
 let spawn ?(name = "anon") engine body =
-  let handle = { dead = false; finished = false; name } in
+  let handle = { dead = false; finished = false; name; ctx = None } in
+  handle.ctx <- Some (engine, handle);
   let tr = Engine.trace engine in
   if Afs_trace.Trace.enabled tr then
     Afs_trace.Trace.point tr (Afs_trace.Trace.Proc_spawn { proc = name });
   Engine.at engine 0.0 (fun () ->
-      with_current engine handle (fun () ->
+      with_current handle (fun () ->
           if not handle.dead then
             execute engine handle (fun () -> handle.finished <- true) body));
   handle

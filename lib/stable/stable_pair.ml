@@ -95,8 +95,15 @@ let fail ?(cost = 0.0) e = { result = Error e; cost_ms = cost }
 
 let magic = 0x5AB1
 
+(* One scratch writer for every [seal] call: sealing happens twice per
+   stable write (companion and local leg), so a fresh buffer per call is
+   measurable on the group-commit path. [contents] copies, so reuse
+   never aliases a previously sealed envelope. *)
+let seal_scratch = Wire.Writer.create ~capacity:4096 ()
+
 let seal seq payload =
-  let w = Wire.Writer.create ~capacity:(Bytes.length payload + 24) () in
+  let w = seal_scratch in
+  Wire.Writer.reset w;
   Wire.Writer.u16 w magic;
   Wire.Writer.u64 w seq;
   Wire.Writer.u32 w (Wire.crc32 payload);

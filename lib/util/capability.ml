@@ -41,19 +41,28 @@ let secret_of_seed seed =
 (* FNV-1a over the fields mixed with the secret; 32-bit truncated. A real
    system would use a cryptographic MAC, but the concurrency-control logic
    only needs unforgeability against honest-but-curious test clients. *)
+(* One FNV-1a step per byte of [v], least-significant first, unrolled:
+   the loop-and-ref formulation boxed every intermediate [Int64], and
+   [validate] runs several times per transaction on the hot path. The
+   byte is masked in 64-bit arithmetic rather than round-tripped through
+   [int] — same value, no conversion. *)
+let feed h v =
+  let prime = 0x100000001b3L in
+  let h = Int64.mul (Int64.logxor h (Int64.logand v 0xFFL)) prime in
+  let h = Int64.mul (Int64.logxor h (Int64.logand (Int64.shift_right_logical v 8) 0xFFL)) prime in
+  let h = Int64.mul (Int64.logxor h (Int64.logand (Int64.shift_right_logical v 16) 0xFFL)) prime in
+  let h = Int64.mul (Int64.logxor h (Int64.logand (Int64.shift_right_logical v 24) 0xFFL)) prime in
+  let h = Int64.mul (Int64.logxor h (Int64.logand (Int64.shift_right_logical v 32) 0xFFL)) prime in
+  let h = Int64.mul (Int64.logxor h (Int64.logand (Int64.shift_right_logical v 40) 0xFFL)) prime in
+  let h = Int64.mul (Int64.logxor h (Int64.logand (Int64.shift_right_logical v 48) 0xFFL)) prime in
+  Int64.mul (Int64.logxor h (Int64.shift_right_logical v 56)) prime
+
 let check_field secret ~port ~obj ~rights =
-  let h = ref 0xcbf29ce484222325L in
-  let feed v =
-    for shift = 0 to 7 do
-      let byte = Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * shift)) 0xFFL) in
-      h := Int64.mul (Int64.logxor !h (Int64.of_int byte)) 0x100000001b3L
-    done
-  in
-  feed secret;
-  feed (Int64.of_int port);
-  feed (Int64.of_int obj);
-  feed (Int64.of_int rights);
-  Int64.to_int (Int64.logand !h 0x7FFFFFFFL)
+  let h = feed 0xcbf29ce484222325L secret in
+  let h = feed h (Int64.of_int port) in
+  let h = feed h (Int64.of_int obj) in
+  let h = feed h (Int64.of_int rights) in
+  Int64.to_int (Int64.logand h 0x7FFFFFFFL)
 
 let mint secret ~port ~obj ~rights =
   { port; obj; rights; check = check_field secret ~port ~obj ~rights }

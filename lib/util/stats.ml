@@ -107,6 +107,18 @@ module Counter = struct
     | Some r -> r := !r + by
     | None -> Hashtbl.add t name (ref by)
 
+  (* The counter cell itself, for hot paths that bump the same counter
+     millions of times: resolve the string key once, then increment the
+     ref directly. Force lazily at the first bump so a counter that is
+     never touched stays absent from [to_list], exactly as with [incr]. *)
+  let handle t name =
+    match Hashtbl.find_opt t name with
+    | Some r -> r
+    | None ->
+        let r = ref 0 in
+        Hashtbl.add t name r;
+        r
+
   let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
 
   let to_list t =

@@ -46,6 +46,12 @@ module Counter : sig
 
   val create : unit -> t
   val incr : ?by:int -> t -> string -> unit
+
+  val handle : t -> string -> int ref
+  (** The counter's cell, registering it at 0 if absent: resolve the
+      string key once and increment the ref directly on hot paths. Wrap
+      in [lazy] to keep never-touched counters out of {!to_list}. *)
+
   val get : t -> string -> int
   val to_list : t -> (string * int) list
   (** Sorted by name. *)

@@ -6,6 +6,12 @@ module Writer = struct
   type t = { buf : Buffer.t }
 
   let create ?(capacity = 256) () = { buf = Buffer.create capacity }
+
+  (* Empty the writer for reuse, keeping its internal buffer: callers on
+     hot paths keep one scratch writer per call site instead of
+     allocating a fresh [Buffer.t] (and its backing bytes) per message.
+     [contents] copies, so a reset never aliases handed-out images. *)
+  let reset t = Buffer.clear t.buf
   let length t = Buffer.length t.buf
   let u8 t v = Buffer.add_char t.buf (Char.chr (v land 0xFF))
 
@@ -60,17 +66,20 @@ module Reader = struct
     let hi = u8 t in
     lo lor (hi lsl 8)
 
+  (* Word-width fields load in one unaligned access ([get_int32_le] is a
+     compiler primitive); the page codec reads tens of these per page on
+     the cache-miss path. *)
   let u32 t =
-    let lo = u16 t in
-    let hi = u16 t in
-    lo lor (hi lsl 16)
+    if remaining t < 4 then fail "u32: truncated at %d" t.pos;
+    let v = Int32.to_int (Bytes.get_int32_le t.data t.pos) land 0xFFFFFFFF in
+    t.pos <- t.pos + 4;
+    v
 
   let u64 t =
-    let v = ref 0L in
-    for shift = 0 to 7 do
-      v := Int64.logor !v (Int64.shift_left (Int64.of_int (u8 t)) (8 * shift))
-    done;
-    !v
+    if remaining t < 8 then fail "u64: truncated at %d" t.pos;
+    let v = Bytes.get_int64_le t.data t.pos in
+    t.pos <- t.pos + 8;
+    v
 
   let varint t =
     let rec go shift acc =

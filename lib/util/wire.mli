@@ -10,6 +10,12 @@ module Writer : sig
   type t
 
   val create : ?capacity:int -> unit -> t
+
+  val reset : t -> unit
+  (** Empty the writer for reuse, keeping its backing buffer — the
+      arena discipline for per-message scratch writers on hot paths.
+      Safe because {!contents} copies. *)
+
   val length : t -> int
   val u8 : t -> int -> unit
   val u16 : t -> int -> unit

@@ -30,6 +30,12 @@ val int : t -> int -> int
 val int_in : t -> int -> int -> int
 (** [int_in t lo hi] is uniform in [lo, hi] inclusive. *)
 
+val fill_printable : t -> bytes -> unit
+(** Fill the buffer with printable ASCII (space to [~]), consuming one
+    draw per byte — stream-identical to [Char.chr (32 + int t 95)] per
+    byte, but without the generic path's three boxed [Int64] allocations
+    each. For bulk payload generation on workload hot paths. *)
+
 val float : t -> float -> float
 (** [float t bound] is uniform in [0, bound). *)
 

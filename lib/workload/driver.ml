@@ -10,10 +10,18 @@ type config = {
   think_ms : float;
   max_retries : int;
   seed : int;
+  max_txns : int;
 }
 
 let default_config =
-  { clients = 8; duration_ms = 10_000.0; think_ms = 20.0; max_retries = 16; seed = 42 }
+  {
+    clients = 8;
+    duration_ms = 10_000.0;
+    think_ms = 20.0;
+    max_retries = 16;
+    seed = 42;
+    max_txns = 0;
+  }
 
 type report = {
   sut_name : string;
@@ -46,10 +54,22 @@ let retry_histogram_row r =
   let cell (attempts, count) = Printf.sprintf "%dx:%d" attempts count in
   String.concat " " (List.map cell r.retry_histogram)
 
-let run engine config sut ~gen =
+let run ?(on_progress = ignore) engine config sut ~gen =
   let committed = ref 0 in
   let given_up = ref 0 in
   let attempts = ref 0 in
+  (* Count-driven runs: [started] gates transaction admission so exactly
+     [max_txns] transactions run to completion (0 = duration-driven). *)
+  let started = ref 0 in
+  let admit () =
+    config.max_txns = 0
+    ||
+    if !started < config.max_txns then begin
+      incr started;
+      true
+    end
+    else false
+  in
   (* Per-transaction attempt counts; slot [max_retries + 1] absorbs any
      overshoot so the array is total (an array, not a Hashtbl: the report
      must not depend on hash order). *)
@@ -67,7 +87,7 @@ let run engine config sut ~gen =
       let rec loop () =
         if Engine.now engine < config.duration_ms then begin
           Proc.delay (Xrng.exponential rng config.think_ms);
-          if Engine.now engine < config.duration_ms then begin
+          if Engine.now engine < config.duration_ms && admit () then begin
             let spec = gen rng in
             let t0 = Engine.now engine in
             (* Explicit open/close (not [Trace.span]): the transaction
@@ -86,6 +106,7 @@ let run engine config sut ~gen =
               Stats.Summary.add latency_sum dt
             end
             else incr given_up;
+            on_progress (!committed + !given_up);
             loop ()
           end
         end
@@ -96,7 +117,12 @@ let run engine config sut ~gen =
     ignore (Proc.spawn ~name:(Printf.sprintf "client-%d" id) engine (client id))
   done;
   Engine.run engine;
-  let elapsed_ms = Float.max (Engine.now engine) config.duration_ms in
+  let elapsed_ms =
+    (* A count-driven run ends when the last transaction does; clamping to
+       [duration_ms] would divide throughput by the (huge) sentinel. *)
+    if config.max_txns > 0 then Engine.now engine
+    else Float.max (Engine.now engine) config.duration_ms
+  in
   {
     sut_name = sut.Sut.name;
     committed = !committed;

@@ -12,6 +12,11 @@ type config = {
   think_ms : float;  (** Mean of the exponential think time. *)
   max_retries : int;
   seed : int;
+  max_txns : int;
+      (** When positive, the run is count-driven: exactly this many
+          transactions are admitted across all clients and the run ends
+          when the last one completes (set [duration_ms] high enough not
+          to interfere). 0 means duration-driven, the default. *)
 }
 
 val default_config : config
@@ -45,6 +50,11 @@ val retry_histogram_row : report -> string
 (** The retry histogram as ["1x:412 2x:31 3x:2"]-style cells. *)
 
 val run :
+  ?on_progress:(int -> unit) ->
   Afs_sim.Engine.t -> config -> Sut.t -> gen:Workload.generator -> report
 (** Must be called with a quiescent engine; returns once the engine has
-    drained. *)
+    drained. [on_progress] is called after every completed transaction
+    with the completed count (committed + given up) — the hook the
+    million-transaction scenario uses to run the collector at a
+    deterministic cadence. It runs synchronously inside a client process
+    and must not yield. *)

@@ -38,7 +38,9 @@ let large_updates =
 type generator = Xrng.t -> Sut.txn_spec
 
 let payload rng size =
-  Bytes.init size (fun _ -> Char.chr (32 + Xrng.int rng 95))
+  let b = Bytes.create size in
+  Xrng.fill_printable rng b;
+  b
 
 (* Sample [count] distinct pages through the Zipf sampler (rejection on
    duplicates; count is required to be at most the page population). *)
@@ -60,9 +62,13 @@ let make shape =
     invalid_arg "Workload.make: transaction larger than a file";
   let file_zipf = Zipf.create ~n:shape.nfiles ~theta:shape.file_theta in
   let page_zipf = Zipf.create ~n:shape.pages_per_file ~theta:shape.page_theta in
+  (* One distinctness table per generator, reset per transaction: the
+     per-call [Hashtbl.create] showed up in million-transaction runs.
+     Only membership is ever queried, so traversal order cannot leak. *)
+  let taken = Hashtbl.create 16 in
   fun rng ->
     let file = Zipf.sample file_zipf rng in
-    let taken = Hashtbl.create 16 in
+    Hashtbl.reset taken;
     let reads = distinct_pages rng page_zipf shape.read_pages taken in
     let writes = distinct_pages rng page_zipf shape.rmw_pages taken in
     let data = payload rng shape.payload_bytes in

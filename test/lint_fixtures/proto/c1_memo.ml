@@ -1,0 +1,23 @@
+(* Encode-once memo fields are private caches, not shared protocol
+   state: filling one is a pure function of the immutable value it hangs
+   off, so it must trip neither C1 (the fill inside a critical section is
+   no yield and no ambient source) nor Y1 (a post-yield fill needs no
+   revalidation — there is no stale frame to act on). *)
+type page = { data : int; mutable enc : int option }
+
+let encode p =
+  match p.enc with
+  | Some img -> img
+  | None ->
+      let img = p.data * 2 in
+      p.enc <- Some img;
+      img
+
+(* Listed as a critical section in the fixture config: memoizing inside
+   the commit region is allowed. *)
+let commit st p = match Store.validate (encode p) with true -> st := p.data | false -> ()
+
+(* Yield, then fill the memo: not a tracked shared-state write. *)
+let encode_after_pause p =
+  Proc.delay 1;
+  encode p

@@ -26,6 +26,7 @@ let fixture_config =
     critical_sections =
       [
         "C1_commit.commit";
+        "C1_memo.commit";
         "C1_ambient.commit_stamped";
         "C1_ok.commit";
         "C1_pipeline.validate";
@@ -54,7 +55,7 @@ let scan = lazy (run [ "lint_fixtures" ])
 let test_parses_everything () =
   let r = Lazy.force scan in
   Alcotest.(check (list (pair string string))) "no unparseable fixtures" [] r.broken;
-  Alcotest.(check int) "all fixtures scanned" 25 r.files_scanned
+  Alcotest.(check int) "all fixtures scanned" 26 r.files_scanned
 
 let test_d1_ambient () =
   check_keys "one finding per ambient source, none in the exempt file"
@@ -177,6 +178,8 @@ let test_c1 () =
     (in_file "lint_fixtures/proto/c1_ambient.ml" (Lazy.force scan));
   check_keys "a clean section is silent" []
     (in_file "lint_fixtures/proto/c1_ok.ml" (Lazy.force scan));
+  check_keys "memo fields are silent: no C1 in the section, no Y1 after the yield" []
+    (in_file "lint_fixtures/proto/c1_memo.ml" (Lazy.force scan));
   check_keys "the clean validate/merge/publish pipeline stages are silent" []
     (in_file "lint_fixtures/proto/c1_pipeline.ml" (Lazy.force scan));
   (* The C1 yield report carries the shortest call chain to the primitive. *)

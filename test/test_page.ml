@@ -17,8 +17,8 @@ let sample_version_page () =
     ~refs:[| entry 3; entry ~flags:(Flags.record Flags.clear Flags.Write) 9 |]
     ~data:(bytes "version page data")
 
-let decode_ok image =
-  match Page.decode image with
+let decode_ok ?memo image =
+  match Page.decode ?memo image with
   | Ok p -> p
   | Error msg -> Alcotest.failf "decode failed: %s" msg
 
@@ -233,6 +233,86 @@ let prop_decode_total_on_garbage =
       | Ok _ | Error _ -> true
       | exception _ -> false)
 
+(* {2 Encode-once: the memo is invisible and always canonical} *)
+
+let test_encode_counts_once () =
+  let p = sample_version_page () in
+  let e0 = Page.fresh_encodes () in
+  let img1 = Page.encode p in
+  let img2 = Page.encode p in
+  Alcotest.(check int) "second encode is a memo hit" 1 (Page.fresh_encodes () - e0);
+  Alcotest.(check bool) "memo hit returns the same image" true (img1 == img2);
+  let e1 = Page.fresh_encodes () in
+  let q = decode_ok ~memo:true img1 in
+  ignore (Page.encode q);
+  Alcotest.(check int) "decode ~memo seeds the memo" 0 (Page.fresh_encodes () - e1)
+
+(* Random pages and random updater chains: after any sequence of
+   functional updates, the memoized image must be byte-identical to a
+   from-scratch serialisation of the same value (decode the image with no
+   memo, re-encode fresh). An updater that changes the page must also have
+   dropped the parent's memo rather than carried it across. *)
+let prop_memo_canonical_after_updates =
+  let open QCheck2 in
+  let entry_gen =
+    Gen.(
+      map2
+        (fun block w -> { Page.block; flags = (if w then Flags.record Flags.clear Flags.Write else Flags.clear) })
+        (int_bound 100_000) bool)
+  in
+  let base_gen =
+    Gen.(
+      let* refs = array_size (int_bound 6) entry_gen in
+      let* data = small_string ~gen:printable in
+      let* version = bool in
+      return
+        (if version then
+           Page.make_version_page ~file_cap:(cap 2) ~version_cap:(cap 5) ~base_ref:(Some 17)
+             ~parent_ref:None ~refs ~data:(Bytes.of_string data)
+         else Page.with_contents Page.empty ~refs ~data:(Bytes.of_string data)))
+  in
+  let access_gen = Gen.oneofl [ Flags.Read; Flags.Write; Flags.Search; Flags.Modify ] in
+  let update_gen =
+    Gen.(
+      oneof
+        [
+          map (fun s p -> Page.with_data p (Bytes.of_string s)) (small_string ~gen:printable);
+          map2 (fun i e p -> match Page.with_ref p i e with Ok p -> p | Error _ -> p)
+            (int_bound 8) entry_gen;
+          map2 (fun i e p -> match Page.insert_ref p i e with Ok p -> p | Error _ -> p)
+            (int_bound 8) entry_gen;
+          map (fun i p -> match Page.remove_ref p i with Ok p -> p | Error _ -> p) (int_bound 8);
+          map2 (fun i a p -> match Page.record_access p i a with Ok p -> p | Error _ -> p)
+            (int_bound 8) access_gen;
+          return Page.clear_child_flags;
+        ])
+  in
+  Test.make ~name:"memoized encode is canonical after every updater" ~count:300
+    Gen.(pair base_gen (list_size (int_range 1 8) update_gen))
+    (fun (base, updates) ->
+      let p =
+        List.fold_left
+          (fun p update ->
+            ignore (Page.encode p) (* memoize, so updaters must shed it *);
+            let p' = update p in
+            if p' != p && Page.memoized_image p' <> None then
+              Test.fail_reportf "updater carried a stale memo across";
+            p')
+          base updates
+      in
+      let img = Page.encode p in
+      (match Page.memoized_image p with
+      | Some m when m == img -> ()
+      | _ -> Test.fail_reportf "encode did not memoize its image");
+      let fresh =
+        match Page.decode img with
+        | Ok q -> Page.encode q
+        | Error msg -> Test.fail_reportf "memoized image does not decode: %s" msg
+      in
+      if not (Bytes.equal img fresh) then
+        Test.fail_reportf "memoized image differs from a fresh serialisation";
+      true)
+
 let () =
   Alcotest.run "page"
     [
@@ -263,5 +343,10 @@ let () =
           QCheck_alcotest.to_alcotest prop_encoded_size_consistent;
           QCheck_alcotest.to_alcotest prop_decode_total_on_mutations;
           QCheck_alcotest.to_alcotest prop_decode_total_on_garbage;
+        ] );
+      ( "encode-once",
+        [
+          quick "fresh encode counted once" test_encode_counts_once;
+          QCheck_alcotest.to_alcotest prop_memo_canonical_after_updates;
         ] );
     ]

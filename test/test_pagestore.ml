@@ -221,6 +221,153 @@ let test_flush_then_evict_no_second_write () =
   Alcotest.(check int) "no write-back of clean evictee" 0 (counter ps "cache.writebacks");
   Alcotest.(check int) "evicted" 1 (counter ps "cache.evictions")
 
+(* {2 Encode-once: each page value is serialised at most once} *)
+
+let encodes_during f =
+  let before = Page.fresh_encodes () in
+  f ();
+  Page.fresh_encodes () - before
+
+let test_one_encode_per_write () =
+  let _, ps = fresh () in
+  let blocks = List.init 3 (fun _ -> ok (Pagestore.allocate ps)) in
+  let n =
+    encodes_during (fun () ->
+        List.iteri
+          (fun i b -> ignore (ok (Pagestore.write ps b (page_with_data (string_of_int i)))))
+          blocks;
+        ignore (ok (Pagestore.flush ps)))
+  in
+  Alcotest.(check int) "one encode per written page" 3 n;
+  Alcotest.(check int) "second flush encodes nothing" 0
+    (encodes_during (fun () -> ignore (ok (Pagestore.flush ps))))
+
+let test_one_encode_write_through () =
+  let _, ps = fresh () in
+  let b = ok (Pagestore.allocate ps) in
+  let n =
+    encodes_during (fun () -> ignore (ok (Pagestore.write_through ps b (page_with_data "x"))))
+  in
+  (* The historical bug this guards against: [write_through] used to pay
+     one encode for the size check and a second for the store write. *)
+  Alcotest.(check int) "write_through encodes exactly once" 1 n
+
+let test_batch_encodes_k () =
+  let _, ps = fresh () in
+  let entries =
+    List.init 4 (fun i -> (ok (Pagestore.allocate ps), page_with_data (string_of_int i)))
+  in
+  let n = encodes_during (fun () -> ignore (ok (Pagestore.write_through_batch ps entries))) in
+  Alcotest.(check int) "batch of k encodes k" 4 n
+
+let test_faulted_page_rewrites_free () =
+  let _, ps = fresh () in
+  let b = ok (Pagestore.allocate ps) in
+  ignore (ok (Pagestore.write_through ps b (page_with_data "v")));
+  Pagestore.drop_volatile ps;
+  (* Fault the page in (decode seeds the memo), write the same value back
+     and flush: the round trip must not serialise at all. *)
+  let n =
+    encodes_during (fun () ->
+        let p = ok (Pagestore.read ps b) in
+        ignore (ok (Pagestore.write ps b p));
+        ignore (ok (Pagestore.flush ps)))
+  in
+  Alcotest.(check int) "fault-in/flush-out costs zero encodes" 0 n
+
+let test_refresh_revalidates_in_place () =
+  let _, ps = fresh () in
+  let b = ok (Pagestore.allocate ps) in
+  ignore (ok (Pagestore.write_through ps b (page_with_data "same")));
+  let p0 = ok (Pagestore.read ps b) in
+  Pagestore.refresh ps b;
+  let m0 = counter ps "cache.misses" in
+  let p1 = ok (Pagestore.read ps b) in
+  (* The store image is unchanged, so revalidation must reuse the decoded
+     page (physically: the memo comparison short-circuits the decode) while
+     still accounting the store round trip as a miss. *)
+  Alcotest.(check bool) "same decoded page reused" true (p0 == p1);
+  Alcotest.(check int) "revalidation counts as a miss" (m0 + 1) (counter ps "cache.misses");
+  let h0 = counter ps "cache.hits" in
+  ignore (ok (Pagestore.read ps b));
+  Alcotest.(check int) "entry is fresh again" (h0 + 1) (counter ps "cache.hits")
+
+(* {2 Property: cached reads ≡ decode-from-image, under random eviction} *)
+
+(* Drive a tiny (capacity 2) pagestore with random writes, reads, flushes
+   and stale-markings over 6 blocks, mirroring every write in a plain
+   model map. Whatever the eviction/revalidation sequence did, a read must
+   return a page structurally equal to the model's last write, and after a
+   final flush the store image must decode to the same value. *)
+let prop_cache_reads_equal_model =
+  let open QCheck2 in
+  let nblocks = 6 in
+  let op_gen =
+    Gen.(
+      oneof
+        [
+          map2 (fun b s -> `Write (b, s)) (int_bound (nblocks - 1)) (small_string ~gen:printable);
+          map (fun b -> `Read b) (int_bound (nblocks - 1));
+          return `Flush;
+          map (fun b -> `Refresh b) (int_bound (nblocks - 1));
+          map (fun b -> `Invalidate b) (int_bound (nblocks - 1));
+        ])
+  in
+  Test.make ~name:"cached reads = decode-from-image under random eviction" ~count:200
+    Gen.(list_size (int_range 1 60) op_gen)
+    (fun ops ->
+      let store = Store.memory ~block_size:1024 () in
+      let ps = Pagestore.create ~capacity:2 store in
+      let blocks = Array.init nblocks (fun _ -> ok (Pagestore.allocate ps)) in
+      let model = Array.make nblocks None in
+      (* Seed every block so reads are always defined. *)
+      Array.iteri
+        (fun i b ->
+          let p = page_with_data (Printf.sprintf "init%d" i) in
+          ignore (ok (Pagestore.write_through ps b p));
+          model.(i) <- Some p)
+        blocks;
+      List.iter
+        (function
+          | `Write (i, s) ->
+              let p = page_with_data s in
+              ignore (ok (Pagestore.write ps blocks.(i) p));
+              model.(i) <- Some p
+          | `Read i -> (
+              let p = ok (Pagestore.read ps blocks.(i)) in
+              match model.(i) with
+              | Some m when Page.equal p m -> ()
+              | _ -> Test.fail_reportf "read of block %d diverged from model" i)
+          | `Flush -> ignore (ok (Pagestore.flush ps))
+          | `Refresh i -> Pagestore.refresh ps blocks.(i)
+          | `Invalidate i ->
+              Pagestore.invalidate ps blocks.(i);
+              (* Invalidate discards a pending dirty write (§3.1: the commit
+                 path trusts nothing unread) — the durable image wins. *)
+              model.(i) <-
+                (match Page.decode (Helpers.ok_str (store.Store.read blocks.(i))) with
+                | Ok p -> Some p
+                | Error _ -> model.(i)))
+        ops;
+      ignore (ok (Pagestore.flush ps));
+      Array.iteri
+        (fun i b ->
+          let cached = ok (Pagestore.read ps b) in
+          let durable =
+            match Page.decode (Helpers.ok_str (store.Store.read b)) with
+            | Ok p -> p
+            | Error msg -> Test.fail_reportf "store image undecodable: %s" msg
+          in
+          match model.(i) with
+          | Some m ->
+              if not (Page.equal cached m) then
+                Test.fail_reportf "final cached read of block %d diverged" i;
+              if not (Page.equal durable m) then
+                Test.fail_reportf "final store image of block %d diverged" i
+          | None -> ())
+        blocks;
+      true)
+
 let () =
   Alcotest.run "pagestore"
     [
@@ -255,4 +402,14 @@ let () =
           quick "decode error surfaces" test_decode_error_surfaces;
           quick "locks pass through" test_locks_pass_through;
         ] );
+      ( "encode-once",
+        [
+          quick "one encode per write" test_one_encode_per_write;
+          quick "write_through encodes once" test_one_encode_write_through;
+          quick "batch of k encodes k" test_batch_encodes_k;
+          quick "fault-in/flush-out is encode-free" test_faulted_page_rewrites_free;
+          quick "refresh revalidates in place" test_refresh_revalidates_in_place;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_cache_reads_equal_model ] );
     ]

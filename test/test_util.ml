@@ -261,7 +261,7 @@ let test_wire_truncation_detected () =
   let truncated = Bytes.sub full 0 2 in
   let r = Wire.Reader.of_bytes truncated in
   Alcotest.check_raises "truncated"
-    (Wire.Decode_error "u8: truncated at 2")
+    (Wire.Decode_error "u32: truncated at 0")
     (fun () -> ignore (Wire.Reader.u32 r))
 
 let test_wire_trailing_garbage_detected () =
@@ -404,6 +404,22 @@ let test_ratio () =
   Alcotest.(check bool) "half" true (Stats.ratio 1 2 = 0.5);
   Alcotest.(check bool) "zero denominator" true (Stats.ratio 1 0 = 0.0)
 
+(* [fill_printable] computes splitmix64 draws directly from the draw
+   index; it must produce exactly the bytes (and final RNG state) of the
+   one-[int]-per-byte loop it replaced, or every workload trace shifts. *)
+let test_rng_fill_printable_identity () =
+  List.iter
+    (fun (seed, len) ->
+      let a = Xrng.create seed and b = Xrng.create seed in
+      let fast = Bytes.create len in
+      Xrng.fill_printable a fast;
+      let slow = Bytes.init len (fun _ -> Char.chr (32 + Xrng.int b 95)) in
+      Alcotest.(check string)
+        (Printf.sprintf "bytes identical (seed %d, len %d)" seed len)
+        (Bytes.to_string slow) (Bytes.to_string fast);
+      Alcotest.(check int64) "RNG state advanced identically" (Xrng.bits64 b) (Xrng.bits64 a))
+    [ (1, 0); (7, 1); (42, 13); (1234, 1024) ]
+
 let () =
   Alcotest.run "util"
     [
@@ -413,6 +429,7 @@ let () =
           quick "seed sensitivity" test_rng_seed_sensitivity;
           quick "int bounds" test_rng_int_bounds;
           quick "int rejects non-positive" test_rng_int_rejects_nonpositive;
+          quick "fill_printable stream identity" test_rng_fill_printable_identity;
           quick "int_in bounds" test_rng_int_in;
           quick "float bounds" test_rng_float_bounds;
           quick "split independence" test_rng_split_independent;

@@ -121,8 +121,8 @@ let default_config =
     protocol_dirs = [ "lib" ];
     hashtbl_dirs = [ "lib"; "bin"; "bench"; "examples" ];
     hashtbl_strict_units =
-      [ "lib/util/lru.ml"; "lib/core/writeset.ml"; "lib/trace"; "lib/cluster";
-        "lib/replica" ];
+      [ "lib/util/lru.ml"; "lib/util/stats.ml"; "lib/core/writeset.ml";
+        "lib/core/pagestore.ml"; "lib/trace"; "lib/cluster"; "lib/replica" ];
     e1_dirs = [ "lib" ];
     e1_exempt = [ "lib/sim" ];
     mli_dirs = [ "lib" ];
