@@ -37,6 +37,7 @@ let experiments =
     ("l1-lint-gate", Lintgate.l1);
     ("m2-engine-speed", Enginespeed.m2);
     ("a6-million", Enginespeed.a6);
+    ("s2-cross-shard", Crossshard.s2);
   ]
 
 (* Wall-clock is machine-dependent: recorded only under --timed, published

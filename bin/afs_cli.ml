@@ -204,7 +204,7 @@ let close_trace_sink = function
       Printf.printf "trace: %d events -> %s\n" (Afs_trace.Trace.events_emitted tr) path
 
 let simulate system shards replicas clients duration_s think_ms nfiles pages theta
-    cache_capacity group_commit kill_primary failover_ms trace_file =
+    cross_ratio cache_capacity group_commit kill_primary failover_ms trace_file =
   let open Afs_workload in
   let shape =
     {
@@ -228,41 +228,86 @@ let simulate system shards replicas clients duration_s think_ms nfiles pages the
   in
   let cluster_ref = ref None in
   let bare = ref [] in
-  let sut =
+  let transfer_ctx = ref None in
+  let initial_balance = 1_000 in
+  let make_cluster () =
+    let cluster =
+      Afs_cluster.Cluster.create ~latency_ms:2.0 ?cache_capacity ~group_commit
+        ~replicas ~trace engine ~shards
+    in
+    cluster_ref := Some cluster;
+    schedule_kill engine cluster ~replicas ~failover_ms ~trace kill_primary;
+    cluster
+  in
+  let sut, gen =
     match system with
-    | "afs" when shards > 1 || replicas > 0 ->
-        let cluster =
-          Afs_cluster.Cluster.create ~latency_ms:2.0 ?cache_capacity ~group_commit
-            ~replicas ~trace engine ~shards
+    | "afs" when cross_ratio <> None ->
+        (* The cross-shard banking mix, run through the optimistic
+           transaction coordinator (lib/txn). *)
+        let tshape =
+          {
+            Workload.bank_transfers with
+            accounts = max nfiles (2 * shards);
+            objects = 2 * shards;
+            shards;
+            cross_ratio = Option.get cross_ratio;
+            account_theta = theta;
+          }
         in
-        cluster_ref := Some cluster;
-        schedule_kill engine cluster ~replicas ~failover_ms ~trace kill_primary;
+        let cluster = make_cluster () in
+        let files = ok (Workload.setup_accounts cluster tshape ~initial_balance) in
+        let client = Afs_cluster.Cluster_client.connect cluster in
+        transfer_ctx := Some (client, tshape, files);
+        (Sut.afs_txn ~trace client ~files, Workload.transfer tshape)
+    | "afs" when shards > 1 || replicas > 0 ->
+        let cluster = make_cluster () in
         let files = ok (Workload.setup_cluster cluster shape ~initial:(bytes "0")) in
-        Sut.afs_cluster (Afs_cluster.Cluster_client.connect cluster) ~files
+        ( Sut.afs_cluster (Afs_cluster.Cluster_client.connect cluster) ~files,
+          Workload.make shape )
     | "afs" ->
         let store = Store.memory () in
         let srv = Server.create ?cache_capacity ~group_commit ~trace store in
         bare := [ srv ];
         let files = ok (Workload.setup_pages srv shape ~initial:(bytes "0")) in
         let host = Afs_rpc.Remote.host ~latency_ms:2.0 engine ~name:"afs" srv in
-        Sut.afs_remote (Afs_rpc.Remote.connect [ host ]) ~fallback:srv ~files
+        (Sut.afs_remote (Afs_rpc.Remote.connect [ host ]) ~fallback:srv ~files,
+         Workload.make shape)
     | "2pl" ->
         let backend =
           Afs_baseline.Twopl.create ~vulnerable_after_ms:2000.0 ~trace
             ~clock:(fun () -> Afs_sim.Engine.now engine)
             ()
         in
-        Sut.twopl ~remote:engine backend ~pages_per_file:shape.Workload.pages_per_file
-          ~retry_wait_ms:8.0
+        ( Sut.twopl ~remote:engine backend ~pages_per_file:shape.Workload.pages_per_file
+            ~retry_wait_ms:8.0,
+          Workload.make shape )
     | "tso" ->
         let backend = Afs_baseline.Tsorder.create ~trace () in
-        Sut.tsorder ~remote:engine backend ~pages_per_file:shape.Workload.pages_per_file
+        ( Sut.tsorder ~remote:engine backend ~pages_per_file:shape.Workload.pages_per_file,
+          Workload.make shape )
     | other -> failwith (Printf.sprintf "unknown system %S (afs|2pl|tso)" other)
   in
-  let report = Driver.run engine config sut ~gen:(Workload.make shape) in
+  let report = Driver.run engine config sut ~gen in
   print_endline Driver.header_row;
   print_endline (Driver.report_row report);
   Printf.printf "retries: %s\n" (Driver.retry_histogram_row report);
+  Printf.printf "%s\n" (Driver.abort_split_row report);
+  (match !transfer_ctx with
+  | None -> ()
+  | Some (client, tshape, files) ->
+      (* Resolve anything a deferred flip left in doubt, then audit the
+         conserved total out of band. *)
+      let swept = ref 0 in
+      ignore
+        (Afs_sim.Proc.spawn ~name:"sweeper" engine (fun () ->
+             swept := ok (Afs_txn.Txn.sweep (Afs_txn.Txn.create client)
+                            (Array.to_list files))));
+      Afs_sim.Engine.run engine;
+      let total = Workload.total_balance sut tshape in
+      let expected = initial_balance * tshape.Workload.accounts in
+      Printf.printf "conservation: swept %d in-doubt, total balance %d (expected %d)%s\n"
+        !swept total expected
+        (if total = expected then "" else "  ** VIOLATION **"));
   let servers =
     (* Read after the run: a promotion replaces a shard's server, and the
        promoted one carries the post-failover commit counters. *)
@@ -472,6 +517,16 @@ let simulate_cmd =
   in
   let pages = Arg.(value & opt int 16 & info [ "pages" ] ~doc:"Pages per file") in
   let theta = Arg.(value & opt float 0.0 & info [ "theta" ] ~doc:"Zipf skew (0 = uniform)") in
+  let cross_ratio =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "cross-shard-ratio" ] ~docv:"R"
+          ~doc:
+            "Switch to the cross-shard banking mix (transfers and moves) run through \
+             the optimistic transaction coordinator: fraction $(docv) of transactions \
+             pair files on different shards (afs only)")
+  in
   let cache_capacity =
     Arg.(
       value
@@ -490,8 +545,8 @@ let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc:"Run the multi-client workload driver")
     Term.(
       const simulate $ system $ shards $ replicas_arg $ clients_arg $ duration_arg
-      $ think_arg $ nfiles_arg $ pages $ theta $ cache_capacity $ group_commit
-      $ kill_primary_arg $ failover_ms_arg $ trace_arg)
+      $ think_arg $ nfiles_arg $ pages $ theta $ cross_ratio $ cache_capacity
+      $ group_commit $ kill_primary_arg $ failover_ms_arg $ trace_arg)
 
 let cluster_cmd =
   let shards =

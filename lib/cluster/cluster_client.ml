@@ -38,6 +38,7 @@ module Txn = struct
 
   let version t = t.version
   let attempt t = t.attempt
+  let conn t = t.conn
   let read t path = Remote.read_page t.conn t.version path
   let write t path data = Remote.write_page t.conn t.version path data
 
@@ -123,3 +124,20 @@ let read_current t file path =
 
 let create_file ?(data = Bytes.empty) t =
   Remote.create_file (conn_of t (Cluster.place t.cluster)) data
+
+(* {2 Raw routing, for the transaction layer (lib/txn)}
+
+   The coordinator drives the staging/resolution protocol with bare
+   {!Remote} requests; these expose just enough of the routing machinery
+   for it to land them on the owning shard and keep the forward cache
+   warm. *)
+
+let conn_for t file =
+  let* file, shard = Cluster.shard_of_cap t.cluster file in
+  Ok (file, shard, conn_of t shard)
+
+let note_forward t ~old target = learn t ~old target
+
+let create_file_on t shard ~data = Remote.create_file (conn_of t shard) data
+
+let note_commit t ~shard file = Cluster.note_load t.cluster ~shard file

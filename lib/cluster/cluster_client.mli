@@ -23,6 +23,10 @@ module Txn : sig
   val attempt : t -> int
   (** 1 on the first try, incremented per conflict redo (via {!update}). *)
 
+  val conn : t -> Afs_rpc.Remote.conn
+  (** The owning shard's connection — what a coordinator needs to speak
+      [Prepare]/[Decide] about this version (lib/workload's 2PC baseline). *)
+
   val read : t -> Afs_util.Pagepath.t -> bytes Afs_core.Errors.r
   val write : t -> Afs_util.Pagepath.t -> bytes -> unit Afs_core.Errors.r
 
@@ -71,3 +75,29 @@ val read_current :
 
 val create_file : ?data:bytes -> t -> Afs_util.Capability.t Afs_core.Errors.r
 (** New file on the round-robin placement shard. *)
+
+(** {2 Raw routing, for the transaction layer}
+
+    The cross-shard coordinator (lib/txn) speaks bare {!Afs_rpc.Remote}
+    requests; these expose the routing machinery it needs without the
+    policy the higher-level operations bundle in. *)
+
+val conn_for :
+  t -> Afs_util.Capability.t ->
+  (Afs_util.Capability.t * Shard.t * Afs_rpc.Remote.conn) Afs_core.Errors.r
+(** [(resolved_cap, owning_shard, connection)] after applying the
+    client's cached forwards — the request itself may still answer
+    [Moved]; feed that back via {!note_forward} and re-route. *)
+
+val note_forward : t -> old:Afs_util.Capability.t -> Afs_util.Capability.t -> unit
+(** Learn a forward from a [Moved] answer (shared router cache). *)
+
+val create_file_on :
+  t -> Shard.t -> data:bytes -> Afs_util.Capability.t Afs_core.Errors.r
+(** New file on a {e specific} shard, leaving the round-robin placement
+    cursor untouched (coordinator records live with their first
+    participant). *)
+
+val note_commit : t -> shard:Shard.t -> Afs_util.Capability.t -> unit
+(** Record a committed update against the file for the {!Rebalancer}'s
+    load statistics, as {!commit} does. *)

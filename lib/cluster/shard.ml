@@ -15,29 +15,62 @@ let moved_target server file =
       | Ok data -> Forward.decode data
       | Error _ -> None)
 
+(* [Some record] iff the file's current committed root is a cross-shard
+   transaction marker: a staged update whose outcome lives in the
+   coordinator record. *)
+let txn_record server file =
+  match Server.current_version server file with
+  | Error _ -> None
+  | Ok version -> (
+      match Server.read_page server version Pagepath.root with
+      | Ok data -> Txnmark.record_of data
+      | Error _ -> None)
+
+(* Record R on the fresh version's root: the location check becomes part
+   of every cluster transaction's read set, so a committed root write —
+   a migration flip or a transaction stage, both of which replace the
+   root — conflicts with every version opened before it, in both commit
+   orders. *)
+let with_root_read server (resp : Remote.response) =
+  match resp with
+  | Ok (Remote.Cap version) as ok ->
+      ignore (Server.read_page server version Pagepath.root);
+      ok
+  | other -> other
+
 (* The wrapper runs atomically inside the host's single simulated event,
-   so the marker check, the version creation and the root touch are
-   indivisible: no commit (in particular no migration flip) can slip
-   between them. *)
+   so the marker checks, the version creation and the root touch are
+   indivisible: no commit (in particular no migration flip and no
+   transaction stage) can slip between them. *)
 let location_check server base (req : Remote.request) : Remote.response =
   match req with
   | Remote.Current_version file -> (
       match moved_target server file with
       | Some target -> Error (Errors.Moved target)
-      | None -> base req)
+      | None -> (
+          match txn_record server file with
+          | Some record -> Error (Errors.Txn_in_doubt record)
+          | None -> base req))
   | Remote.Create_version { file; _ } -> (
       match moved_target server file with
       | Some target -> Error (Errors.Moved target)
       | None -> (
-          match base req with
-          | Ok (Remote.Cap version) as ok ->
-              (* Record R on the fresh version's root: the location check
-                 becomes part of every cluster transaction's read set, so a
-                 committed migration flip (which writes the root) conflicts
-                 with every version opened before it. *)
-              ignore (Server.read_page server version Pagepath.root);
-              ok
-          | other -> other))
+          match txn_record server file with
+          | Some record -> Error (Errors.Txn_in_doubt record)
+          | None -> with_root_read server (base req)))
+  | Remote.Txn_mark file -> (
+      (* Resolution reads pass the in-doubt trap — they are the
+         resolution — but still honour migration tombstones. *)
+      match moved_target server file with
+      | Some target -> Error (Errors.Moved target)
+      | None -> base req)
+  | Remote.Txn_open { file; _ } | Remote.Txn_cas { file; _ } -> (
+      (* Resolution writes, like resolution reads, pass the in-doubt trap;
+         the handler itself reads the root inside the fresh version, so
+         the R-on-root fence needs no extra touch here. *)
+      match moved_target server file with
+      | Some target -> Error (Errors.Moved target)
+      | None -> base req)
   | _ -> base req
 
 let create ?latency_ms ?proc_ms ?cache_capacity ?group_commit ?store ?publish_tap ?trace

@@ -7,12 +7,16 @@
 
     - [Current_version] / [Create_version] on a file whose current root
       is a forward marker answer [Moved target] instead of serving the
-      tombstone;
-    - after a successful [Create_version] it reads the new version's root,
-      recording [R] there. That makes the location check part of every
-      cluster transaction's read set: a migration flip writes the root, so
-      its commit conflicts with every version opened before the flip — the
-      invariant {!Migration} relies on.
+      tombstone, and on a transaction marker ({!Txnmark}) answer
+      [Txn_in_doubt record] instead of exposing staged state (the
+      resolution requests [Txn_mark] / [Txn_open] pass this trap — they
+      {e are} the resolution — but still honour tombstones);
+    - after a successful [Create_version] (or [Txn_open]) it reads the
+      new version's root, recording [R] there. That makes the location
+      check part of every cluster transaction's read set: a migration
+      flip and a transaction stage both write the root, so their commits
+      conflict with every version opened before them — the invariant
+      {!Migration} and lib/txn rely on.
 
     Every other request passes through untouched, which is why a
     single-shard cluster is outcome-identical to a bare server for
@@ -72,6 +76,13 @@ val recover : t -> int Afs_core.Errors.r
 val moved_target : Afs_core.Server.t -> Afs_util.Capability.t -> Afs_util.Capability.t option
 (** [Some cap] iff the file's current committed root is a forward marker
     — i.e. the file has migrated away and [cap] is its new home. *)
+
+val txn_record : Afs_core.Server.t -> Afs_util.Capability.t -> Afs_util.Capability.t option
+(** [Some record] iff the file's current committed root is a cross-shard
+    transaction marker ({!Txnmark}): the file is staged by an in-doubt
+    transaction whose outcome lives in [record]. Ordinary opens of such a
+    file answer [Txn_in_doubt] until a resolver rolls it forward or
+    back. *)
 
 val resident_files : t -> Afs_util.Capability.t list
 (** Files whose current version actually lives here (tombstones of

@@ -1,0 +1,114 @@
+module Capability = Afs_util.Capability
+module Pagepath = Afs_util.Pagepath
+
+type t = {
+  record : Capability.t;
+  seq : int;
+  old_root : bytes;
+  writes : (Pagepath.t * bytes) list;
+}
+
+let prefix = "afs-txn!"
+
+(* Record-state strings: the whole coordinator record is its root data,
+   and the decision is an ordinary optimistic commit replacing one of
+   these with another (pending -> committed | aborted, never back). *)
+let state_pending = "txn:pending"
+let state_committed = "txn:committed"
+let state_aborted = "txn:aborted"
+
+(* Follows Forward's printable codec idiom, but the payloads (old root
+   data, staged writes) are arbitrary bytes, so every byte field is
+   length-prefixed instead of delimiter-split. Layout after the prefix:
+
+     port:obj:rights:check:seq:|old|:old<nwrites>:{path:|w|:w}*
+
+   where |x| is a decimal byte count followed by ':' and exactly that
+   many raw bytes. *)
+let encode m =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf prefix;
+  Buffer.add_string buf
+    (Printf.sprintf "%d:%d:%d:%d:%d:"
+       (Capability.port_to_int m.record.Capability.port)
+       m.record.Capability.obj
+       (Capability.rights_to_int m.record.Capability.rights)
+       m.record.Capability.check m.seq);
+  Buffer.add_string buf (Printf.sprintf "%d:" (Bytes.length m.old_root));
+  Buffer.add_bytes buf m.old_root;
+  Buffer.add_string buf (Printf.sprintf "%d:" (List.length m.writes));
+  List.iter
+    (fun (path, data) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s:%d:" (Pagepath.to_string path) (Bytes.length data));
+      Buffer.add_bytes buf data)
+    m.writes;
+  Buffer.to_bytes buf
+
+exception Bad
+
+let decode data =
+  let s = Bytes.to_string data in
+  let n = String.length s in
+  let plen = String.length prefix in
+  if n <= plen || not (String.equal (String.sub s 0 plen) prefix) then None
+  else
+    let pos = ref plen in
+    let field () =
+      match String.index_from_opt s !pos ':' with
+      | None -> raise Bad
+      | Some i ->
+          let f = String.sub s !pos (i - !pos) in
+          pos := i + 1;
+          f
+    in
+    let num () =
+      match int_of_string_opt (field ()) with
+      | Some v when v >= 0 -> v
+      | Some _ | None -> raise Bad
+    in
+    let taken k =
+      if !pos + k > n then raise Bad
+      else begin
+        let b = Bytes.of_string (String.sub s !pos k) in
+        pos := !pos + k;
+        b
+      end
+    in
+    try
+      let port = num () in
+      let obj = num () in
+      let rights = num () in
+      let check = match int_of_string_opt (field ()) with Some v -> v | None -> raise Bad in
+      let seq = num () in
+      let old_root = taken (num ()) in
+      let nwrites = num () in
+      let rec read_writes i acc =
+        if i = nwrites then List.rev acc
+        else
+          let path =
+            match Pagepath.of_string (field ()) with Ok p -> p | Error _ -> raise Bad
+          in
+          let data = taken (num ()) in
+          read_writes (i + 1) ((path, data) :: acc)
+      in
+      let writes = read_writes 0 [] in
+      if !pos <> n then None
+      else
+        Some
+          {
+            record =
+              {
+                Capability.port = Capability.port_of_int port;
+                obj;
+                rights = Capability.rights_of_int rights;
+                check;
+              };
+            seq;
+            old_root;
+            writes;
+          }
+    with Bad -> None
+
+let is_marker data = Option.is_some (decode data)
+let record_of data = Option.map (fun m -> m.record) (decode data)

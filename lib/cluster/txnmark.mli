@@ -1,0 +1,43 @@
+(** The cross-shard transaction marker (lib/txn's staging record).
+
+    A participant's {e stage} commit replaces its root data with an
+    encoded marker: the staged writes ride the marker instead of touching
+    any page, so the stage is an ordinary optimistic commit whose flag
+    map is [R] on every page the transaction read plus [R]+[W] on the
+    root — conflicting with every concurrently opened version in both
+    commit orders (each cluster version carries [R] on its root via the
+    location check, exactly the invariant {!Migration}'s flip relies on).
+
+    The marker names the coordinator record whose root data decides the
+    transaction's fate ({!state_pending} / {!state_committed} /
+    {!state_aborted}), carries the pre-transaction root data to restore,
+    and the absolute page writes to apply on roll-forward. Applying
+    writes from the marker (rather than flipping to a private copy)
+    preserves any concurrent {e non-conflicting} committed update that
+    merged underneath the stage. *)
+
+type t = {
+  record : Afs_util.Capability.t;  (** The coordinator record file. *)
+  seq : int;  (** Coordinator-unique transaction number. *)
+  old_root : bytes;  (** Root data a discard restores. *)
+  writes : (Afs_util.Pagepath.t * bytes) list;
+      (** Absolute page writes a roll-forward applies. *)
+}
+
+val prefix : string
+
+val state_pending : string
+val state_committed : string
+val state_aborted : string
+(** The record file's entire root data; the decision is an optimistic
+    commit replacing pending with exactly one of the other two. *)
+
+val encode : t -> bytes
+
+val decode : bytes -> t option
+(** [None] on anything that is not a complete well-formed marker. *)
+
+val is_marker : bytes -> bool
+
+val record_of : bytes -> Afs_util.Capability.t option
+(** The coordinator record named by a marker, if [data] is one. *)

@@ -10,6 +10,7 @@ type t =
   | Locked_out of { port : int }
   | Not_superfile
   | Moved of Afs_util.Capability.t
+  | Txn_in_doubt of Afs_util.Capability.t
   | Store_failure of string
 
 let pp ppf = function
@@ -26,6 +27,8 @@ let pp ppf = function
   | Locked_out { port } -> Fmt.pf ppf "locked by update holding port %d" port
   | Not_superfile -> Fmt.string ppf "file is not a super-file"
   | Moved cap -> Fmt.pf ppf "file migrated to %a" Afs_util.Capability.pp cap
+  | Txn_in_doubt record ->
+      Fmt.pf ppf "in cross-shard transaction; record %a" Afs_util.Capability.pp record
   | Store_failure msg -> Fmt.pf ppf "store failure: %s" msg
 
 let to_string = Fmt.str "%a" pp

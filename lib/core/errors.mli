@@ -23,6 +23,13 @@ type t =
           capability carried in the error (cluster forwarding). Only the
           cluster layer's location check raises this — a bare server never
           does. *)
+  | Txn_in_doubt of Afs_util.Capability.t
+      (** The file's current committed root is a cross-shard transaction
+          marker: a staged update whose outcome lives in the coordinator
+          record carried here. Resolve (roll forward or discard) against
+          the record before reopening — the txn layer does this
+          transparently. Like [Moved], only the cluster layer's location
+          check raises this. *)
   | Store_failure of string
       (** The underlying block/stable layer failed. *)
 

@@ -33,6 +33,32 @@ type file_record = {
   mutable vblocks : int list;
 }
 
+(* One commit-pipeline run's mutable state (full story at {2 Commit}
+   below). Defined here because the server records prepared-but-undecided
+   runs for the two-phase-commit baseline. *)
+type commit_ctx = {
+  deferred : bool;  (** False: publish inside the validate lock (single commit). *)
+  held : (int, unit) Hashtbl.t;  (** Store locks this pipeline run holds. *)
+  pending : (int, int) Hashtbl.t;
+      (** Winning test-and-sets not yet durable: base block → successor.
+          The overlay later batch members' validates read first. *)
+  mutable publish_refs : (int * Page.t) list;  (** Newest first. *)
+  mutable winners : version_record list;  (** Newest first. *)
+  mutable unions : (int * Writeset.t) list;
+      (** Per-file union of the admitted winners' write sets, for the
+          one-pass batch pre-test. *)
+}
+
+let fresh_ctx ~deferred () =
+  {
+    deferred;
+    held = Hashtbl.create 4;
+    pending = Hashtbl.create 4;
+    publish_refs = [];
+    winners = [];
+    unions = [];
+  }
+
 type t = {
   ps : Pagestore.t;
   secret : Capability.secret;
@@ -60,6 +86,12 @@ type t = {
      errors; the default always succeeds. *)
   mutable publish_tap : (int * Page.t) list -> (unit, Errors.t) result;
   mutable trace : Trace.t;
+  (* The two-phase-commit baseline's parked state: pipeline runs admitted
+     by [prepare] (validated and merged, publication deferred, base locks
+     retained) awaiting the coordinator's [decide]. Keyed by version
+     block. Volatile: a crash discards every entry and frees its locks —
+     presumed abort. *)
+  prepared : (int, commit_ctx * version_record) Hashtbl.t;
 }
 
 let create ?(page_cache = true) ?cache_capacity ?(seed = 0xA40EBA) ?ports ?(name = "")
@@ -84,6 +116,7 @@ let create ?(page_cache = true) ?cache_capacity ?(seed = 0xA40EBA) ?ports ?(name
     lock_backoff;
     publish_tap;
     trace;
+    prepared = Hashtbl.create 4;
   }
 
 let name t = t.name
@@ -672,28 +705,8 @@ let split_page t cap ~path ~at =
    the old bounded spin. *)
 let lock_retry_limit = 1024
 
-type commit_ctx = {
-  deferred : bool;  (** False: publish inside the validate lock (single commit). *)
-  held : (int, unit) Hashtbl.t;  (** Store locks this pipeline run holds. *)
-  pending : (int, int) Hashtbl.t;
-      (** Winning test-and-sets not yet durable: base block → successor.
-          The overlay later batch members' validates read first. *)
-  mutable publish_refs : (int * Page.t) list;  (** Newest first. *)
-  mutable winners : version_record list;  (** Newest first. *)
-  mutable unions : (int * Writeset.t) list;
-      (** Per-file union of the admitted winners' write sets, for the
-          one-pass batch pre-test. *)
-}
-
-let fresh_ctx ~deferred () =
-  {
-    deferred;
-    held = Hashtbl.create 4;
-    pending = Hashtbl.create 4;
-    publish_refs = [];
-    winners = [];
-    unions = [];
-  }
+(* The pipeline state type itself ([commit_ctx] / [fresh_ctx]) is defined
+   up top, before [type t], so the server can park prepared runs. *)
 
 let acquire_commit_lock t ctx block =
   (* Re-entrant within one pipeline run: a deferred batch keeps its locks
@@ -954,9 +967,73 @@ let flush_version t cap =
   let* _ = find_version t cap ~need:Capability.rights_none in
   Pagestore.flush t.ps
 
+(* {2 Two-phase commit baseline (prepare / decide)}
+
+   The occ4txn shape, assembled from the existing pipeline's
+   validate/publish split: [prepare] drives the version through validate
+   and merge exactly as a deferred batch member would — the winning
+   test-and-set lands in the context overlay, nothing reaches stable
+   storage, and the base's store lock is retained — then parks the
+   context until the coordinator's [decide]. Between the two calls the
+   file is effectively locked: any other commit of it exhausts the
+   bounded lock spin and fails with [Store_failure], which is exactly the
+   blocking behaviour the lock-free coordinator (lib/txn) is measured
+   against. Prepared state is volatile — [crash] discards it and frees
+   the locks, and a later abort decision for an unknown version succeeds
+   trivially (presumed abort). *)
+
+(* Abandon a deferred pipeline run without publishing: forget the overlay
+   (its test-and-sets were never written through) and free every held
+   lock. *)
+let drop_ctx t ctx =
+  ctx.publish_refs <- [];
+  ctx.winners <- [];
+  ctx.unions <- [];
+  Hashtbl.reset ctx.pending;
+  List.iter (fun b -> release_commit_lock t ctx b) (Det.sorted_keys ctx.held)
+
+let prepare t cap =
+  let* v = mutable_version t cap ~need:Capability.right_commit in
+  let ctx = fresh_ctx ~deferred:true () in
+  match commit_version t ctx v with
+  | Ok () ->
+      Hashtbl.replace t.prepared v.vblock (ctx, v);
+      bump t "commits.prepared";
+      Ok ()
+  | Error e ->
+      (* Doomed members are already abandoned; only the locks and overlay
+         remain to clean up. *)
+      drop_ctx t ctx;
+      Error e
+
+let decide t cap ~commit =
+  let* () = validate_cap t cap ~need:Capability.right_commit in
+  let vblock = cap.Capability.obj / 2 in
+  match Hashtbl.find_opt t.prepared vblock with
+  | None ->
+      (* Presumed abort: an abort decision for state this server no
+         longer holds (crash, duplicate decide) is trivially satisfied; a
+         commit decision cannot be honoured. *)
+      if commit then Error (Store_failure "2pc: version not prepared") else Ok ()
+  | Some (ctx, v) ->
+      Hashtbl.remove t.prepared vblock;
+      if commit then publish t ctx
+      else begin
+        drop_ctx t ctx;
+        bump t "commits.decided_abort";
+        (* [abandon] returns [Error Conflict] for the commit path's
+           benefit; here the abort is the requested outcome. *)
+        ignore (abandon t v "decided_abort" : unit r);
+        Ok ()
+      end
+
 (* {2 Crash and recovery} *)
 
 let crash t =
+  (* Prepared-but-undecided 2PC state is volatile: presumed abort. Free
+     the held locks before the store drops its volatile layers. *)
+  Det.iter_sorted (fun _ (ctx, _) -> drop_ctx t ctx) t.prepared;
+  Hashtbl.reset t.prepared;
   Pagestore.drop_volatile t.ps;
   (* Uncommitted versions are volatile by design. *)
   Det.iter_sorted

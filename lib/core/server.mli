@@ -196,6 +196,26 @@ val commit_batch : t -> Afs_util.Capability.t list -> unit Errors.r list
 
 val flush_version : t -> Afs_util.Capability.t -> unit Errors.r
 
+val prepare : t -> Afs_util.Capability.t -> unit Errors.r
+(** Two-phase-commit baseline, phase one: run the version through
+    validate and merge exactly as a deferred group-commit member — the
+    winning test-and-set is recorded in a private overlay, nothing
+    reaches stable storage, and the base's store lock is {e retained} —
+    then park the pipeline state awaiting {!decide}. Until then any other
+    commit of the same file exhausts its bounded lock spin and fails with
+    [Store_failure "commit lock contention"]: the lock-holding window the
+    optimistic coordinator (lib/txn) exists to avoid. Errors (e.g.
+    [Conflict]) leave nothing parked and no locks held. *)
+
+val decide : t -> Afs_util.Capability.t -> commit:bool -> unit Errors.r
+(** Phase two, for a version previously {!prepare}d here: [commit:true]
+    publishes the parked winning reference (the version becomes the
+    file's current committed version); [commit:false] discards the
+    overlay, frees the locks and aborts the version. Prepared state is
+    volatile and keyed by version: after a crash (or a duplicate decide)
+    an abort decision succeeds trivially — presumed abort — while a
+    commit decision fails with [Store_failure]. *)
+
 (** {2 Crash simulation and recovery} *)
 
 val crash : t -> unit

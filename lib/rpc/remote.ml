@@ -17,6 +17,22 @@ type request =
   | Abort_version of Capability.t
   | Destroy_file of Capability.t
   | Validate_cache of { file : Capability.t; basis_block : int }
+  (* Cross-shard transaction messages (lib/txn). The first two exist so a
+     resolver can see past the cluster wrapper's in-doubt trap: Txn_mark
+     reads the file's current root data (marker and all), Txn_open is
+     Create_version minus the trap. Prepare/Decide drive the server's
+     two-phase-commit baseline. *)
+  | Txn_mark of Capability.t
+  | Txn_open of { file : Capability.t; reads : Pagepath.t list }
+  | Txn_seal of { version : Capability.t; root : bytes; writes : (Pagepath.t * bytes) list }
+  | Txn_cas of {
+      file : Capability.t;
+      expected : bytes;
+      root : bytes;
+      writes : (Pagepath.t * bytes) list;
+    }
+  | Prepare of Capability.t
+  | Decide of { version : Capability.t; commit : bool }
   (* Replication-plane messages, answered only by a replica host
      (lib/replica); a plain file server rejects them. *)
   | Ship of { epoch : int; seq : int; ops : Afs_core.Store.op list }
@@ -26,6 +42,7 @@ type request =
 type value =
   | Cap of Capability.t
   | Data of bytes
+  | Opened of { version : Capability.t; root : bytes; pages : bytes list }
   | Unit
   | Path of Pagepath.t
   | Info of { nrefs : int; dsize : int }
@@ -56,6 +73,73 @@ let handle server : request -> response = function
   | Destroy_file file -> Result.map (fun () -> Unit) (Server.destroy_file server file)
   | Validate_cache { file; basis_block } ->
       Result.map (fun v -> Validation v) (Cache.server_validate server ~file ~basis_block)
+  | Txn_mark file ->
+      Result.bind (Server.current_version server file) (fun version ->
+          Result.map (fun d -> Data d) (Server.read_page server version Pagepath.root))
+  | Txn_open { file; reads } ->
+      (* One message opens the version, reads its root AND the listed
+         pages: every read runs inside the fresh version, so all of them
+         land in its read set and any conflicting committed update
+         collides with the caller's seal — same fences as separate
+         calls, a fraction of the round trips. *)
+      Result.bind (Server.create_version server file) (fun version ->
+          let abandon e =
+            ignore (Server.abort_version server version : unit Errors.r);
+            Error e
+          in
+          match Server.read_page server version Pagepath.root with
+          | Error e -> abandon e
+          | Ok root ->
+              let rec fetch acc = function
+                | [] -> Ok (Opened { version; root; pages = List.rev acc })
+                | path :: rest -> (
+                    match Server.read_page server version path with
+                    | Ok data -> fetch (data :: acc) rest
+                    | Error e -> abandon e)
+              in
+              fetch [] reads)
+  | Txn_seal { version; root; writes } ->
+      (* The counterpart: root write, staged page writes and the ordinary
+         optimistic commit in a single message. Pure batching — the
+         validation semantics are exactly those of the individual calls. *)
+      Result.bind (Server.write_page server version Pagepath.root root) (fun () ->
+          Result.bind
+            (List.fold_left
+               (fun acc (path, data) ->
+                 Result.bind acc (fun () -> Server.write_page server version path data))
+               (Ok ()) writes)
+            (fun () -> Result.map (fun () -> Unit) (Server.commit server version)))
+  | Txn_cas { file; expected; root; writes } ->
+      (* Open-read-compare-seal as one message: a whole root test-and-set
+         in a single round trip. Still an ordinary optimistic commit with
+         its ordinary flag map — only the comparison is new, and on
+         mismatch the caller gets the current root back in the same
+         breath, so losing the race costs no extra message. *)
+      Result.bind (Server.create_version server file) (fun version ->
+          let abandon e =
+            ignore (Server.abort_version server version : unit Errors.r);
+            Error e
+          in
+          match Server.read_page server version Pagepath.root with
+          | Error e -> abandon e
+          | Ok current ->
+              if not (Bytes.equal current expected) then begin
+                ignore (Server.abort_version server version : unit Errors.r);
+                Ok (Data current)
+              end
+              else
+                Result.bind (Server.write_page server version Pagepath.root root)
+                  (fun () ->
+                    Result.bind
+                      (List.fold_left
+                         (fun acc (path, data) ->
+                           Result.bind acc (fun () ->
+                               Server.write_page server version path data))
+                         (Ok ()) writes)
+                      (fun () -> Result.map (fun () -> Unit) (Server.commit server version))))
+  | Prepare version -> Result.map (fun () -> Unit) (Server.prepare server version)
+  | Decide { version; commit = decision } ->
+      Result.map (fun () -> Unit) (Server.decide server version ~commit:decision)
   | Ship _ | Promote _ | Replica_watermark ->
       Error (Errors.Store_failure "rpc: not a replica")
 
@@ -72,6 +156,12 @@ let request_kind : request -> string = function
   | Abort_version _ -> "abort_version"
   | Destroy_file _ -> "destroy_file"
   | Validate_cache _ -> "validate_cache"
+  | Txn_mark _ -> "txn_mark"
+  | Txn_open _ -> "txn_open"
+  | Txn_seal _ -> "txn_seal"
+  | Txn_cas _ -> "txn_cas"
+  | Prepare _ -> "prepare"
+  | Decide _ -> "decide"
   | Ship _ -> "ship"
   | Promote _ -> "promote"
   | Replica_watermark -> "replica_watermark"
@@ -136,10 +226,12 @@ let connect ?(balance = false) hosts =
    write-back cache holds the uncommitted pages until the commit-time
    flush. *)
 let rotates_boundary = function
-  | Create_file _ | Create_version _ | Current_version _ -> true
+  | Create_file _ | Create_version _ | Current_version _ | Txn_mark _ | Txn_open _
+  | Txn_cas _ ->
+      true
   | Read_page _ | Write_page _ | Insert_page _ | Remove_page _ | Page_info _ | Commit _
-  | Abort_version _ | Destroy_file _ | Validate_cache _ | Ship _ | Promote _
-  | Replica_watermark ->
+  | Abort_version _ | Destroy_file _ | Validate_cache _ | Txn_seal _ | Prepare _
+  | Decide _ | Ship _ | Promote _ | Replica_watermark ->
       false
 
 let call conn req =
@@ -203,3 +295,22 @@ let destroy_file conn file = as_unit (call conn (Destroy_file file))
 
 let validate_cache conn ~file ~basis_block =
   as_validation (call conn (Validate_cache { file; basis_block }))
+
+let txn_mark conn file = as_data (call conn (Txn_mark file))
+
+let txn_open ?(reads = []) conn file =
+  match call conn (Txn_open { file; reads }) with
+  | Ok (Opened { version; root; pages }) -> Ok (version, root, pages)
+  | Ok _ -> type_error
+  | Error e -> Error e
+
+let txn_seal conn version ~root writes = as_unit (call conn (Txn_seal { version; root; writes }))
+
+let txn_cas conn file ~expected ~root writes =
+  match call conn (Txn_cas { file; expected; root; writes }) with
+  | Ok Unit -> Ok `Swapped
+  | Ok (Data current) -> Ok (`Mismatch current)
+  | Ok _ -> type_error
+  | Error e -> Error e
+let prepare conn version = as_unit (call conn (Prepare version))
+let decide conn version ~commit = as_unit (call conn (Decide { version; commit }))

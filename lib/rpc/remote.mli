@@ -29,6 +29,37 @@ type request =
   | Abort_version of Afs_util.Capability.t
   | Destroy_file of Afs_util.Capability.t
   | Validate_cache of { file : Afs_util.Capability.t; basis_block : int }
+  | Txn_mark of Afs_util.Capability.t
+      (** The file's current root data, marker and all: how a transaction
+          resolver sees past the cluster wrapper's in-doubt trap (the
+          wrapper still answers [Moved] for migrated-away files). *)
+  | Txn_open of { file : Afs_util.Capability.t; reads : Afs_util.Pagepath.t list }
+      (** [Create_version] minus the in-doubt trap, fused with the root
+          read and the listed page reads: answers [Opened]. All reads run
+          inside the fresh version (so they are in its read set), and the
+          cluster wrapper still applies the [Moved] check. *)
+  | Txn_seal of {
+      version : Afs_util.Capability.t;
+      root : bytes;
+      writes : (Afs_util.Pagepath.t * bytes) list;
+    }
+      (** Root write, page writes and the ordinary optimistic commit in
+          one message — pure batching of the individual calls, with their
+          exact validation semantics. *)
+  | Txn_cas of {
+      file : Afs_util.Capability.t;
+      expected : bytes;
+      root : bytes;
+      writes : (Afs_util.Pagepath.t * bytes) list;
+    }
+      (** A whole root test-and-set in one round trip: open a version,
+          read the root, and — iff it equals [expected] — write [root]
+          plus [writes] and commit. On mismatch the current root data
+          comes back instead. Still an ordinary optimistic commit;
+          bypasses the cluster wrapper's in-doubt trap like [Txn_open]. *)
+  | Prepare of Afs_util.Capability.t  (** {!Afs_core.Server.prepare}. *)
+  | Decide of { version : Afs_util.Capability.t; commit : bool }
+      (** {!Afs_core.Server.decide}. *)
   | Ship of { epoch : int; seq : int; ops : Afs_core.Store.op list }
       (** One commit-stream batch for a replica to apply; rejected by a
           plain file server. Local replica sets feed directly through the
@@ -46,6 +77,11 @@ val request_kind : request -> string
 type value =
   | Cap of Afs_util.Capability.t
   | Data of bytes
+  | Opened of {
+      version : Afs_util.Capability.t;
+      root : bytes;
+      pages : bytes list;  (** Aligned with the request's [reads]. *)
+    }
   | Unit
   | Path of Afs_util.Pagepath.t
   | Info of { nrefs : int; dsize : int }
@@ -126,3 +162,32 @@ val destroy_file : conn -> Afs_util.Capability.t -> unit Afs_core.Errors.r
 val validate_cache :
   conn -> file:Afs_util.Capability.t -> basis_block:int ->
   Afs_core.Cache.validation Afs_core.Errors.r
+
+val txn_mark : conn -> Afs_util.Capability.t -> bytes Afs_core.Errors.r
+(** May answer [Moved] behind a cluster wrapper — callers chase it. *)
+
+val txn_open :
+  ?reads:Afs_util.Pagepath.t list ->
+  conn -> Afs_util.Capability.t ->
+  (Afs_util.Capability.t * bytes * bytes list) Afs_core.Errors.r
+(** A fresh version, its root data and the [reads] pages (in order) in one
+    message; every read runs inside the version, so a conflicting
+    committed update collides with this caller's seal. May answer [Moved]
+    behind a cluster wrapper — callers chase it. *)
+
+val txn_seal :
+  conn -> Afs_util.Capability.t -> root:bytes ->
+  (Afs_util.Pagepath.t * bytes) list -> unit Afs_core.Errors.r
+(** Root write, page writes and the ordinary optimistic commit in one
+    message — pure batching of the individual calls. *)
+
+val txn_cas :
+  conn -> Afs_util.Capability.t -> expected:bytes -> root:bytes ->
+  (Afs_util.Pagepath.t * bytes) list ->
+  [ `Swapped | `Mismatch of bytes ] Afs_core.Errors.r
+(** Root test-and-set in one round trip (see {!type:request}); [`Mismatch]
+    carries the current root data. May answer [Moved] behind a cluster
+    wrapper — callers chase it. *)
+
+val prepare : conn -> Afs_util.Capability.t -> unit Afs_core.Errors.r
+val decide : conn -> Afs_util.Capability.t -> commit:bool -> unit Afs_core.Errors.r

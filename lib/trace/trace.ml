@@ -35,6 +35,10 @@ type payload =
   | Ship_apply of { seq : int; ops : int; lag_ms : float }
   | Promote of { shard : int; epoch : int; watermark : int }
   | Fence of { epoch : int; stale : int }
+  | Txn_stage of { txn : int; file_obj : int }
+  | Txn_decide of { txn : int; committed : bool }
+  | Txn_flip of { txn : int; file_obj : int; writes : int }
+  | Txn_resolve of { txn : int; file_obj : int; action : string }
   | Generic of { kind : string; fields : (string * value) list }
 
 let kind_of_payload = function
@@ -65,6 +69,10 @@ let kind_of_payload = function
   | Ship_apply _ -> "replica.apply"
   | Promote _ -> "replica.promote"
   | Fence _ -> "replica.fence"
+  | Txn_stage _ -> "txn.stage"
+  | Txn_decide _ -> "txn.decide"
+  | Txn_flip _ -> "txn.flip"
+  | Txn_resolve _ -> "txn.resolve"
   | Generic { kind; _ } -> kind
 
 let fields_of_payload = function
@@ -103,6 +111,12 @@ let fields_of_payload = function
   | Promote { shard; epoch; watermark } ->
       [ ("shard", Int shard); ("epoch", Int epoch); ("watermark", Int watermark) ]
   | Fence { epoch; stale } -> [ ("epoch", Int epoch); ("stale", Int stale) ]
+  | Txn_stage { txn; file_obj } -> [ ("txn", Int txn); ("file_obj", Int file_obj) ]
+  | Txn_decide { txn; committed } -> [ ("txn", Int txn); ("committed", Bool committed) ]
+  | Txn_flip { txn; file_obj; writes } ->
+      [ ("txn", Int txn); ("file_obj", Int file_obj); ("writes", Int writes) ]
+  | Txn_resolve { txn; file_obj; action } ->
+      [ ("txn", Int txn); ("file_obj", Int file_obj); ("action", Str action) ]
   | Generic { fields; _ } -> fields
 
 type event =

@@ -62,6 +62,18 @@ type payload =
   | Fence of { epoch : int; stale : int }
       (** A deposed primary's publish lost the test-and-set: it carried
           stale epoch [stale] against current [epoch]. *)
+  | Txn_stage of { txn : int; file_obj : int }
+      (** Cross-shard transaction [txn] staged its marker on participant
+          file [file_obj] (an ordinary optimistic commit of the root). *)
+  | Txn_decide of { txn : int; committed : bool }
+      (** The coordinator record's pending state was replaced — the
+          transaction-wide decision, itself one optimistic commit. *)
+  | Txn_flip of { txn : int; file_obj : int; writes : int }
+      (** A resolver rolled participant [file_obj] forward, applying
+          [writes] staged page writes from the marker. *)
+  | Txn_resolve of { txn : int; file_obj : int; action : string }
+      (** A resolver acted on an in-doubt participant: [action] is
+          ["forward"], ["back"] or ["force_abort"]. *)
   | Generic of { kind : string; fields : (string * value) list }
       (** Escape hatch; also the representation of imported events. *)
 

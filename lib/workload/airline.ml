@@ -33,10 +33,10 @@ let generator p =
     if Xrng.float rng 1.0 < p.booking_fraction then
       (* Book one seat in one fare class. *)
       let cls = Xrng.int rng p.classes in
-      { Sut.file = flight; ops = [ Sut.Rmw (cls, book) ] }
+      { Sut.file = flight; ops = [ Sut.Rmw (cls, book) ]; parts = [] }
     else
       (* Availability query across every class of the flight. *)
-      { Sut.file = flight; ops = List.init p.classes (fun cls -> Sut.Read cls) }
+      { Sut.file = flight; ops = List.init p.classes (fun cls -> Sut.Read cls); parts = [] }
 
 let total_seats sut p =
   let total = ref 0 in

@@ -27,7 +27,7 @@ let generator p =
   fun rng ->
     let branch = Xrng.int rng p.branches in
     if Xrng.float rng 1.0 < p.audit_fraction then
-      { Sut.file = branch; ops = List.init p.accounts (fun a -> Sut.Read a) }
+      { Sut.file = branch; ops = List.init p.accounts (fun a -> Sut.Read a); parts = [] }
     else begin
       let from_acct = Zipf.sample account_zipf rng in
       let to_acct =
@@ -45,6 +45,7 @@ let generator p =
             Sut.Rmw (from_acct, fun old -> encode (decode_balance old - amount));
             Sut.Rmw (to_acct, fun old -> encode (decode_balance old + amount));
           ];
+        parts = [];
       }
     end
 

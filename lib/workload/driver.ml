@@ -35,6 +35,8 @@ type report = {
   p95_ms : float;
   p99_ms : float;
   retry_histogram : (int * int) list;
+  local_aborts : int;
+  cross_aborts : int;
 }
 
 let pp_report ppf r =
@@ -54,10 +56,15 @@ let retry_histogram_row r =
   let cell (attempts, count) = Printf.sprintf "%dx:%d" attempts count in
   String.concat " " (List.map cell r.retry_histogram)
 
+let abort_split_row r =
+  Printf.sprintf "aborts: %d local, %d cross-shard" r.local_aborts r.cross_aborts
+
 let run ?(on_progress = ignore) engine config sut ~gen =
   let committed = ref 0 in
   let given_up = ref 0 in
   let attempts = ref 0 in
+  let local_aborts = ref 0 in
+  let cross_aborts = ref 0 in
   (* Count-driven runs: [started] gates transaction admission so exactly
      [max_txns] transactions run to completion (0 = duration-driven). *)
   let started = ref 0 in
@@ -98,6 +105,8 @@ let run ?(on_progress = ignore) engine config sut ~gen =
             Trace.close_span tr span;
             let dt = Engine.now engine -. t0 in
             attempts := !attempts + result.Sut.attempts;
+            local_aborts := !local_aborts + result.Sut.local_aborts;
+            cross_aborts := !cross_aborts + result.Sut.cross_aborts;
             let slot = min result.Sut.attempts (config.max_retries + 1) in
             retry_counts.(slot) <- retry_counts.(slot) + 1;
             if result.Sut.committed then begin
@@ -138,4 +147,6 @@ let run ?(on_progress = ignore) engine config sut ~gen =
       List.filter
         (fun (_, count) -> count > 0)
         (List.mapi (fun i count -> (i, count)) (Array.to_list retry_counts));
+    local_aborts = !local_aborts;
+    cross_aborts = !cross_aborts;
   }

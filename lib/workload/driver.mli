@@ -37,6 +37,13 @@ type report = {
           omitted: how many transactions finished (either way) after
           exactly that many executions. The final slot
           [max_retries + 1] absorbs any overshoot. *)
+  local_aborts : int;
+      (** Redos forced by ordinary one-shard OCC races, summed over all
+          transactions (see {!Sut.exec_result}). *)
+  cross_aborts : int;
+      (** Redos forced cross-shard: fully staged (or prepared)
+          transactions aborted at their coordinator. 0 on single-file
+          backends. *)
 }
 
 val pp_report : report Fmt.t
@@ -48,6 +55,9 @@ val header_row : string
 
 val retry_histogram_row : report -> string
 (** The retry histogram as ["1x:412 2x:31 3x:2"]-style cells. *)
+
+val abort_split_row : report -> string
+(** The abort split as ["aborts: 12 local, 3 cross-shard"]. *)
 
 val run :
   ?on_progress:(int -> unit) ->

@@ -8,9 +8,30 @@ module Proc = Afs_sim.Proc
 
 type op = Read of int | Write of int * bytes | Rmw of int * (bytes -> bytes)
 
-type txn_spec = { file : int; ops : op list }
+type txn_spec = {
+  file : int;
+  ops : op list;
+  parts : (int * op list) list;
+      (* Non-empty makes this a multi-file transaction: one (file, ops)
+         participant per entry, honoured only by the cross-shard
+         backends; [file]/[ops] are ignored then. *)
+}
 
-type exec_result = { committed : bool; attempts : int }
+type exec_result = {
+  committed : bool;
+  attempts : int;
+  local_aborts : int;
+  cross_aborts : int;
+}
+
+(* Single-file backends: every failed execution is a local abort. *)
+let finished ~committed attempts =
+  {
+    committed;
+    attempts;
+    local_aborts = (attempts - if committed then 1 else 0);
+    cross_aborts = 0;
+  }
 
 type t = {
   name : string;
@@ -32,6 +53,38 @@ let fatal_error where error = raise (Fatal { where; error })
 let fatal where = function Ok v -> v | Error e -> fatal_error where e
 
 let page_path i = Pagepath.of_list [ i ]
+
+let single_part_only where spec =
+  if spec.parts <> [] then
+    fatal_error where (Errors.Store_failure "multi-part transaction on a single-file backend")
+
+(* Checker-side reads go straight to the owning server, chasing any
+   tombstones the router has not learned about. Shared by every
+   cluster-backed SUT. In-doubt files are read as their pre-transaction
+   state — harnesses sweep (Afs_txn.Txn.sweep) before auditing. *)
+let cluster_read_page cluster files file page =
+  let rec locate cap hops =
+    match Afs_cluster.Cluster.shard_of_cap cluster cap with
+    | Error e -> fatal_error "cluster locate" e
+    | Ok (cap, shard) -> (
+        let server = Afs_cluster.Shard.server shard in
+        match Afs_cluster.Shard.moved_target server cap with
+        | Some target when hops < 16 -> locate target (hops + 1)
+        | Some _ | None -> (server, cap))
+  in
+  let server, cap = locate files.(file) 0 in
+  let vcap = fatal "current_version" (Server.current_version server cap) in
+  fatal "read_page" (Server.read_page server vcap (page_path page))
+
+let cluster_stats cluster () =
+  Afs_util.Stats.Counter.to_list (Afs_cluster.Cluster.counters cluster)
+  @ List.concat_map
+      (fun s ->
+        let prefix = Afs_cluster.Shard.name s ^ "." in
+        List.map
+          (fun (k, v) -> (prefix ^ k, v))
+          (Afs_util.Stats.Counter.to_list (Server.counters (Afs_cluster.Shard.server s))))
+      (Afs_cluster.Cluster.shards cluster)
 
 (* {2 Amoeba file service, direct} *)
 
@@ -58,11 +111,12 @@ let afs_local server ~files =
     go ops
   in
   let exec spec ~max_retries =
+    single_part_only "afs_local" spec;
     let file = files.(spec.file) in
     let rec attempt n =
       match Server.create_version server file with
       | Error (Errors.Locked_out _) ->
-          if n < max_retries then attempt (n + 1) else { committed = false; attempts = n }
+          if n < max_retries then attempt (n + 1) else finished ~committed:false n
       | Error e -> fatal_error "afs_local create_version" e
       | Ok version -> (
           match run_ops version spec.ops with
@@ -71,10 +125,10 @@ let afs_local server ~files =
               fatal_error "afs_local ops" e
           | Ok () -> (
               match Server.commit server version with
-              | Ok () -> { committed = true; attempts = n }
+              | Ok () -> finished ~committed:true n
               | Error Errors.Conflict ->
                   if n < max_retries then attempt (n + 1)
-                  else { committed = false; attempts = n }
+                  else finished ~committed:false n
               | Error e -> fatal_error "afs_local commit" e))
     in
     attempt 1
@@ -115,6 +169,7 @@ let afs_remote ?(name = "afs-occ-rpc") ?(respect_hints = false) conn ~fallback ~
     go ops
   in
   let exec spec ~max_retries =
+    single_part_only "afs_remote" spec;
     let file = files.(spec.file) in
     let rec attempt n =
       match Remote.create_version ~respect_hints conn file with
@@ -124,7 +179,7 @@ let afs_remote ?(name = "afs-occ-rpc") ?(respect_hints = false) conn ~fallback ~
             Proc.delay 5.0;
             attempt (n + 1)
           end
-          else { committed = false; attempts = n }
+          else finished ~committed:false n
       | Error e -> fatal_error "afs_remote create_version" e
       | Ok version -> (
           match run_ops version spec.ops with
@@ -133,10 +188,10 @@ let afs_remote ?(name = "afs-occ-rpc") ?(respect_hints = false) conn ~fallback ~
               fatal_error "afs_remote ops" e
           | Ok () -> (
               match Remote.commit conn version with
-              | Ok () -> { committed = true; attempts = n }
+              | Ok () -> finished ~committed:true n
               | Error Errors.Conflict ->
                   if n < max_retries then attempt (n + 1)
-                  else { committed = false; attempts = n }
+                  else finished ~committed:false n
               | Error e -> fatal_error "afs_remote commit" e))
     in
     attempt 1
@@ -160,31 +215,34 @@ let afs_remote ?(name = "afs-occ-rpc") ?(respect_hints = false) conn ~fallback ~
    create_version. That structural identity is what makes a one-shard
    cluster's driver report bit-identical to the bare remote SUT's. *)
 
+let cluster_run_ops txn ops =
+  let module CC = Afs_cluster.Cluster_client in
+  let rec go = function
+    | [] -> Ok ()
+    | Read i :: rest -> (
+        match CC.Txn.read txn (page_path i) with
+        | Ok _ -> go rest
+        | Error _ as e -> Result.map (fun _ -> ()) e)
+    | Write (i, data) :: rest -> (
+        match CC.Txn.write txn (page_path i) data with
+        | Ok () -> go rest
+        | Error _ as e -> e)
+    | Rmw (i, f) :: rest -> (
+        match CC.Txn.read txn (page_path i) with
+        | Error _ as e -> Result.map (fun _ -> ()) e
+        | Ok v -> (
+            match CC.Txn.write txn (page_path i) (f v) with
+            | Ok () -> go rest
+            | Error _ as e -> e))
+  in
+  go ops
+
 let afs_cluster ?(name = "afs-occ-cluster") ?(respect_hints = false) client ~files =
   let module CC = Afs_cluster.Cluster_client in
   let cluster = CC.cluster client in
-  let run_ops txn ops =
-    let rec go = function
-      | [] -> Ok ()
-      | Read i :: rest -> (
-          match CC.Txn.read txn (page_path i) with
-          | Ok _ -> go rest
-          | Error _ as e -> Result.map (fun _ -> ()) e)
-      | Write (i, data) :: rest -> (
-          match CC.Txn.write txn (page_path i) data with
-          | Ok () -> go rest
-          | Error _ as e -> e)
-      | Rmw (i, f) :: rest -> (
-          match CC.Txn.read txn (page_path i) with
-          | Error _ as e -> Result.map (fun _ -> ()) e
-          | Ok v -> (
-              match CC.Txn.write txn (page_path i) (f v) with
-              | Ok () -> go rest
-              | Error _ as e -> e))
-    in
-    go ops
-  in
+  let run_ops = cluster_run_ops in
   let exec spec ~max_retries =
+    single_part_only "afs_cluster" spec;
     let file = files.(spec.file) in
     (* Unlike the single-server SUTs, a cluster member may simply stop
        answering (crashed, awaiting failover): [Store_failure] here is a
@@ -198,7 +256,7 @@ let afs_cluster ?(name = "afs-occ-cluster") ?(respect_hints = false) client ~fil
           Proc.delay 5.0;
           attempt (n + 1)
         end
-        else { committed = false; attempts = n }
+        else finished ~committed:false n
       in
       match CC.begin_txn ~respect_hints ~attempt:n client file with
       | Error (Errors.Locked_out _) -> back_off_retry ()
@@ -214,10 +272,10 @@ let afs_cluster ?(name = "afs-occ-cluster") ?(respect_hints = false) client ~fil
               fatal_error "afs_cluster ops" e
           | Ok () -> (
               match CC.commit client h with
-              | Ok () -> { committed = true; attempts = n }
+              | Ok () -> finished ~committed:true n
               | Error Errors.Conflict ->
                   if n < max_retries then attempt (n + 1)
-                  else { committed = false; attempts = n }
+                  else finished ~committed:false n
               | Error (Errors.Store_failure _) ->
                   (* The commit request never reached a live server (a
                      served request's reply still delivers across a
@@ -227,33 +285,12 @@ let afs_cluster ?(name = "afs-occ-cluster") ?(respect_hints = false) client ~fil
     in
     attempt 1
   in
-  (* Checker-side reads go straight to the owning server, chasing any
-     tombstones the router has not learned about. *)
-  let read_page file page =
-    let rec locate cap hops =
-      match Afs_cluster.Cluster.shard_of_cap cluster cap with
-      | Error e -> fatal_error "afs_cluster locate" e
-      | Ok (cap, shard) -> (
-          let server = Afs_cluster.Shard.server shard in
-          match Afs_cluster.Shard.moved_target server cap with
-          | Some target when hops < 16 -> locate target (hops + 1)
-          | Some _ | None -> (server, cap))
-    in
-    let server, cap = locate files.(file) 0 in
-    let vcap = fatal "current_version" (Server.current_version server cap) in
-    fatal "read_page" (Server.read_page server vcap (page_path page))
-  in
-  let stats () =
-    Afs_util.Stats.Counter.to_list (Afs_cluster.Cluster.counters cluster)
-    @ List.concat_map
-        (fun s ->
-          let prefix = Afs_cluster.Shard.name s ^ "." in
-          List.map
-            (fun (k, v) -> (prefix ^ k, v))
-            (Afs_util.Stats.Counter.to_list (Server.counters (Afs_cluster.Shard.server s))))
-        (Afs_cluster.Cluster.shards cluster)
-  in
-  { name; exec; stats; read_page }
+  {
+    name;
+    exec;
+    stats = cluster_stats cluster;
+    read_page = cluster_read_page cluster files;
+  }
 
 (* {2 Remote execution of baseline operations}
 
@@ -295,6 +332,7 @@ let twopl ?remote backend ~pages_per_file ~retry_wait_ms =
   let obj file page = (file * 65536) + page in
   assert (pages_per_file <= 65536);
   let exec spec ~max_retries =
+    single_part_only "twopl" spec;
     let rec attempt n =
       let txn = run (fun () -> Twopl.begin_ backend) in
       (* Each operation spins on denials: prod vulnerable holders, wait
@@ -347,13 +385,13 @@ let twopl ?remote backend ~pages_per_file ~retry_wait_ms =
       in
       let redo () =
         run (fun () -> Twopl.abort backend txn);
-        if n < max_retries then attempt (n + 1) else { committed = false; attempts = n }
+        if n < max_retries then attempt (n + 1) else finished ~committed:false n
       in
       match run_ops (sort_ops spec.ops) with
       | None -> redo ()
       | Some () -> (
           match with_lock_wait (fun () -> Twopl.commit backend txn) with
-          | Some () -> { committed = true; attempts = n }
+          | Some () -> finished ~committed:true n
           | None -> redo ())
     in
     attempt 1
@@ -373,6 +411,7 @@ let tsorder ?remote backend ~pages_per_file =
   let obj file page = (file * 65536) + page in
   assert (pages_per_file <= 65536);
   let exec spec ~max_retries =
+    single_part_only "tsorder" spec;
     let rec attempt n =
       let txn = run (fun () -> Tsorder.begin_ backend) in
       let rec run_ops = function
@@ -395,13 +434,13 @@ let tsorder ?remote backend ~pages_per_file =
       in
       let redo () =
         run (fun () -> Tsorder.abort backend txn);
-        if n < max_retries then attempt (n + 1) else { committed = false; attempts = n }
+        if n < max_retries then attempt (n + 1) else finished ~committed:false n
       in
       match run_ops spec.ops with
       | None -> redo ()
       | Some () -> (
           match run (fun () -> Tsorder.commit backend txn) with
-          | Ok () -> { committed = true; attempts = n }
+          | Ok () -> finished ~committed:true n
           | Error (`Late_write _) -> redo ())
     in
     attempt 1
@@ -411,4 +450,170 @@ let tsorder ?remote backend ~pages_per_file =
     exec;
     stats = (fun () -> Tsorder.stats backend);
     read_page = (fun file page -> Tsorder.value backend ~obj:(obj file page));
+  }
+
+(* {2 Amoeba file service with cross-shard transactions}
+
+   Single-part specs take lib/txn's fast path (the same RPC sequence as
+   [afs_cluster]); multi-part specs run the stage/decide/flip protocol.
+   The retry loop distinguishes the two abort flavours the S2 report
+   separates: a participant stage losing an ordinary one-shard race
+   (local) versus a fully-staged transaction force-aborted at the
+   coordinator record (cross). *)
+
+let afs_txn ?(name = "afs-occ-txn") ?trace client ~files =
+  let module CC = Afs_cluster.Cluster_client in
+  let module Txn = Afs_txn.Txn in
+  let cluster = CC.cluster client in
+  let txn = Txn.create ?trace client in
+  let to_ops ops =
+    List.map
+      (function
+        | Read i -> Txn.Read (page_path i)
+        | Write (i, data) -> Txn.Write (page_path i, data)
+        | Rmw (i, f) -> Txn.Rmw (page_path i, f))
+      ops
+  in
+  let parts_of spec =
+    match spec.parts with
+    | [] -> [ { Txn.file = files.(spec.file); ops = to_ops spec.ops } ]
+    | parts ->
+        List.map (fun (file, ops) -> { Txn.file = files.(file); ops = to_ops ops }) parts
+  in
+  let exec spec ~max_retries =
+    let parts = parts_of spec in
+    let local = ref 0 and cross = ref 0 in
+    let result ~committed n =
+      { committed; attempts = n; local_aborts = !local; cross_aborts = !cross }
+    in
+    let rec attempt n =
+      match Txn.exec txn parts with
+      | Ok () -> result ~committed:true n
+      | Error f ->
+          (match f with
+          | Txn.Local _ -> incr local
+          | Txn.Cross _ -> incr cross
+          | Txn.Failed (Errors.Locked_out _ | Errors.Store_failure _) ->
+              (* Transport outage or lock hint: wait it out, as the other
+                 cluster SUTs do. Not an abort — nothing was staged. *)
+              Proc.delay 5.0
+          | Txn.Failed e -> fatal_error "afs_txn exec" e);
+          if n < max_retries then attempt (n + 1) else result ~committed:false n
+    in
+    attempt 1
+  in
+  let stats () =
+    Afs_util.Stats.Counter.to_list (Txn.counters txn) @ cluster_stats cluster ()
+  in
+  { name; exec; stats; read_page = cluster_read_page cluster files }
+
+(* {2 Two-phase-commit baseline over the same cluster}
+
+   The conventional coordinator shape: phase one validates and merges
+   each participant version ([Server.prepare]) and parks the pipeline
+   holding the base's store lock; phase two publishes or drops it
+   ([Server.decide]). Participants are prepared in canonical file order
+   (preventing prepare deadlocks exactly as lock ordering does for 2PL),
+   and blocking is emergent: any competitor spins on the retained lock
+   for the whole prepare window, surfacing as [Store_failure] back-offs.
+   Contrast with [afs_txn], which holds nothing across shards. *)
+
+let afs_twopc ?(name = "afs-2pc") client ~files =
+  let module CC = Afs_cluster.Cluster_client in
+  let cluster = CC.cluster client in
+  let prepare_one h =
+    Remote.prepare (CC.Txn.conn h.CC.txn) (CC.Txn.version h.CC.txn)
+  in
+  let decide_one h ~commit =
+    Remote.decide (CC.Txn.conn h.CC.txn) (CC.Txn.version h.CC.txn) ~commit
+  in
+  let parts_of spec =
+    match spec.parts with
+    | [] -> [ (spec.file, spec.ops) ]
+    | parts -> List.sort (fun (a, _) (b, _) -> compare a b) parts
+  in
+  let exec spec ~max_retries =
+    let parts = parts_of spec in
+    let local = ref 0 and cross = ref 0 in
+    let result ~committed n =
+      { committed; attempts = n; local_aborts = !local; cross_aborts = !cross }
+    in
+    let abort_all hs = List.iter (fun h -> ignore (CC.abort h)) hs in
+    let rec attempt n =
+      let back_off_retry ~result:r () =
+        if n < max_retries then begin
+          Proc.delay 5.0;
+          attempt (n + 1)
+        end
+        else r
+      in
+      (* Phase zero: open a version on every participant and run its ops
+         (real page writes, unlike the marker-borne afs_txn stage). *)
+      let rec open_all acc = function
+        | [] -> `Opened (List.rev acc)
+        | (file, ops) :: rest -> (
+            match CC.begin_txn ~attempt:n client files.(file) with
+            | Error (Errors.Locked_out _ | Errors.Store_failure _) ->
+                abort_all acc;
+                `Back_off
+            | Error e -> fatal_error "afs_twopc create_version" e
+            | Ok h -> (
+                match cluster_run_ops h.CC.txn ops with
+                | Ok () -> open_all (h :: acc) rest
+                | Error (Errors.Store_failure _) ->
+                    abort_all (h :: acc);
+                    `Back_off
+                | Error e ->
+                    abort_all (h :: acc);
+                    fatal_error "afs_twopc ops" e))
+      in
+      match open_all [] parts with
+      | `Back_off -> back_off_retry ~result:(result ~committed:false n) ()
+      | `Opened handles -> (
+          (* Phase one, in canonical order. On any refusal the prepared
+             prefix is decided-abort (releasing its parked pipelines)
+             before the unprepared suffix is discarded. *)
+          let rec prepare_all prepared idx = function
+            | [] -> `Prepared (List.rev prepared)
+            | h :: rest -> (
+                match prepare_one h with
+                | Ok () -> prepare_all (h :: prepared) (idx + 1) rest
+                | Error e ->
+                    List.iter
+                      (fun p -> ignore (decide_one p ~commit:false))
+                      (List.rev prepared);
+                    ignore (CC.abort h);
+                    abort_all rest;
+                    `Refused (idx, e))
+          in
+          match prepare_all [] 0 handles with
+          | `Refused (_, Errors.Store_failure _) ->
+              (* Lock contention against another coordinator's prepare
+                 window — the blocking 2PC is famous for. *)
+              back_off_retry ~result:(result ~committed:false n) ()
+          | `Refused (idx, Errors.Conflict) ->
+              if idx = 0 && List.length parts > 1 then incr local
+              else if List.length parts > 1 then incr cross
+              else incr local;
+              if n < max_retries then attempt (n + 1)
+              else result ~committed:false n
+          | `Refused (_, e) -> fatal_error "afs_twopc prepare" e
+          | `Prepared prepared ->
+              (* Phase two: the decision is definite once every vote is
+                 in; a participant that cannot publish now is a broken
+                 store, not a conflict. *)
+              List.iter
+                (fun h ->
+                  fatal "afs_twopc decide" (decide_one h ~commit:true);
+                  CC.note_commit client ~shard:h.CC.shard h.CC.file)
+                prepared;
+              result ~committed:true n)
+    in
+    attempt 1
+  in
+  {
+    name;
+    exec;
+    stats = cluster_stats cluster;
+    read_page = cluster_read_page cluster files;
   }

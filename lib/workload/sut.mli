@@ -20,11 +20,26 @@ type op =
   | Write of int * bytes
   | Rmw of int * (bytes -> bytes)  (** Read page, write the transform. *)
 
-type txn_spec = { file : int; ops : op list }
+type txn_spec = {
+  file : int;
+  ops : op list;
+  parts : (int * op list) list;
+      (** Non-empty makes this a multi-file transaction — one
+          [(file, ops)] participant per entry, honoured only by the
+          cross-shard backends ({!afs_txn}, {!afs_twopc}); [file]/[ops]
+          are ignored then. Single-file backends refuse multi-part specs
+          with {!Fatal}. *)
+}
 
 type exec_result = {
   committed : bool;
   attempts : int;  (** 1 = first try succeeded. *)
+  local_aborts : int;
+      (** Retries forced by an ordinary one-shard OCC race. *)
+  cross_aborts : int;
+      (** Retries forced cross-shard: a fully staged (or fully prepared)
+          transaction aborted at its coordinator. Always 0 on
+          single-file backends. *)
 }
 
 type t = {
@@ -67,6 +82,30 @@ val afs_cluster :
     bit-identically to {!afs_remote} on the same engine and seed.
     Tolerates concurrent migrations: [Moved] answers are chased inside
     version creation, and invariant reads follow tombstones. *)
+
+val afs_txn :
+  ?name:string ->
+  ?trace:Afs_trace.Trace.t ->
+  Afs_cluster.Cluster_client.t ->
+  files:Afs_util.Capability.t array ->
+  t
+(** {!afs_cluster} plus multi-part transactions via lib/txn's optimistic
+    coordinator (stage/decide/flip). Single-part specs take the fast
+    path — the same RPC sequence as {!afs_cluster}. [local_aborts]
+    counts participant stages losing ordinary one-shard races;
+    [cross_aborts] counts staged transactions force-aborted at the
+    coordinator record. *)
+
+val afs_twopc :
+  ?name:string ->
+  Afs_cluster.Cluster_client.t ->
+  files:Afs_util.Capability.t array ->
+  t
+(** The blocking two-phase-commit baseline over the same cluster:
+    participant versions are prepared in canonical file order (each
+    parking the server's commit pipeline, base lock held), then decided.
+    Competitors colliding with a prepare window back off on
+    [Store_failure] — the lock-holding cost {!afs_txn} avoids. *)
 
 val twopl :
   ?remote:Afs_sim.Engine.t ->

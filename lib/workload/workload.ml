@@ -76,7 +76,7 @@ let make shape =
       List.map (fun p -> Sut.Read p) reads
       @ List.map (fun p -> Sut.Rmw (p, fun _old -> data)) writes
     in
-    { Sut.file; ops }
+    { Sut.file; ops; parts = [] }
 
 let setup_file server shape ~initial =
   let open Afs_core.Errors in
@@ -114,3 +114,108 @@ let setup_cluster cluster shape ~initial =
       make_files (i + 1) (cap :: acc)
   in
   make_files 0 []
+
+(* {2 The cross-shard banking mix (scenario S2)}
+
+   Accounts are one-page files whose page 0 holds a decimal balance;
+   moves shuffle opaque object files that live outside the conservation
+   sum. Placement is the round-robin of [setup_cluster] on a fresh
+   cluster, so file [i] lives on shard [i mod shards] — the fact the
+   generator uses to steer a partner on or off the debited shard. *)
+
+type transfer_shape = {
+  accounts : int;
+  objects : int;
+  shards : int;
+  cross_ratio : float;
+  move_ratio : float;
+  account_theta : float;
+  amount : int;
+}
+
+let bank_transfers =
+  {
+    accounts = 64;
+    objects = 16;
+    shards = 4;
+    cross_ratio = 0.5;
+    move_ratio = 0.1;
+    account_theta = 0.6;
+    amount = 5;
+  }
+
+let balance data =
+  (* Anything unparsable counts as zero: a corrupted balance then shows
+     up as a conservation violation instead of a harness crash. *)
+  match int_of_string_opt (String.trim (Bytes.to_string data)) with
+  | Some n -> n
+  | None -> 0
+
+let encode_balance n = Bytes.of_string (string_of_int n)
+
+let transfer shape =
+  if shape.shards < 1 then invalid_arg "Workload.transfer: no shards";
+  if shape.accounts < 2 * shape.shards then
+    invalid_arg "Workload.transfer: need two accounts per shard";
+  if shape.move_ratio > 0.0 && shape.objects > 0 && shape.objects < 2 * shape.shards
+  then invalid_arg "Workload.transfer: need two objects per shard for moves";
+  let account_zipf = Zipf.create ~n:shape.accounts ~theta:shape.account_theta in
+  let shard_of i = i mod shape.shards in
+  (* Uniform partner with the shard-crossing constraint, by rejection;
+     the population checks above make both branches feasible. *)
+  let partner rng ~base ~count ~avoid ~cross =
+    let rec pick () =
+      let p = base + Xrng.int rng count in
+      if p = avoid then pick ()
+      else if cross <> (shard_of p <> shard_of avoid) then pick ()
+      else p
+    in
+    pick ()
+  in
+  fun rng ->
+    let cross = shape.shards > 1 && Xrng.float rng 1.0 < shape.cross_ratio in
+    if shape.objects >= 2 && Xrng.float rng 1.0 < shape.move_ratio then begin
+      (* A rename/move: blind writes — tombstone at the source object,
+         payload at the destination. Objects stay outside the
+         conservation sum, so the blind pair cannot disturb it. *)
+      let src = shape.accounts + Xrng.int rng shape.objects in
+      let dst =
+        partner rng ~base:shape.accounts ~count:shape.objects ~avoid:src ~cross
+      in
+      let data = payload rng 32 in
+      {
+        Sut.file = src;
+        ops = [];
+        parts =
+          [
+            (src, [ Sut.Write (0, Bytes.of_string "moved") ]);
+            (dst, [ Sut.Write (0, data) ]);
+          ];
+      }
+    end
+    else begin
+      let from_acct = Zipf.sample account_zipf rng in
+      let to_acct =
+        partner rng ~base:0 ~count:shape.accounts ~avoid:from_acct ~cross
+      in
+      let debit = Sut.Rmw (0, fun old -> encode_balance (balance old - shape.amount)) in
+      let credit = Sut.Rmw (0, fun old -> encode_balance (balance old + shape.amount)) in
+      {
+        Sut.file = from_acct;
+        ops = [];
+        parts = [ (from_acct, [ debit ]); (to_acct, [ credit ]) ];
+      }
+    end
+
+let setup_accounts cluster shape ~initial_balance =
+  let file_shape =
+    { small_updates with nfiles = shape.accounts + shape.objects; pages_per_file = 1 }
+  in
+  setup_cluster cluster file_shape ~initial:(encode_balance initial_balance)
+
+let total_balance sut shape =
+  let total = ref 0 in
+  for i = 0 to shape.accounts - 1 do
+    total := !total + balance (sut.Sut.read_page i 0)
+  done;
+  !total

@@ -1,0 +1,20 @@
+(* C1 over the cross-shard decision logic: the pure record classifier and
+   marker resolver are silent; a variant that parks while holding the
+   decision (decide_blocking -> Pause.brief -> Proc.delay) fires. *)
+
+type decision = Pending | Committed | Aborted
+
+let decide record_data =
+  match record_data with
+  | "txn:committed" -> Committed
+  | "txn:aborted" -> Aborted
+  | _ -> Pending
+
+let resolve marker = function
+  | Committed -> `Forward marker
+  | Aborted -> `Back marker
+  | Pending -> `Wait
+
+let decide_blocking record_data =
+  Pause.brief ();
+  decide record_data

@@ -32,6 +32,9 @@ let fixture_config =
         "C1_pipeline.validate";
         "C1_pipeline.merge";
         "C1_pipeline.publish";
+        "C1_txn.decide";
+        "C1_txn.resolve";
+        "C1_txn.decide_blocking";
       ];
     moved_sources = [ "Store.fetch_remote" ];
     y1_dirs = [ "lint_fixtures" ];
@@ -55,7 +58,7 @@ let scan = lazy (run [ "lint_fixtures" ])
 let test_parses_everything () =
   let r = Lazy.force scan in
   Alcotest.(check (list (pair string string))) "no unparseable fixtures" [] r.broken;
-  Alcotest.(check int) "all fixtures scanned" 26 r.files_scanned
+  Alcotest.(check int) "all fixtures scanned" 27 r.files_scanned
 
 let test_d1_ambient () =
   check_keys "one finding per ambient source, none in the exempt file"
@@ -182,6 +185,9 @@ let test_c1 () =
     (in_file "lint_fixtures/proto/c1_memo.ml" (Lazy.force scan));
   check_keys "the clean validate/merge/publish pipeline stages are silent" []
     (in_file "lint_fixtures/proto/c1_pipeline.ml" (Lazy.force scan));
+  check_keys "pure txn decide/resolve are silent; the parking variant fires"
+    [ ("C1", "lint_fixtures/proto/c1_txn.ml", "C1_txn.decide_blocking") ]
+    (in_file "lint_fixtures/proto/c1_txn.ml" (Lazy.force scan));
   (* The C1 yield report carries the shortest call chain to the primitive. *)
   let witness =
     List.find_opt

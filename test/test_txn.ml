@@ -1,0 +1,597 @@
+(* lib/txn: cross-shard atomic transactions built from ordinary
+   optimistic commits, plus the Server prepare/decide 2PC baseline.
+
+   The properties under attack: the coordinator record's commit is the
+   transaction-wide atomic point (money is conserved across shards in
+   every crash interleaving), in-doubt participants are resolvable by
+   any client from the marker and record alone, and the trace of a
+   conflict-free commit is deterministic per seed. *)
+
+open Afs_cluster
+module Engine = Afs_sim.Engine
+module Proc = Afs_sim.Proc
+module Capability = Afs_util.Capability
+module Xrng = Afs_util.Xrng
+module P = Afs_util.Pagepath
+module Server = Afs_core.Server
+module Errors = Afs_core.Errors
+module Trace = Afs_trace.Trace
+module Query = Afs_trace.Query
+module Catapult = Afs_trace.Catapult
+module CC = Cluster_client
+module Txn = Afs_txn.Txn
+
+let quick = Helpers.quick
+let bytes = Helpers.bytes
+let ok = Helpers.ok
+
+let ok_txn = function
+  | Ok v -> v
+  | Error (Txn.Local e) -> Alcotest.failf "local abort: %s" (Errors.to_string e)
+  | Error (Txn.Cross e) -> Alcotest.failf "cross abort: %s" (Errors.to_string e)
+  | Error (Txn.Failed e) -> Alcotest.failf "txn failed: %s" (Errors.to_string e)
+
+(* Run [body] as a simulated process and return its result. *)
+let in_sim body =
+  let engine = Engine.create () in
+  let result = ref None in
+  let _ = Proc.spawn engine (fun () -> result := Some (body engine)) in
+  Engine.run engine;
+  match !result with Some r -> r | None -> Alcotest.fail "process never finished"
+
+let in_cluster ?(latency_ms = 1.0) ~shards body =
+  in_sim (fun engine ->
+      let cluster = Cluster.create ~latency_ms engine ~shards in
+      body cluster (CC.connect cluster))
+
+(* One-page balance accounts, placed round-robin by [CC.create_file]. *)
+let setup_accounts client n init =
+  Array.init n (fun i ->
+      let f = ok (CC.create_file ~data:(bytes (Printf.sprintf "acct%d" i)) client) in
+      ok
+        (CC.update client f (fun txn ->
+             let open Errors in
+             let* _ =
+               CC.Txn.insert txn ~parent:P.root ~index:0
+                 ~data:(bytes (string_of_int init)) ()
+             in
+             Ok ()));
+      f)
+
+let read_balance client f =
+  int_of_string (Bytes.to_string (ok (CC.read_current client f (P.of_list [ 0 ]))))
+
+let money amt old = bytes (string_of_int (int_of_string (Bytes.to_string old) + amt))
+let debit amt = Txn.Rmw (P.of_list [ 0 ], money (-amt))
+let credit amt = Txn.Rmw (P.of_list [ 0 ], money amt)
+let transfer accts a b amt =
+  [ { Txn.file = accts.(a); ops = [ debit amt ] };
+    { Txn.file = accts.(b); ops = [ credit amt ] } ]
+
+(* {2 Marker codec} *)
+
+let gen_cap =
+  QCheck2.Gen.(
+    let* port = int_bound 0xFFFFFF in
+    let* obj = int_bound 100_000 in
+    let* rights = int_bound 255 in
+    let* check = int_bound 0x3FFFFFFF in
+    return
+      {
+        Capability.port = Capability.port_of_int port;
+        obj;
+        rights = Capability.rights_of_int rights;
+        check;
+      })
+
+let gen_marker =
+  QCheck2.Gen.(
+    let* record = gen_cap in
+    let* seq = int_bound 100_000 in
+    let* old_root = map Bytes.of_string (string_size ~gen:printable (int_bound 40)) in
+    let* writes =
+      list_size (int_bound 4)
+        (pair
+           (map P.of_list (list_size (int_range 1 3) (int_bound 7)))
+           (map Bytes.of_string (string_size ~gen:printable (int_bound 40))))
+    in
+    return { Txnmark.record; seq; old_root; writes })
+
+let prop_marker_roundtrip =
+  QCheck2.Test.make ~name:"txn marker: decode . encode = Some" ~count:200 gen_marker
+    (fun m ->
+      match Txnmark.decode (Txnmark.encode m) with
+      | None -> false
+      | Some m' ->
+          Capability.equal m.Txnmark.record m'.Txnmark.record
+          && m.Txnmark.seq = m'.Txnmark.seq
+          && Bytes.equal m.Txnmark.old_root m'.Txnmark.old_root
+          && List.length m.Txnmark.writes = List.length m'.Txnmark.writes
+          && List.for_all2
+               (fun (p, d) (p', d') -> P.compare p p' = 0 && Bytes.equal d d')
+               m.Txnmark.writes m'.Txnmark.writes)
+
+let test_marker_rejects_garbage () =
+  Alcotest.(check bool) "plain data" false (Txnmark.is_marker (bytes "hello"));
+  Alcotest.(check bool) "empty" false (Txnmark.is_marker Bytes.empty);
+  Alcotest.(check bool)
+    "prefix, garbage body" true
+    (Txnmark.decode (bytes (Txnmark.prefix ^ "junk")) = None);
+  let m =
+    {
+      Txnmark.record =
+        {
+          Capability.port = Capability.port_of_int 7;
+          obj = 3;
+          rights = Capability.rights_all;
+          check = 99;
+        };
+      seq = 4;
+      old_root = bytes "old";
+      writes = [ (P.of_list [ 0 ], bytes "w") ];
+    }
+  in
+  Alcotest.(check bool)
+    "trailing garbage" true
+    (Txnmark.decode (Bytes.cat (Txnmark.encode m) (bytes "x")) = None);
+  Alcotest.(check bool)
+    "truncation" true
+    (let e = Txnmark.encode m in
+     Txnmark.decode (Bytes.sub e 0 (Bytes.length e - 3)) = None)
+
+(* {2 The pure decision logic (C1 critical sections)} *)
+
+let test_decision_table () =
+  let d s = Txn.decide ~record_data:(bytes s) in
+  Alcotest.(check bool) "pending" true (d "txn:pending" = Txn.Pending);
+  Alcotest.(check bool) "committed" true (d "txn:committed" = Txn.Committed);
+  Alcotest.(check bool) "aborted" true (d "txn:aborted" = Txn.Aborted);
+  Alcotest.(check bool) "garbage" true (d "whatever" = Txn.Unknown_record);
+  let m =
+    {
+      Txnmark.record =
+        {
+          Capability.port = Capability.port_of_int 1;
+          obj = 1;
+          rights = Capability.rights_all;
+          check = 0;
+        };
+      seq = 1;
+      old_root = Bytes.empty;
+      writes = [];
+    }
+  in
+  Alcotest.(check bool) "committed -> forward" true
+    (Txn.resolve m Txn.Committed = Txn.Forward m);
+  Alcotest.(check bool) "aborted -> back" true (Txn.resolve m Txn.Aborted = Txn.Back m);
+  Alcotest.(check bool) "unknown -> back" true
+    (Txn.resolve m Txn.Unknown_record = Txn.Back m);
+  Alcotest.(check bool) "pending -> wait" true (Txn.resolve m Txn.Pending = Txn.Wait m)
+
+(* {2 The happy path} *)
+
+let test_cross_shard_commit () =
+  in_cluster ~shards:2 (fun _cluster client ->
+      let accts = setup_accounts client 2 100 in
+      let txn = Txn.create client in
+      ok_txn (Txn.exec txn (transfer accts 0 1 30));
+      Alcotest.(check int) "debited" 70 (read_balance client accts.(0));
+      Alcotest.(check int) "credited" 130 (read_balance client accts.(1));
+      (* No marker survives a completed transaction: ordinary reads pass
+         the trap and the root carries its original data. *)
+      Array.iteri
+        (fun i f ->
+          Helpers.check_bytes "root restored"
+            (Printf.sprintf "acct%d" i)
+            (ok (CC.read_current client f P.root)))
+        accts)
+
+let test_single_part_fast_path () =
+  in_cluster ~shards:2 (fun _cluster client ->
+      let accts = setup_accounts client 1 100 in
+      let txn = Txn.create client in
+      ok_txn (Txn.exec txn [ { Txn.file = accts.(0); ops = [ credit 5 ] } ]);
+      Alcotest.(check int) "applied" 105 (read_balance client accts.(0));
+      let get = Afs_util.Stats.Counter.get (Txn.counters txn) in
+      Alcotest.(check int) "took the fast path" 1 (get "txn.fastpath");
+      Alcotest.(check int) "no coordinator" 0 (get "txn.coordinated"))
+
+(* A fully staged transaction and a plain optimistic update colliding:
+   whoever commits second must lose, in this order the plain update —
+   which finds the file in doubt, waits out the (already decided)
+   record, resolves it forward and then succeeds on the result. *)
+let test_reader_resolves_in_doubt () =
+  in_cluster ~shards:2 (fun _cluster client ->
+      let accts = setup_accounts client 2 100 in
+      let record = ref None in
+      let txn = Txn.create client in
+      (match
+         Txn.exec ~crash_at:Txn.After_decide
+           ~on_record:(fun c -> record := Some c)
+           txn (transfer accts 0 1 30)
+       with
+      | exception Txn.Crashed -> ()
+      | _ -> Alcotest.fail "crash point never fired");
+      (* Both participants are staged and trapped. *)
+      (match CC.read_current client accts.(0) (P.of_list [ 0 ]) with
+      | Error (Errors.Txn_in_doubt r) ->
+          Alcotest.(check bool)
+            "trap names the record" true
+            (match !record with Some c -> Capability.equal c r | None -> false)
+      | Ok _ -> Alcotest.fail "staged file served an ordinary read"
+      | Error e -> Alcotest.failf "expected Txn_in_doubt, got %s" (Errors.to_string e));
+      (* A second, independent client resolves by simply using the file:
+         the record says committed, so the resolver rolls forward and the
+         transfer lands before its own update. *)
+      let other = Txn.create ~pending_patience:0 client in
+      ok_txn (Txn.exec other [ { Txn.file = accts.(0); ops = [ credit 1 ] } ]);
+      Alcotest.(check int) "transfer rolled forward, then +1" 71
+        (read_balance client accts.(0));
+      Alcotest.(check int) "other participant swept separately" 1
+        (ok (Txn.sweep other (Array.to_list accts)));
+      Alcotest.(check int) "credited" 130 (read_balance client accts.(1)))
+
+(* A coordinator dying before the decide leaves a pending record; the
+   sweep presumes it dead, force-aborts it, and rolls every participant
+   back — the transfer never happened. *)
+let test_sweep_discards_undecided () =
+  in_cluster ~shards:2 (fun _cluster client ->
+      let accts = setup_accounts client 2 100 in
+      let record = ref None in
+      let txn = Txn.create client in
+      (match
+         Txn.exec ~crash_at:Txn.Before_decide
+           ~on_record:(fun c -> record := Some c)
+           txn (transfer accts 0 1 30)
+       with
+      | exception Txn.Crashed -> ()
+      | _ -> Alcotest.fail "crash point never fired");
+      let sweeper = Txn.create client in
+      Alcotest.(check int) "both participants resolved" 2
+        (ok (Txn.sweep sweeper (Array.to_list accts)));
+      Alcotest.(check int) "rolled back" 100 (read_balance client accts.(0));
+      Alcotest.(check int) "rolled back" 100 (read_balance client accts.(1));
+      (* The force-abort is durable: the record can never commit now. *)
+      match !record with
+      | None -> Alcotest.fail "no record observed"
+      | Some r ->
+          Alcotest.(check bool)
+            "record force-aborted" true
+            (ok (Txn.record_decision sweeper r) = Txn.Aborted))
+
+(* Crashing mid-flip: the decision stands, the remaining participant is
+   rolled forward by recovery. *)
+let test_sweep_completes_decided () =
+  in_cluster ~shards:2 (fun _cluster client ->
+      let accts = setup_accounts client 2 100 in
+      let txn = Txn.create client in
+      (match Txn.exec ~crash_at:(Txn.Mid_flip 1) txn (transfer accts 0 1 30) with
+      | exception Txn.Crashed -> ()
+      | _ -> Alcotest.fail "crash point never fired");
+      let sweeper = Txn.create client in
+      Alcotest.(check int) "one participant left in doubt" 1
+        (ok (Txn.sweep sweeper (Array.to_list accts)));
+      Alcotest.(check int) "debited" 70 (read_balance client accts.(0));
+      Alcotest.(check int) "credited" 130 (read_balance client accts.(1)))
+
+(* The R-on-root fence, in the commit order the trap cannot catch: a
+   plain update opened BEFORE the stage commits afterwards — and must
+   conflict, because the stage wrote the root that update's version
+   recorded R on. *)
+let test_stage_fences_prior_versions () =
+  in_cluster ~shards:2 (fun _cluster client ->
+      let accts = setup_accounts client 2 100 in
+      let h = ok (CC.begin_txn client accts.(0)) in
+      ok (CC.Txn.write h.CC.txn (P.of_list [ 0 ]) (bytes "777"));
+      let txn = Txn.create client in
+      (match
+         Txn.exec ~crash_at:Txn.Before_decide txn (transfer accts 0 1 30)
+       with
+      | exception Txn.Crashed -> ()
+      | _ -> Alcotest.fail "crash point never fired");
+      (match CC.commit client h with
+      | Error Errors.Conflict -> ()
+      | Ok () -> Alcotest.fail "pre-stage version committed over a marker"
+      | Error e -> Alcotest.failf "expected Conflict, got %s" (Errors.to_string e));
+      let sweeper = Txn.create client in
+      ignore (ok (Txn.sweep sweeper (Array.to_list accts)) : int);
+      Alcotest.(check int) "staged txn discarded" 100 (read_balance client accts.(0)))
+
+(* {2 Trace oracle}
+
+   A conflict-free cross-shard commit has a fixed protocol shape: one
+   decide span, one stage span per participant — and the whole rendered
+   event stream is a pure function of the seed. *)
+
+let trace_one_run seed =
+  let engine = Engine.create () in
+  let tr = Trace.ring ~now:(fun () -> Engine.now engine) () in
+  let cluster = Cluster.create ~latency_ms:1.0 ~trace:tr engine ~shards:2 in
+  let _ =
+    Proc.spawn engine (fun () ->
+        let client = CC.connect cluster in
+        let accts = setup_accounts client 3 100 in
+        let rng = Xrng.create seed in
+        let amt = 1 + Xrng.int rng 20 in
+        let txn = Txn.create ~trace:tr client in
+        ok_txn
+          (Txn.exec txn
+             [
+               { Txn.file = accts.(0); ops = [ debit amt ] };
+               { Txn.file = accts.(1); ops = [ credit (amt - 1) ] };
+               { Txn.file = accts.(2); ops = [ credit 1 ] };
+             ]))
+  in
+  Engine.run engine;
+  Trace.events tr
+
+let render events =
+  let b = Buffer.create 4096 in
+  let w = Catapult.writer (Buffer.add_string b) in
+  List.iter (Catapult.emit w) events;
+  Catapult.finish w;
+  Buffer.contents b
+
+let test_trace_oracle () =
+  let events = trace_one_run 7 in
+  Alcotest.(check int) "one decide span" 1
+    (List.length (Query.spans_of_kind events "txn.decide"));
+  Alcotest.(check int) "one stage span per participant" 3
+    (List.length (Query.spans_of_kind events "txn.stage"));
+  Alcotest.(check int) "one coordinator span" 1
+    (List.length (Query.spans_of_kind events "txn.coord"));
+  Alcotest.(check int) "decide point" 1 (Query.count events "txn.decide");
+  Alcotest.(check int) "flip per participant" 3 (Query.count events "txn.flip");
+  (* Byte-identical per seed, and seeds actually differ. *)
+  Alcotest.(check string) "seed 7 deterministic" (render events) (render (trace_one_run 7));
+  Alcotest.(check string) "seed 11 deterministic"
+    (render (trace_one_run 11))
+    (render (trace_one_run 11))
+
+(* {2 The 2PC baseline: Server.prepare / Server.decide} *)
+
+let twopc_file () =
+  let srv = Server.create (Afs_core.Store.memory ()) in
+  let f = ok (Server.create_file srv ()) in
+  let v0 = ok (Server.create_version srv f) in
+  for i = 0 to 1 do
+    ignore (ok (Server.insert_page srv v0 ~parent:P.root ~index:i ~data:(bytes "init") ()))
+  done;
+  ok (Server.commit srv v0);
+  (srv, f)
+
+let test_twopc_prepare_then_commit () =
+  let srv, f = twopc_file () in
+  let v = ok (Server.create_version srv f) in
+  ok (Server.write_page srv v (P.of_list [ 0 ]) (bytes "voted"));
+  ok (Server.prepare srv v);
+  (* The prepare window blocks competitors on the base's commit lock. *)
+  let w = ok (Server.create_version srv f) in
+  ok (Server.write_page srv w (P.of_list [ 1 ]) (bytes "blocked"));
+  (match Server.commit srv w with
+  | Error (Errors.Store_failure _) -> ()
+  | Ok () -> Alcotest.fail "competitor committed through a prepare window"
+  | Error e -> Alcotest.failf "expected lock contention, got %s" (Errors.to_string e));
+  ok (Server.decide srv v ~commit:true);
+  let cur = ok (Server.current_version srv f) in
+  Helpers.check_bytes "published" "voted" (ok (Server.read_page srv cur (P.of_list [ 0 ])));
+  (* Lock released: the competitor's redo goes through (disjoint pages
+     merge). *)
+  let w2 = ok (Server.create_version srv f) in
+  ok (Server.write_page srv w2 (P.of_list [ 1 ]) (bytes "after"));
+  ok (Server.commit srv w2)
+
+let test_twopc_decide_abort_discards () =
+  let srv, f = twopc_file () in
+  let v = ok (Server.create_version srv f) in
+  ok (Server.write_page srv v (P.of_list [ 0 ]) (bytes "doomed"));
+  ok (Server.prepare srv v);
+  ok (Server.decide srv v ~commit:false);
+  let cur = ok (Server.current_version srv f) in
+  Helpers.check_bytes "unchanged" "init" (ok (Server.read_page srv cur (P.of_list [ 0 ])));
+  (* Lock released and the version abandoned: ordinary commits work. *)
+  let w = ok (Server.create_version srv f) in
+  ok (Server.write_page srv w (P.of_list [ 0 ]) (bytes "next"));
+  ok (Server.commit srv w)
+
+let test_twopc_presumed_abort () =
+  let srv, f = twopc_file () in
+  let v = ok (Server.create_version srv f) in
+  ok (Server.write_page srv v (P.of_list [ 0 ]) (bytes "never prepared"));
+  (* Abort of an unknown transaction is presumed already aborted; commit
+     of one is a protocol violation. *)
+  ok (Server.decide srv v ~commit:false);
+  (match Server.decide srv v ~commit:true with
+  | Error (Errors.Store_failure _) -> ()
+  | Ok () -> Alcotest.fail "committed an unprepared version"
+  | Error e -> Alcotest.failf "unexpected error: %s" (Errors.to_string e))
+
+let test_twopc_crash_forgets_prepared () =
+  let srv, f = twopc_file () in
+  let v = ok (Server.create_version srv f) in
+  ok (Server.write_page srv v (P.of_list [ 0 ]) (bytes "in flight"));
+  ok (Server.prepare srv v);
+  Server.crash srv;
+  (* The in-doubt participant is simply gone (volatile prepare state):
+     decide-commit now fails, and the file is unlocked and serves. *)
+  (match Server.decide srv v ~commit:true with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "prepared state survived a crash");
+  let cur = ok (Server.current_version srv f) in
+  Helpers.check_bytes "old value intact" "init"
+    (ok (Server.read_page srv cur (P.of_list [ 0 ])));
+  let w = ok (Server.create_version srv f) in
+  ok (Server.write_page srv w (P.of_list [ 0 ]) (bytes "post-crash"));
+  ok (Server.commit srv w)
+
+(* The 2PC SUT end to end, same transfer mix as the OCC coordinator. *)
+let test_twopc_sut_conserves () =
+  let open Afs_workload in
+  let engine = Engine.create () in
+  let cluster = Cluster.create ~latency_ms:1.0 engine ~shards:2 in
+  let tshape =
+    { Workload.bank_transfers with accounts = 8; objects = 0; shards = 2;
+      move_ratio = 0.0; cross_ratio = 0.5 }
+  in
+  let files = ok (Workload.setup_accounts cluster tshape ~initial_balance:100) in
+  let sut = Sut.afs_twopc (CC.connect cluster) ~files in
+  let config =
+    { Driver.default_config with clients = 6; duration_ms = 800.0; think_ms = 5.0 }
+  in
+  let report = Driver.run engine config sut ~gen:(Workload.transfer tshape) in
+  Alcotest.(check bool) "committed some transfers" true (report.Driver.committed > 0);
+  Alcotest.(check int) "conserved" (100 * 8) (Workload.total_balance sut tshape)
+
+(* {2 Conservation under crashes (the QCheck property)}
+
+   Random cross-shard transfers with a deterministic crash schedule:
+   coordinator kills at every protocol step (crash_at) and participant
+   shard kills mid-run (Faults). After recovery and a sweep, the sum of
+   balances is invariant, every definite outcome is reflected exactly
+   once, and no in-doubt participant survives. *)
+
+let crash_points =
+  [|
+    None;
+    Some (Txn.Before_stage 0);
+    Some (Txn.Before_stage 1);
+    Some Txn.Before_decide;
+    Some Txn.After_decide;
+    Some (Txn.Mid_flip 0);
+    Some (Txn.Mid_flip 1);
+  |]
+
+let conservation_one_run ~seed ~kills =
+  let shards = 3 in
+  let naccts = 6 in
+  let init = 100 in
+  let engine = Engine.create () in
+  let cluster = Cluster.create ~latency_ms:1.0 engine ~shards in
+  let failure = ref None in
+  let fail fmt = Printf.ksprintf (fun m -> if !failure = None then failure := Some m) fmt in
+  let _ =
+    Proc.spawn engine (fun () ->
+        let client = CC.connect cluster in
+        let accts = setup_accounts client naccts init in
+        let faults = Afs_replica.Faults.create engine in
+        List.iter
+          (fun (ms, k) ->
+            Afs_replica.Faults.at faults ~ms ~label:(Printf.sprintf "kill:%d" k)
+              (fun () ->
+                Shard.crash (Cluster.shard cluster k);
+                Proc.delay 10.0;
+                match Shard.recover (Cluster.shard cluster k) with
+                | Ok _ -> ()
+                | Error e -> fail "recovery failed: %s" (Errors.to_string e)))
+          kills;
+        let rng = Xrng.create seed in
+        let txn = Txn.create client in
+        let deltas = Array.make naccts 0 in
+        (* Transactions whose coordinator crashed: classified post hoc by
+           the record, exactly as a recovering client would. *)
+        let uncertain = ref [] in
+        for _ = 1 to 30 do
+          Proc.delay (Xrng.float rng 4.0);
+          let a = Xrng.int rng naccts in
+          let b = (a + 1 + Xrng.int rng (naccts - 1)) mod naccts in
+          let amt = 1 + Xrng.int rng 9 in
+          let crash_at = crash_points.(Xrng.int rng (Array.length crash_points)) in
+          let record = ref None in
+          match
+            Txn.exec ?crash_at
+              ~on_record:(fun c -> record := Some c)
+              txn (transfer accts a b amt)
+          with
+          | exception Txn.Crashed -> (
+              match !record with
+              | Some r -> uncertain := (r, a, b, amt) :: !uncertain
+              | None -> () (* Died before the record existed: nothing staged. *))
+          | Ok () ->
+              deltas.(a) <- deltas.(a) - amt;
+              deltas.(b) <- deltas.(b) + amt
+          | Error (Txn.Local _ | Txn.Cross _) -> ()
+          | Error (Txn.Failed _) -> (
+              (* Transport trouble mid-protocol: same stance as a crash —
+                 the record (if any) holds the definite outcome. *)
+              match !record with
+              | Some r -> uncertain := (r, a, b, amt) :: !uncertain
+              | None -> ())
+        done;
+        (* Quiesce: let any in-flight kill/recovery finish. *)
+        Proc.delay 200.0;
+        (* Crash recovery: any client sweeps from markers + records. *)
+        let sweeper = Txn.create client in
+        (match Txn.sweep sweeper (Array.to_list accts) with
+        | Ok _ -> ()
+        | Error e -> fail "sweep failed: %s" (Errors.to_string e));
+        List.iter
+          (fun (r, a, b, amt) ->
+            match Txn.record_decision sweeper r with
+            | Ok Txn.Committed ->
+                deltas.(a) <- deltas.(a) - amt;
+                deltas.(b) <- deltas.(b) + amt
+            | Ok _ -> ()
+            | Error e -> fail "record audit failed: %s" (Errors.to_string e))
+          (!uncertain);
+        (* No in-doubt participant survives: every root reads ordinarily
+           and carries no marker; every balance matches the definite
+           outcomes exactly. *)
+        Array.iteri
+          (fun i f ->
+            (match CC.read_current client f P.root with
+            | Ok root ->
+                if Txnmark.is_marker root then fail "account %d still staged" i
+            | Error e ->
+                fail "account %d unreadable: %s" i (Errors.to_string e));
+            let expect = init + deltas.(i) in
+            let got = read_balance client f in
+            if got <> expect then fail "account %d: %d, expected %d" i got expect)
+          accts)
+  in
+  Engine.run engine;
+  match !failure with
+  | None -> true
+  | Some m ->
+      QCheck2.Test.fail_reportf "seed %d kills %s: %s" seed
+        (String.concat ","
+           (List.map (fun (ms, k) -> Printf.sprintf "%d@%.0f" k ms) kills))
+        m
+
+let prop_conservation =
+  QCheck2.Test.make ~name:"cross-shard transfers conserve under crash schedules"
+    ~count:10
+    ~print:QCheck2.Print.(pair int (list (pair float int)))
+    QCheck2.Gen.(
+      pair (int_bound 1_000_000)
+        (list_size (int_bound 2) (pair (float_bound_exclusive 80.0) (int_bound 2))))
+    (fun (seed, kills) -> conservation_one_run ~seed ~kills)
+
+let () =
+  Alcotest.run "txn"
+    [
+      ( "marker",
+        [
+          QCheck_alcotest.to_alcotest prop_marker_roundtrip;
+          quick "rejects garbage" test_marker_rejects_garbage;
+        ] );
+      ("decision", [ quick "pure decide/resolve table" test_decision_table ]);
+      ( "protocol",
+        [
+          quick "cross-shard commit is atomic and clean" test_cross_shard_commit;
+          quick "single part takes the fast path" test_single_part_fast_path;
+          quick "reader resolves an in-doubt file" test_reader_resolves_in_doubt;
+          quick "sweep discards an undecided txn" test_sweep_discards_undecided;
+          quick "sweep completes a decided txn" test_sweep_completes_decided;
+          quick "stage fences versions opened before it" test_stage_fences_prior_versions;
+        ] );
+      ("trace", [ quick "decide/stage span oracle, deterministic" test_trace_oracle ]);
+      ( "twopc",
+        [
+          quick "prepare parks, decide publishes" test_twopc_prepare_then_commit;
+          quick "decide-abort discards" test_twopc_decide_abort_discards;
+          quick "presumed abort" test_twopc_presumed_abort;
+          quick "crash forgets prepared state" test_twopc_crash_forgets_prepared;
+          quick "2pc SUT conserves money" test_twopc_sut_conserves;
+        ] );
+      ("conservation", [ QCheck_alcotest.to_alcotest prop_conservation ]);
+    ]

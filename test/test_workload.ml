@@ -67,7 +67,7 @@ let test_afs_local_sut_rmw () =
   let incr_op old = Helpers.bytes (string_of_int (int_of_string (Helpers.str old) + 1)) in
   for _ = 1 to 10 do
     let r =
-      sut.Sut.exec { Sut.file = 0; ops = [ Sut.Rmw (0, incr_op) ] } ~max_retries:4
+      sut.Sut.exec { Sut.file = 0; ops = [ Sut.Rmw (0, incr_op) ]; parts = [] } ~max_retries:4
     in
     Alcotest.(check bool) "committed" true r.Sut.committed
   done;
@@ -84,7 +84,7 @@ let test_twopl_sut_exec () =
         result :=
           Some
             (sut.Sut.exec
-               { Sut.file = 0; ops = [ Sut.Write (1, Helpers.bytes "locked in") ] }
+               { Sut.file = 0; ops = [ Sut.Write (1, Helpers.bytes "locked in") ]; parts = [] }
                ~max_retries:4))
   in
   Engine.run engine;
@@ -97,7 +97,7 @@ let test_tsorder_sut_exec () =
   let backend = Afs_baseline.Tsorder.create () in
   let sut = Sut.tsorder backend ~pages_per_file:4 in
   let r =
-    sut.Sut.exec { Sut.file = 2; ops = [ Sut.Write (3, Helpers.bytes "stamped") ] }
+    sut.Sut.exec { Sut.file = 2; ops = [ Sut.Write (3, Helpers.bytes "stamped") ]; parts = [] }
       ~max_retries:4
   in
   Alcotest.(check bool) "committed" true r.Sut.committed;

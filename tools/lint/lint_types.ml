@@ -122,7 +122,7 @@ let default_config =
     hashtbl_dirs = [ "lib"; "bin"; "bench"; "examples" ];
     hashtbl_strict_units =
       [ "lib/util/lru.ml"; "lib/util/stats.ml"; "lib/core/writeset.ml";
-        "lib/core/pagestore.ml"; "lib/trace"; "lib/cluster"; "lib/replica" ];
+        "lib/core/pagestore.ml"; "lib/trace"; "lib/cluster"; "lib/replica"; "lib/txn" ];
     e1_dirs = [ "lib" ];
     e1_exempt = [ "lib/sim" ];
     mli_dirs = [ "lib" ];
@@ -176,8 +176,15 @@ let default_config =
            plus drain must be indivisible for the fencing argument. *)
         "Source.gate";
         "Replica.promote";
+        (* The cross-shard decision logic: classifying the coordinator
+           record and mapping a marker to roll-forward/roll-back must not
+           interleave with the optimistic commits that act on them. *)
+        "Txn.decide";
+        "Txn.resolve";
       ];
-    moved_sources = [ "Remote.create_version"; "Remote.current_version" ];
+    moved_sources =
+      [ "Remote.create_version"; "Remote.current_version"; "Remote.txn_mark";
+        "Remote.txn_open"; "Remote.txn_cas" ];
     y1_dirs =
       [
         "lib/core"; "lib/cluster"; "lib/rpc"; "lib/naming"; "lib/stable"; "lib/block";
